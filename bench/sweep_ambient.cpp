@@ -1,0 +1,70 @@
+// sweep_ambient — environment-temperature sweep. The paper evaluates
+// "multiple standard driving cycles ... different environment
+// temperatures" (Section IV-A); this bench makes the temperature axis
+// explicit: the same US06 mission from a winter-cold soak to a desert
+// afternoon, for every methodology. The pack starts soaked at ambient.
+//
+// Expected shape: the spread between methodologies grows with ambient —
+// hot packs age exponentially faster (Eq. 5), so management matters
+// most in summer, while in the cold everything behaves similarly (and
+// the cold pack's HIGHER internal resistance raises everyone's losses).
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "vehicle/hvac.h"
+
+using namespace otem;
+
+int main(int argc, char** argv) {
+  const Config cfg = bench::bench_defaults(argc, argv);
+  const size_t repeats = static_cast<size_t>(cfg.get_long("repeats", 2));
+
+  bench::print_header("Extension: ambient-temperature sweep (US06 x" +
+                      std::to_string(repeats) + ")");
+  const std::vector<int> w = {11, 16, 12, 14, 12, 14};
+  bench::print_row({"ambient_C", "methodology", "qloss_%", "avg_power_W",
+                    "max_Tb_C", "violation_s"},
+                   w);
+  CsvTable csv({"ambient_c", "methodology", "qloss_percent", "avg_power_w",
+                "max_tb_c", "violation_s"});
+
+  const vehicle::CabinHvac hvac(vehicle::HvacParams::from_config(cfg));
+  for (double ambient_c : {-10.0, 5.0, 20.0, 30.0, 40.0}) {
+    Config acfg = cfg;
+    acfg.set("ambient_k", ambient_c + 273.15);
+    // The cabin HVAC makes the accessory load ambient-dependent [2]:
+    // heating in the cold, A/C in the heat.
+    if (!cfg.has("vehicle.accessory_power")) {
+      acfg.set("vehicle.accessory_power",
+               vehicle::VehicleParams{}.accessory_power_w +
+                   hvac.steady_load_w(ambient_c + 273.15));
+    }
+    const core::SystemSpec spec = core::SystemSpec::from_config(acfg);
+    const TimeSeries power =
+        bench::cycle_power(spec, vehicle::CycleName::kUs06, repeats);
+    const sim::Simulator sim(spec);
+    for (const auto& name : bench::methodology_names()) {
+      auto m = bench::make_methodology(name, spec, acfg);
+      sim::RunOptions opt;
+      opt.record_trace = false;
+      // A parked car soaks to ambient before the mission.
+      opt.initial.t_battery_k = spec.ambient_k;
+      opt.initial.t_coolant_k = spec.ambient_k;
+      const sim::RunResult r = sim.run(*m, power, opt);
+      bench::print_row({bench::fmt(ambient_c, 0), name,
+                        bench::fmt(r.qloss_percent, 5),
+                        bench::fmt(r.average_power_w, 0),
+                        bench::fmt(r.max_t_battery_k - 273.15, 1),
+                        bench::fmt(r.thermal_violation_s, 0)},
+                       w);
+      csv.add_row({bench::fmt(ambient_c, 1), name,
+                   bench::fmt(r.qloss_percent, 6),
+                   bench::fmt(r.average_power_w, 1),
+                   bench::fmt(r.max_t_battery_k - 273.15, 2),
+                   bench::fmt(r.thermal_violation_s, 1)});
+    }
+  }
+  bench::maybe_write_csv(cfg, "sweep_ambient", csv);
+  return 0;
+}

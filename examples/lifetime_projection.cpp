@@ -1,0 +1,107 @@
+// lifetime_projection — project the battery's whole life (to the 20 %
+// end-of-life threshold) under different managements, with capacity
+// feedback: a faded pack runs at higher C-rates and ages faster, so
+// good management compounds over the years. Extends the paper's BLT
+// comparison from single-mission ratios to full degradation curves.
+//
+//   ./build/examples/lifetime_projection [cycle=UDDS]
+#include <cstdio>
+#include <string>
+
+#include "core/dual_methodology.h"
+#include "core/otem/otem_methodology.h"
+#include "core/parallel_methodology.h"
+#include "sim/lifetime.h"
+#include "vehicle/drive_cycle.h"
+#include "vehicle/powertrain.h"
+
+using namespace otem;
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const core::SystemSpec spec = core::SystemSpec::from_config(cfg);
+  const vehicle::CycleName cycle =
+      vehicle::cycle_from_string(cfg.get_string("cycle", "UDDS"));
+
+  const TimeSeries speed = vehicle::generate(cycle);
+  const TimeSeries power =
+      vehicle::Powertrain(spec.vehicle).power_trace(speed);
+  const double dist_m = vehicle::stats_of(speed).distance_m;
+  std::printf("Mission: %s, %.1f km. Projecting to 20 %% capacity "
+              "loss with degradation feedback...\n",
+              vehicle::to_string(cycle), dist_m / 1000.0);
+
+  struct Row {
+    const char* name;
+    sim::LifetimeResult life;
+  };
+  std::vector<Row> rows;
+
+  rows.push_back({"parallel",
+                  sim::project_lifetime(
+                      spec, power,
+                      [](const core::SystemSpec& s) {
+                        return std::make_unique<core::ParallelMethodology>(s);
+                      },
+                      dist_m)});
+  rows.push_back({"dual",
+                  sim::project_lifetime(
+                      spec, power,
+                      [](const core::SystemSpec& s) {
+                        return std::make_unique<core::DualMethodology>(s);
+                      },
+                      dist_m)});
+  rows.push_back({"otem",
+                  sim::project_lifetime(
+                      spec, power,
+                      [&cfg](const core::SystemSpec& s) {
+                        return std::make_unique<core::OtemMethodology>(
+                            s, core::MpcOptions::from_config(cfg),
+                            core::OtemSolverOptions::from_config(cfg));
+                      },
+                      dist_m)});
+
+  std::printf("\n%-10s %15s %12s %14s\n", "strategy", "missions_to_EOL",
+              "km_to_EOL", "years@40km/day");
+  for (const Row& row : rows) {
+    // A run that hits the epoch cap without reaching 20 % loss is a
+    // lower bound on the true lifetime.
+    std::printf("%-10s %s%14.0f %12.0f %14.1f\n", row.name,
+                row.life.reached_eol ? " " : ">",
+                row.life.missions_to_eol, row.life.km_to_eol,
+                row.life.km_to_eol / (40.0 * 365.0));
+  }
+
+  std::printf("\nDegradation curve (capacity loss %% at mission count):\n");
+  std::printf("%-10s", "missions");
+  for (const Row& row : rows) std::printf("%12s", row.name);
+  std::printf("\n");
+  // Sample each curve at fractions of the shortest lifetime.
+  double shortest = rows[0].life.missions_to_eol;
+  for (const Row& row : rows)
+    shortest = std::min(shortest, row.life.missions_to_eol);
+  for (double f : {0.25, 0.5, 0.75, 1.0}) {
+    const double at = f * shortest;
+    std::printf("%-10.0f", at);
+    for (const Row& row : rows) {
+      // Linear scan of the curve for the surrounding epoch.
+      double loss = row.life.curve.back().capacity_loss_percent;
+      for (size_t i = 1; i < row.life.curve.size(); ++i) {
+        if (row.life.curve[i].missions >= at) {
+          const auto& a = row.life.curve[i - 1];
+          const auto& b = row.life.curve[i];
+          const double t = (at - a.missions) /
+                           std::max(b.missions - a.missions, 1e-9);
+          loss = a.capacity_loss_percent +
+                 t * (b.capacity_loss_percent - a.capacity_loss_percent);
+          break;
+        }
+      }
+      std::printf("%12.2f", loss);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nBecause fade raises C-rates, the curves bend upward — "
+              "and the management gap widens over the pack's life.\n");
+  return 0;
+}

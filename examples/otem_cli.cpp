@@ -1,0 +1,193 @@
+// otem_cli — command-line driver around the library: run any
+// methodology on any cycle, dump full per-step telemetry as CSV,
+// compare strategies, or inspect the drive-cycle catalogue. The Swiss
+// army knife for exploring the system without writing code.
+//
+//   otem_cli cycles
+//   otem_cli run US06 method=otem repeats=3 trace_csv=/tmp/run.csv
+//   otem_cli run UDDS method=dual ambient_k=308.15
+//   otem_cli compare LA92 repeats=2
+//
+// Any "key=value" pair is forwarded to the Config (battery.*, otem.*,
+// thermal.*, ...).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/error.h"
+#include "core/cooling_methodology.h"
+#include "core/dual_methodology.h"
+#include "core/forecast.h"
+#include "core/otem/ltv_controller.h"
+#include "core/otem/otem_methodology.h"
+#include "core/parallel_methodology.h"
+#include "sim/metrics.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "vehicle/drive_cycle.h"
+#include "vehicle/powertrain.h"
+
+using namespace otem;
+
+namespace {
+
+std::unique_ptr<core::Methodology> make_method(const std::string& name,
+                                               const core::SystemSpec& spec,
+                                               const Config& cfg) {
+  if (name == "parallel")
+    return std::make_unique<core::ParallelMethodology>(spec);
+  if (name == "active_cooling")
+    return std::make_unique<core::CoolingMethodology>(
+        spec, core::CoolingPolicyParams::from_config(cfg));
+  if (name == "dual")
+    return std::make_unique<core::DualMethodology>(
+        spec, core::DualPolicyParams::from_config(cfg));
+  if (name == "otem")
+    return std::make_unique<core::OtemMethodology>(
+        spec, core::MpcOptions::from_config(cfg),
+        core::OtemSolverOptions::from_config(cfg),
+        core::make_forecast(cfg.get_string("forecast", "perfect")));
+  if (name == "otem-ltv")
+    return std::make_unique<core::OtemMethodology>(
+        spec, std::make_unique<core::LtvOtemController>(
+                  spec, core::MpcOptions::from_config(cfg)));
+  throw SimError("unknown methodology '" + name +
+                 "' (parallel, active_cooling, dual, otem, otem-ltv)");
+}
+
+void print_summary(const std::string& name, const sim::RunResult& r) {
+  std::printf(
+      "%-16s qloss=%.5f%%  avg=%.2f kW  cooling=%.2f kWh  max_Tb=%.1f C  "
+      "violations=%.0f s  unserved=%.2f kWh\n",
+      name.c_str(), r.qloss_percent, r.average_power_w / 1000.0,
+      r.energy_cooling_j / 3.6e6, r.max_t_battery_k - 273.15,
+      r.thermal_violation_s, r.unserved_energy_j / 3.6e6);
+}
+
+void dump_trace(const sim::RunResult& r, const std::string& path) {
+  CsvTable csv({"t_s", "p_load_w", "p_cooler_w", "p_cap_w", "i_bat_a",
+                "tb_c", "tc_c", "soc_percent", "soe_percent",
+                "qloss_percent", "teb"});
+  for (size_t k = 0; k < r.trace.t_battery_k.size(); ++k) {
+    csv.add_numeric_row(
+        {static_cast<double>(k), r.trace.p_load_w[k], r.trace.p_cooler_w[k],
+         r.trace.p_cap_w[k], r.trace.i_bat_a[k],
+         r.trace.t_battery_k[k] - 273.15, r.trace.t_coolant_k[k] - 273.15,
+         r.trace.soc_percent[k], r.trace.soe_percent[k],
+         r.trace.qloss_percent[k], r.trace.teb[k]},
+        6);
+  }
+  csv.write_file(path);
+  std::printf("trace written to %s (%zu rows)\n", path.c_str(),
+              r.trace.t_battery_k.size());
+}
+
+int cmd_cycles() {
+  std::printf("%-7s %10s %10s %10s %10s %7s\n", "cycle", "dur_s", "km",
+              "avg_kmh", "max_kmh", "stops");
+  for (vehicle::CycleName c : vehicle::all_cycles()) {
+    const vehicle::CycleStats s = vehicle::stats_of(vehicle::generate(c));
+    std::printf("%-7s %10.0f %10.1f %10.0f %10.0f %7d\n",
+                vehicle::to_string(c), s.duration_s, s.distance_m / 1000.0,
+                s.avg_speed_mps * 3.6, s.max_speed_mps * 3.6, s.stop_count);
+  }
+  return 0;
+}
+
+TimeSeries load_for(const Config& cfg, const core::SystemSpec& spec,
+                    const std::string& cycle_name) {
+  const vehicle::Powertrain pt(spec.vehicle);
+  TimeSeries speed;
+  if (cfg.has("cycle_csv")) {
+    speed = vehicle::load_speed_csv(
+        cfg.get_string("cycle_csv", ""), cfg.get_string("time_column", "t"),
+        cfg.get_string("speed_column", "v"));
+  } else {
+    speed = vehicle::generate(vehicle::cycle_from_string(cycle_name));
+  }
+  const size_t repeats = static_cast<size_t>(cfg.get_long("repeats", 1));
+  return pt.power_trace(speed).repeated(repeats);
+}
+
+int cmd_run(const std::string& cycle, const Config& cfg) {
+  const core::SystemSpec spec = core::SystemSpec::from_config(cfg);
+  const std::string method = cfg.get_string("method", "otem");
+  const TimeSeries power = load_for(cfg, spec, cycle);
+  std::printf("%s on %s: %zu steps, mean %.1f kW, peak %.1f kW\n",
+              method.c_str(), cycle.c_str(), power.size(),
+              power.mean() / 1000.0, power.max() / 1000.0);
+
+  auto m = make_method(method, spec, cfg);
+  const sim::Simulator sim(spec);
+  const sim::RunResult r = sim.run(*m, power);
+  print_summary(method, r);
+
+  const battery::CapacityFadeModel fade(spec.battery.cell);
+  std::printf("battery lifetime at this mission: %.0f repetitions to 20%% "
+              "loss\n",
+              fade.missions_to_end_of_life(r.qloss_percent));
+  if (cfg.has("trace_csv")) dump_trace(r, cfg.get_string("trace_csv", ""));
+  if (cfg.has("report_json")) {
+    const std::string path = cfg.get_string("report_json", "");
+    sim::write_run_report(path, spec, method, r,
+                          cfg.get_bool("report_trace", false));
+    std::printf("report written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_compare(const std::string& cycle, const Config& cfg) {
+  const core::SystemSpec spec = core::SystemSpec::from_config(cfg);
+  const TimeSeries power = load_for(cfg, spec, cycle);
+  const sim::Simulator sim(spec);
+  std::vector<std::string> methods = {"parallel", "active_cooling", "dual",
+                                      "otem"};
+  sim::RunResult base;
+  for (const auto& name : methods) {
+    auto m = make_method(name, spec, cfg);
+    sim::RunOptions opt;
+    opt.record_trace = false;
+    const sim::RunResult r = sim.run(*m, power, opt);
+    if (name == "parallel") base = r;
+    print_summary(name, r);
+    if (name != "parallel" && base.qloss_percent > 0.0) {
+      std::printf("%-16s   -> %.1f %% of parallel's capacity loss\n", "",
+                  sim::relative_capacity_loss_percent(r, base));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Config cfg = Config::from_args(argc, argv);
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.find('=') == std::string::npos) positional.push_back(arg);
+    }
+    if (positional.empty()) {
+      std::printf(
+          "usage: otem_cli cycles\n"
+          "       otem_cli run <cycle> [method=...] [repeats=N] "
+          "[trace_csv=path] [report_json=path] [key=value...]\n"
+          "       otem_cli compare <cycle> [repeats=N] [key=value...]\n");
+      return 1;
+    }
+    const std::string& cmd = positional[0];
+    if (cmd == "cycles") return cmd_cycles();
+    if (cmd == "run" && positional.size() >= 2)
+      return cmd_run(positional[1], cfg);
+    if (cmd == "compare" && positional.size() >= 2)
+      return cmd_compare(positional[1], cfg);
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

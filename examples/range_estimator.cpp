@@ -1,0 +1,68 @@
+// range_estimator — driving-range estimation across standard cycles
+// and management strategies. "An insufficient energy storage restricts
+// the EV driving range" (paper Section I); energy management recovers
+// range by cutting HEES losses. Uses the powertrain's consumption model
+// plus closed-loop simulation for the management overheads.
+//
+//   ./build/examples/range_estimator
+#include <cstdio>
+
+#include "core/cooling_methodology.h"
+#include "core/otem/otem_methodology.h"
+#include "core/parallel_methodology.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "vehicle/drive_cycle.h"
+#include "vehicle/powertrain.h"
+
+using namespace otem;
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const core::SystemSpec spec = core::SystemSpec::from_config(cfg);
+  const vehicle::Powertrain pt(spec.vehicle);
+  const battery::PackModel pack(spec.battery);
+
+  std::printf("Pack: %.1f kWh (usable %.1f kWh above the 20 %% SoC "
+              "floor)\n",
+              pack.nominal_energy_j() / 3.6e6,
+              pack.nominal_energy_j() * 0.8 / 3.6e6);
+
+  std::printf("\n%-7s %7s %9s | %9s %11s %9s %12s\n", "cycle", "Wh/km",
+              "ideal_km", "unmanaged", "cooling_km", "otem_km",
+              "otem_vs_cool");
+  const sim::Simulator simulator(spec);
+  for (vehicle::CycleName cycle : vehicle::all_cycles()) {
+    const TimeSeries speed = vehicle::generate(cycle);
+    const TimeSeries power = pt.power_trace(speed);
+    const double dist_m = vehicle::stats_of(speed).distance_m;
+    const double wh_km = pt.consumption_wh_per_km(speed);
+    // "Ideal" range ignores storage losses and management overheads.
+    const double ideal_km =
+        pack.nominal_energy_j() * 0.8 / 3.6e6 / (wh_km / 1000.0);
+
+    sim::RunOptions opt;
+    opt.record_trace = false;
+    core::ParallelMethodology parallel(spec);
+    core::CoolingMethodology cooling(spec);
+    core::OtemMethodology otem(spec, core::MpcOptions::from_config(cfg),
+                               core::OtemSolverOptions::from_config(cfg));
+    const sim::RunResult rp = simulator.run(parallel, power, opt);
+    const sim::RunResult rc = simulator.run(cooling, power, opt);
+    const sim::RunResult ro = simulator.run(otem, power, opt);
+    const double km_par = sim::estimated_range_km(rp, spec, dist_m);
+    const double km_cool = sim::estimated_range_km(rc, spec, dist_m);
+    const double km_otem = sim::estimated_range_km(ro, spec, dist_m);
+
+    std::printf("%-7s %7.0f %9.0f | %9.0f %11.0f %9.0f %11.1f%%\n",
+                vehicle::to_string(cycle), wh_km, ideal_km, km_par,
+                km_cool, km_otem, 100.0 * (km_otem / km_cool - 1.0));
+  }
+  std::printf(
+      "\nThermal management costs range: both managed strategies sit "
+      "below the unmanaged parallel baseline, but they buy battery "
+      "lifetime for it. Among the managed options OTEM recovers range "
+      "from the blunt always-cold policy — the paper's 12.1 %% average "
+      "power reduction vs the pure active cooling system.\n");
+  return 0;
+}

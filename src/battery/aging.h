@@ -1,0 +1,50 @@
+// aging.h — battery capacity-fade model (paper Eq. 5) and lifetime
+// estimation.
+//
+//   Qloss rate = l1 * exp(-l2 / (R * T_bat)) * I^{l3},  I = discharge
+//
+// applied per time step with the cell current normalised by the cell
+// capacity (C-rate), so the same coefficients work for any pack
+// topology. Per the paper, only DISCHARGE current stresses the cell
+// (charge/regen currents heat it but do not enter Eq. 5). Temperature
+// enters through the Arrhenius factor — the mechanism the whole
+// paper's thermal management exists to exploit: cooler cells age
+// slower.
+#pragma once
+
+#include "battery/params.h"
+
+namespace otem::battery {
+
+class CapacityFadeModel {
+ public:
+  explicit CapacityFadeModel(CellParams cell);
+
+  const CellParams& cell() const { return cell_; }
+
+  /// Instantaneous loss rate [% of capacity per second] for a CELL
+  /// discharge current [A] at temperature T [K]. Charging (negative)
+  /// and zero current -> zero (calendar ageing is out of the paper's
+  /// scope).
+  double loss_rate_percent_per_s(double cell_discharge_current_a,
+                                 double temp_k) const;
+
+  /// Same rate from PACK current given the parallel string count
+  /// (discharge positive; charging contributes nothing).
+  double loss_rate_from_pack_current(double pack_current_a, int parallel,
+                                     double temp_k) const;
+
+  /// Loss accumulated over a step [%].
+  double loss_for_step(double cell_discharge_current_a, double temp_k,
+                       double dt) const;
+
+  /// Estimated battery lifetime in repetitions of a driving mission that
+  /// costs `loss_per_mission_percent`, until the paper's 20 % end-of-life
+  /// threshold.
+  double missions_to_end_of_life(double loss_per_mission_percent) const;
+
+ private:
+  CellParams cell_;
+};
+
+}  // namespace otem::battery

@@ -1,0 +1,148 @@
+#include "battery/battery_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+
+namespace otem::battery {
+
+PackModel::PackModel(PackParams params) : params_(std::move(params)) {
+  OTEM_REQUIRE(params_.series > 0 && params_.parallel > 0,
+               "pack topology must be positive");
+}
+
+double PackModel::cell_open_circuit_voltage(double soc_percent) const {
+  const CellParams& c = params_.cell;
+  const double s = std::clamp(soc_percent, 0.0, 100.0) / 100.0;
+  const double s2 = s * s;
+  return c.v1 * std::exp(c.v2 * s) + c.v3 * s2 * s2 + c.v4 * s2 * s +
+         c.v5 * s2 + c.v6 * s + c.v7;
+}
+
+double PackModel::cell_internal_resistance(double soc_percent,
+                                           double temp_k) const {
+  const CellParams& c = params_.cell;
+  OTEM_REQUIRE(temp_k > 100.0, "battery temperature must be in kelvin");
+  const double s = std::clamp(soc_percent, 0.0, 100.0) / 100.0;
+  const double r25 = c.r1 * std::exp(c.r2 * s) + c.r3;
+  const double arrhenius =
+      std::exp(c.resistance_activation_j_mol / constants::kGasConstant *
+               (1.0 / temp_k - 1.0 / c.ref_temp_k));
+  return r25 * arrhenius;
+}
+
+double PackModel::open_circuit_voltage(double soc_percent) const {
+  return params_.series * cell_open_circuit_voltage(soc_percent);
+}
+
+double PackModel::internal_resistance(double soc_percent,
+                                      double temp_k) const {
+  return cell_internal_resistance(soc_percent, temp_k) * params_.series /
+         params_.parallel;
+}
+
+double PackModel::open_circuit_voltage_dsoc(double soc_percent) const {
+  const CellParams& c = params_.cell;
+  const double s = std::clamp(soc_percent, 0.0, 100.0) / 100.0;
+  const double s2 = s * s;
+  const double dcell_ds = c.v1 * c.v2 * std::exp(c.v2 * s) +
+                          4.0 * c.v3 * s2 * s + 3.0 * c.v4 * s2 +
+                          2.0 * c.v5 * s + c.v6;
+  // Chain rule: s = soc/100.
+  return params_.series * dcell_ds / 100.0;
+}
+
+double PackModel::internal_resistance_dsoc(double soc_percent,
+                                           double temp_k) const {
+  const CellParams& c = params_.cell;
+  const double s = std::clamp(soc_percent, 0.0, 100.0) / 100.0;
+  const double arrhenius =
+      std::exp(c.resistance_activation_j_mol / constants::kGasConstant *
+               (1.0 / temp_k - 1.0 / c.ref_temp_k));
+  const double dr25_ds = c.r1 * c.r2 * std::exp(c.r2 * s);
+  return dr25_ds * arrhenius / 100.0 * params_.series / params_.parallel;
+}
+
+double PackModel::internal_resistance_dtemp(double soc_percent,
+                                            double temp_k) const {
+  // d/dT exp(k (1/T - 1/Tref)) = -k/T^2 * exp(...)
+  const double r = internal_resistance(soc_percent, temp_k);
+  const double k =
+      params_.cell.resistance_activation_j_mol / constants::kGasConstant;
+  return -r * k / (temp_k * temp_k);
+}
+
+double PackModel::nominal_energy_j() const {
+  // Approximate: capacity [C] * Voc at 50 % SoC.
+  return capacity_ah() * 3600.0 * open_circuit_voltage(50.0);
+}
+
+double PackModel::max_discharge_power(double soc_percent,
+                                      double temp_k) const {
+  const double voc = open_circuit_voltage(soc_percent);
+  const double r = internal_resistance(soc_percent, temp_k);
+  return voc * voc / (4.0 * r);
+}
+
+double PackModel::terminal_voltage(double soc_percent, double temp_k,
+                                   double i) const {
+  return open_circuit_voltage(soc_percent) -
+         internal_resistance(soc_percent, temp_k) * i;
+}
+
+PowerSolve PackModel::current_for_power(double soc_percent, double temp_k,
+                                        double power_w) const {
+  PowerSolve out;
+  const double voc = open_circuit_voltage(soc_percent);
+  const double r = internal_resistance(soc_percent, temp_k);
+  // Terminal power P = (Voc - R i) i  =>  R i^2 - Voc i + P = 0.
+  // Discharge (P > 0): the physical branch is the SMALLER positive root
+  // (high-voltage, low-current operating point). Charge (P < 0): the
+  // negative root of the same quadratic.
+  const double disc = voc * voc - 4.0 * r * power_w;
+  if (disc < 0.0) {
+    // Request exceeds the deliverable maximum: clamp at peak power.
+    out.current_a = voc / (2.0 * r);
+    out.feasible = false;
+  } else {
+    out.current_a = (voc - std::sqrt(disc)) / (2.0 * r);
+  }
+  out.terminal_voltage = voc - r * out.current_a;
+  return out;
+}
+
+double PackModel::heat_generation(double soc_percent, double temp_k,
+                                  double i) const {
+  const double r = internal_resistance(soc_percent, temp_k);
+  const double joule = i * i * r;  // I (Voc - V) = I^2 R
+  // Entropic term, Eq. (4): I * T * dVoc/dT summed over the pack. The
+  // per-cell coefficient scales by the series count (pack Voc = series
+  // * cell Voc); cell current is i / parallel.
+  const double entropic =
+      i * temp_k * params_.cell.dvoc_dtemp * params_.series;
+  return joule + entropic;
+}
+
+double PackModel::step_soc(double soc_percent, double i, double dt) const {
+  return std::clamp(soc_percent + soc_rate(i) * dt, 0.0, 100.0);
+}
+
+double PackModel::soc_rate(double i) const {
+  // Eq. (1): SoC_t = SoC_0 - 100 * integral(I / C_bat); C_bat in
+  // ampere-seconds here.
+  return -100.0 * i / (capacity_ah() * 3600.0);
+}
+
+PackModel::EnergySplit PackModel::energy_for_step(double soc_percent,
+                                                  double temp_k, double i,
+                                                  double dt) const {
+  EnergySplit split;
+  const double v = terminal_voltage(soc_percent, temp_k, i);
+  split.terminal_j = v * i * dt;
+  split.loss_j = i * i * internal_resistance(soc_percent, temp_k) * dt;
+  return split;
+}
+
+}  // namespace otem::battery

@@ -1,0 +1,51 @@
+#include "battery/params.h"
+
+#include "common/error.h"
+
+namespace otem::battery {
+
+CellParams CellParams::from_config(const Config& cfg) {
+  CellParams p;
+  p.capacity_ah = cfg.get_double("battery.cell.capacity_ah", p.capacity_ah);
+  p.v1 = cfg.get_double("battery.cell.v1", p.v1);
+  p.v2 = cfg.get_double("battery.cell.v2", p.v2);
+  p.v3 = cfg.get_double("battery.cell.v3", p.v3);
+  p.v4 = cfg.get_double("battery.cell.v4", p.v4);
+  p.v5 = cfg.get_double("battery.cell.v5", p.v5);
+  p.v6 = cfg.get_double("battery.cell.v6", p.v6);
+  p.v7 = cfg.get_double("battery.cell.v7", p.v7);
+  p.r1 = cfg.get_double("battery.cell.r1", p.r1);
+  p.r2 = cfg.get_double("battery.cell.r2", p.r2);
+  p.r3 = cfg.get_double("battery.cell.r3", p.r3);
+  p.resistance_activation_j_mol = cfg.get_double(
+      "battery.cell.resistance_activation", p.resistance_activation_j_mol);
+  p.ref_temp_k = cfg.get_double("battery.cell.ref_temp_k", p.ref_temp_k);
+  p.dvoc_dtemp = cfg.get_double("battery.cell.dvoc_dtemp", p.dvoc_dtemp);
+  p.heat_capacity_j_k =
+      cfg.get_double("battery.cell.heat_capacity", p.heat_capacity_j_k);
+  p.l1 = cfg.get_double("battery.cell.l1", p.l1);
+  p.l2 = cfg.get_double("battery.cell.l2", p.l2);
+  p.l3 = cfg.get_double("battery.cell.l3", p.l3);
+  p.end_of_life_loss_percent = cfg.get_double(
+      "battery.cell.end_of_life_loss", p.end_of_life_loss_percent);
+
+  OTEM_REQUIRE(p.capacity_ah > 0.0, "battery cell capacity must be positive");
+  OTEM_REQUIRE(p.heat_capacity_j_k > 0.0,
+               "battery heat capacity must be positive");
+  OTEM_REQUIRE(p.r3 > 0.0, "battery series resistance floor must be positive");
+  OTEM_REQUIRE(p.l1 >= 0.0 && p.l2 >= 0.0,
+               "battery ageing coefficients must be non-negative");
+  return p;
+}
+
+PackParams PackParams::from_config(const Config& cfg) {
+  PackParams p;
+  p.cell = CellParams::from_config(cfg);
+  p.series = static_cast<int>(cfg.get_long("battery.series", p.series));
+  p.parallel = static_cast<int>(cfg.get_long("battery.parallel", p.parallel));
+  OTEM_REQUIRE(p.series > 0 && p.parallel > 0,
+               "battery pack topology must be positive");
+  return p;
+}
+
+}  // namespace otem::battery

@@ -1,0 +1,96 @@
+// params.h — battery cell and pack parameters.
+//
+// Defaults model a Panasonic NCR18650A-class Li-ion cell (the cell the
+// paper cites for the Tesla Model S pack [21]) and a mid-size EV pack.
+// Every value can be overridden through otem::Config with the
+// "battery." key prefix, so refitted datasheet parameters drop in
+// without recompiling.
+#pragma once
+
+#include "common/config.h"
+
+namespace otem::battery {
+
+/// Per-cell electrical, thermal and ageing parameters (paper Section II-A).
+struct CellParams {
+  // --- electrical: Eq. (1)-(3) -----------------------------------------
+  /// Rated capacity C_bat [Ah] at nominal discharge rate.
+  double capacity_ah = 3.1;
+
+  /// Open-circuit voltage fit, Eq. (2), over normalised SoC s in [0, 1]:
+  ///   Voc(s) = v1 e^{v2 s} + v3 s^4 + v4 s^3 + v5 s^2 + v6 s + v7  [V]
+  double v1 = -0.30;
+  double v2 = -20.0;
+  double v3 = -0.60;
+  double v4 = 1.50;
+  double v5 = -1.10;
+  double v6 = 1.00;
+  double v7 = 3.30;
+
+  /// Internal resistance fit, Eq. (3), at the reference temperature:
+  ///   R25(s) = r1 e^{r2 s} + r3  [ohm]
+  double r1 = 0.080;
+  double r2 = -15.0;
+  double r3 = 0.045;
+
+  /// Arrhenius activation energy [J/mol] for the resistance temperature
+  /// sensitivity: R(s, T) = R25(s) * exp(Ea_r/R * (1/T - 1/Tref)).
+  /// Elevated temperature lowers the internal resistance (Section II-A).
+  double resistance_activation_j_mol = 15000.0;
+
+  /// Reference temperature for parameter fits [K].
+  double ref_temp_k = 298.15;
+
+  // --- thermal: Eq. (4), (14) -------------------------------------------
+  /// Entropic heat coefficient dVoc/dT [V/K], Eq. (4).
+  double dvoc_dtemp = 2.0e-4;
+
+  /// Cell heat capacity C_b [J/K] (≈46 g * 830 J/(kg K)).
+  double heat_capacity_j_k = 40.0;
+
+  // --- ageing: Eq. (5) ----------------------------------------------------
+  /// Capacity-loss rate coefficients:
+  ///   dQloss/dt = l1 * exp(-l2 / (R T)) * (|I|/C_bat)^{l3}   [%/s]
+  /// Millner-class Li-ion fade models [6] put the activation energy in
+  /// the 31-60 kJ/mol range depending on chemistry and stress state; we
+  /// use 50 kJ/mol (~7.8 %/K at room temperature), the upper-middle of
+  /// that range, because the paper's whole evaluation hinges on
+  /// temperature strongly steering capacity loss (Figs. 6/8). l1 is
+  /// calibrated so an aggressive US06 run costs a few milli-percent of
+  /// capacity (a few thousand missions to the 20 % end of life).
+  double l1 = 2000.0;
+  double l2 = 50000.0;
+  double l3 = 1.0;
+
+  /// End-of-life threshold: the paper retires the pack at 20 % loss.
+  double end_of_life_loss_percent = 20.0;
+
+  /// Load overrides with prefix "battery.cell." from cfg.
+  static CellParams from_config(const Config& cfg);
+};
+
+/// Pack topology: identical cells, `series` in a string, `parallel`
+/// strings. Defaults give a ~345 V nominal, ~17 kWh city-EV pack — the
+/// scale at which an aggressive cycle heats the cells by tens of
+/// kelvin within minutes (the paper's Fig. 1 premise; a Tesla-class
+/// 85 kWh pack would barely warm on these cycles).
+struct PackParams {
+  CellParams cell;
+  int series = 96;
+  int parallel = 16;
+
+  int cell_count() const { return series * parallel; }
+
+  /// Pack capacity [Ah] = parallel * cell capacity.
+  double capacity_ah() const { return parallel * cell.capacity_ah; }
+
+  /// Pack heat capacity [J/K] = sum of cell heat capacities.
+  double heat_capacity_j_k() const {
+    return cell_count() * cell.heat_capacity_j_k;
+  }
+
+  /// Load overrides with prefix "battery." from cfg.
+  static PackParams from_config(const Config& cfg);
+};
+
+}  // namespace otem::battery

@@ -1,0 +1,47 @@
+#include "battery/soc_observer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace otem::battery {
+
+SocObserverParams SocObserverParams::from_config(const Config& cfg) {
+  SocObserverParams p;
+  p.correction_rate = cfg.get_double("bms.correction_rate",
+                                     p.correction_rate);
+  p.min_voc_slope = cfg.get_double("bms.min_voc_slope", p.min_voc_slope);
+  OTEM_REQUIRE(p.correction_rate >= 0.0,
+               "observer correction rate must be non-negative");
+  OTEM_REQUIRE(p.min_voc_slope > 0.0,
+               "observer slope floor must be positive");
+  return p;
+}
+
+SocObserver::SocObserver(PackModel model, SocObserverParams params,
+                         double initial_soc_percent)
+    : model_(std::move(model)), params_(params),
+      soc_(std::clamp(initial_soc_percent, 0.0, 100.0)) {}
+
+double SocObserver::update(double i_measured_a, double v_measured,
+                           double temp_k, double dt) {
+  OTEM_REQUIRE(dt > 0.0, "observer step must be positive");
+
+  // Prediction: coulomb counting with the (possibly biased) sensor.
+  soc_ = model_.step_soc(soc_, i_measured_a, dt);
+
+  // Correction: map the voltage innovation to a SoC error through the
+  // local Voc slope; taper where the curve is flat (no information).
+  const double v_pred =
+      model_.terminal_voltage(soc_, temp_k, i_measured_a);
+  innovation_ = v_measured - v_pred;
+  const double slope =
+      std::max(model_.open_circuit_voltage_dsoc(soc_), params_.min_voc_slope);
+  const double soc_error = innovation_ / slope;  // [%]
+  soc_ = std::clamp(soc_ + params_.correction_rate * dt * soc_error, 0.0,
+                    100.0);
+  return soc_;
+}
+
+}  // namespace otem::battery

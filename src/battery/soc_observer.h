@@ -1,0 +1,60 @@
+// soc_observer.h — BMS State-of-Charge estimation.
+//
+// Every methodology in this library reads SoC directly from the plant;
+// a real Battery Management System [9, 10] must ESTIMATE it from
+// measured current and terminal voltage. This observer is the standard
+// practical scheme: coulomb counting (fast, but drifts with current-
+// sensor bias) corrected by the open-circuit-voltage relation (slow,
+// but absolutely anchored):
+//
+//   soc_dot = -100 I_meas / C + L * (V_meas - V_pred(soc, I_meas))
+//
+// with V_pred from the pack model and the innovation gain L scheduled
+// by the local slope dVoc/dSoC (a Luenberger observer on the
+// quasi-static model). Feed it the plant's noisy measurements and it
+// tracks true SoC through bias the pure coulomb counter cannot see.
+#pragma once
+
+#include "battery/battery_model.h"
+
+namespace otem::battery {
+
+struct SocObserverParams {
+  /// Innovation gain [1/s]: fraction of the voltage-implied SoC error
+  /// corrected per second. 0.05 converges in ~1 min without chasing
+  /// sensor noise.
+  double correction_rate = 0.05;
+
+  /// Slope floor [V/%] — below it (the flat mid-SoC plateau) the
+  /// voltage carries little SoC information and the correction is
+  /// tapered to avoid dividing by ~0.
+  double min_voc_slope = 0.05;
+
+  /// Load overrides with prefix "bms." from cfg.
+  static SocObserverParams from_config(const Config& cfg);
+};
+
+class SocObserver {
+ public:
+  SocObserver(PackModel model, SocObserverParams params,
+              double initial_soc_percent);
+
+  double soc_percent() const { return soc_; }
+
+  /// One measurement update: measured pack current [A] (discharge +),
+  /// measured terminal voltage [V], battery temperature [K], step [s].
+  /// Returns the new estimate.
+  double update(double i_measured_a, double v_measured, double temp_k,
+                double dt);
+
+  /// The voltage innovation of the most recent update [V].
+  double last_innovation_v() const { return innovation_; }
+
+ private:
+  PackModel model_;
+  SocObserverParams params_;
+  double soc_;
+  double innovation_ = 0.0;
+};
+
+}  // namespace otem::battery

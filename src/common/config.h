@@ -1,0 +1,47 @@
+// config.h — flat key/value configuration store.
+//
+// Examples and benchmarks accept "key=value" overrides (command line or a
+// config file with '#' comments) so experiments can be re-parameterised
+// without recompiling. Keys are dotted paths, e.g. "battery.capacity_ah".
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace otem {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse one "key=value" pair; throws otem::SimError on malformed input.
+  void set_pair(std::string_view pair);
+
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, double value);
+
+  bool has(const std::string& key) const;
+
+  /// Fetch with fallback — the workhorse accessor for parameter structs.
+  double get_double(const std::string& key, double fallback) const;
+  long get_long(const std::string& key, long fallback) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Parse a whole file of "key=value" lines ('#' starts a comment).
+  static Config from_file(const std::string& path);
+
+  /// Parse argv-style overrides, ignoring entries without '='.
+  static Config from_args(int argc, const char* const* argv);
+
+  /// All keys, sorted (for diagnostics / dumping).
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace otem

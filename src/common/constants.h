@@ -1,0 +1,24 @@
+// constants.h — physical constants shared by the models.
+#pragma once
+
+namespace otem::constants {
+
+/// Ideal gas constant R [J/(mol K)] — used in the paper's capacity-fade
+/// model (Eq. 5) and in the Arrhenius temperature sensitivity of the
+/// battery internal resistance.
+inline constexpr double kGasConstant = 8.314462618;
+
+/// Standard gravitational acceleration [m/s^2] — road-load model.
+inline constexpr double kGravity = 9.80665;
+
+/// Density of air at ~20 C, sea level [kg/m^3] — aerodynamic drag.
+inline constexpr double kAirDensity = 1.2041;
+
+/// Absolute zero offset: 0 C in kelvin.
+inline constexpr double kZeroCelsiusK = 273.15;
+
+/// Reference "room" temperature 25 C in kelvin — parameter fits are
+/// expressed relative to this temperature.
+inline constexpr double kRoomTempK = 298.15;
+
+}  // namespace otem::constants

@@ -1,0 +1,136 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace otem {
+
+namespace {
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void write_row(std::ostream& os, const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) os << ',';
+    os << escape(cells[i]);
+  }
+  os << '\n';
+}
+}  // namespace
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  OTEM_REQUIRE(!header_.empty(), "CSV table needs at least one column");
+}
+
+void CsvTable::add_row(std::vector<std::string> cells) {
+  OTEM_REQUIRE(cells.size() == header_.size(),
+               "CSV row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void CsvTable::add_numeric_row(const std::vector<double>& values,
+                               int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(strings::format_double(v, precision));
+  add_row(std::move(cells));
+}
+
+void CsvTable::write(std::ostream& os) const {
+  write_row(os, header_);
+  for (const auto& row : rows_) write_row(os, row);
+}
+
+void CsvTable::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  OTEM_REQUIRE(f.good(), "cannot open CSV output file: " + path);
+  write(f);
+}
+
+namespace {
+std::vector<std::string> parse_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c != '\r') {
+      cell += c;
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+}  // namespace
+
+size_t CsvData::column(const std::string& name) const {
+  const std::string want = strings::to_lower(strings::trim(name));
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (strings::to_lower(strings::trim(header[i])) == want) return i;
+  }
+  throw SimError("CSV has no column named '" + name + "'");
+}
+
+std::vector<double> CsvData::numeric_column(size_t index) const {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    OTEM_REQUIRE(index < row.size(), "CSV row too short for column");
+    out.push_back(strings::parse_double(row[index]));
+  }
+  return out;
+}
+
+CsvData read_csv(std::istream& is) {
+  CsvData data;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (strings::trim(line).empty()) continue;
+    auto cells = parse_csv_line(line);
+    if (first) {
+      data.header = std::move(cells);
+      first = false;
+    } else {
+      data.rows.push_back(std::move(cells));
+    }
+  }
+  OTEM_REQUIRE(!first, "CSV input is empty");
+  return data;
+}
+
+CsvData read_csv_file(const std::string& path) {
+  std::ifstream f(path);
+  OTEM_REQUIRE(f.good(), "cannot open CSV input file: " + path);
+  return read_csv(f);
+}
+
+}  // namespace otem

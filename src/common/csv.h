@@ -1,0 +1,58 @@
+// csv.h — CSV emission for benchmark/experiment outputs.
+//
+// Benchmarks both print human-readable tables to stdout and can dump the
+// underlying series as CSV so figures can be re-plotted externally.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace otem {
+
+/// In-memory rectangular table with a header row; writes RFC-4180-ish CSV
+/// (fields containing comma/quote/newline are quoted).
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> header);
+
+  size_t columns() const { return header_.size(); }
+  size_t rows() const { return rows_.size(); }
+
+  /// Append a row of already-formatted cells; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a numeric row formatted with the given precision.
+  void add_numeric_row(const std::vector<double>& values, int precision = 6);
+
+  void write(std::ostream& os) const;
+
+  /// Write to a file path; throws otem::SimError if the file cannot be
+  /// opened.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parsed CSV contents: first row as header, remaining rows as cells.
+struct CsvData {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of the named column (case-insensitive); throws when absent.
+  size_t column(const std::string& name) const;
+
+  /// Column values parsed as doubles; throws on non-numeric cells.
+  std::vector<double> numeric_column(size_t index) const;
+};
+
+/// Parse RFC-4180-ish CSV (quoted fields, embedded commas/quotes;
+/// newlines inside quotes are NOT supported). Blank lines are skipped.
+CsvData read_csv(std::istream& is);
+
+/// Parse a CSV file; throws otem::SimError if it cannot be opened.
+CsvData read_csv_file(const std::string& path);
+
+}  // namespace otem

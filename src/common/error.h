@@ -1,0 +1,45 @@
+// error.h — error handling primitives.
+//
+// Following the C++ Core Guidelines (E.2/E.3) we use exceptions for error
+// signalling and assertions for programmer-contract violations. SimError is
+// the single exception type thrown by the library; OTEM_REQUIRE expresses
+// preconditions that callers can violate with bad input, OTEM_ENSURE
+// expresses internal invariants.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace otem {
+
+/// Exception thrown by every otem library on invalid input or an
+/// unsatisfiable model/solver state.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* kind, const char* cond,
+                               const char* file, int line,
+                               const std::string& msg) {
+  throw SimError(std::string(kind) + " failed: " + cond + " at " + file + ":" +
+                 std::to_string(line) + (msg.empty() ? "" : " — " + msg));
+}
+}  // namespace detail
+
+}  // namespace otem
+
+/// Precondition check: throws otem::SimError when violated.
+#define OTEM_REQUIRE(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::otem::detail::raise("precondition", #cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+/// Internal-invariant check: throws otem::SimError when violated.
+#define OTEM_ENSURE(cond, msg)                                            \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::otem::detail::raise("invariant", #cond, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,76 @@
+#include "common/interp.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace otem {
+
+namespace {
+// Index of the segment [x[i], x[i+1]] containing q, clamped to valid range.
+size_t segment_index(const std::vector<double>& x, double q) {
+  if (q <= x.front()) return 0;
+  if (q >= x[x.size() - 2]) return x.size() - 2;
+  const auto it = std::upper_bound(x.begin(), x.end(), q);
+  return static_cast<size_t>(it - x.begin()) - 1;
+}
+
+void check_increasing(const std::vector<double>& x, const char* name) {
+  for (size_t i = 1; i < x.size(); ++i) {
+    OTEM_REQUIRE(x[i] > x[i - 1],
+                 std::string(name) + " knots must be strictly increasing");
+  }
+}
+}  // namespace
+
+Interp1D::Interp1D(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  OTEM_REQUIRE(x_.size() >= 2, "Interp1D needs at least two knots");
+  OTEM_REQUIRE(x_.size() == y_.size(), "Interp1D x/y size mismatch");
+  check_increasing(x_, "Interp1D");
+}
+
+double Interp1D::operator()(double x) const {
+  OTEM_REQUIRE(!x_.empty(), "Interp1D used before initialisation");
+  if (x <= x_.front()) return y_.front();
+  if (x >= x_.back()) return y_.back();
+  const size_t i = segment_index(x_, x);
+  const double t = (x - x_[i]) / (x_[i + 1] - x_[i]);
+  return y_[i] + t * (y_[i + 1] - y_[i]);
+}
+
+double Interp1D::derivative(double x) const {
+  OTEM_REQUIRE(!x_.empty(), "Interp1D used before initialisation");
+  if (x < x_.front() || x > x_.back()) return 0.0;
+  const size_t i = segment_index(x_, x);
+  return (y_[i + 1] - y_[i]) / (x_[i + 1] - x_[i]);
+}
+
+Interp2D::Interp2D(std::vector<double> x, std::vector<double> y,
+                   std::vector<double> z)
+    : x_(std::move(x)), y_(std::move(y)), z_(std::move(z)) {
+  OTEM_REQUIRE(x_.size() >= 2 && y_.size() >= 2,
+               "Interp2D needs at least a 2x2 grid");
+  OTEM_REQUIRE(z_.size() == x_.size() * y_.size(),
+               "Interp2D grid size mismatch");
+  check_increasing(x_, "Interp2D x");
+  check_increasing(y_, "Interp2D y");
+}
+
+double Interp2D::operator()(double x, double y) const {
+  OTEM_REQUIRE(!x_.empty(), "Interp2D used before initialisation");
+  const double cx = std::clamp(x, x_.front(), x_.back());
+  const double cy = std::clamp(y, y_.front(), y_.back());
+  const size_t i = segment_index(x_, cx);
+  const size_t j = segment_index(y_, cy);
+  const double tx = (cx - x_[i]) / (x_[i + 1] - x_[i]);
+  const double ty = (cy - y_[j]) / (y_[j + 1] - y_[j]);
+  const double z00 = at(i, j);
+  const double z10 = at(i + 1, j);
+  const double z01 = at(i, j + 1);
+  const double z11 = at(i + 1, j + 1);
+  return (1 - tx) * (1 - ty) * z00 + tx * (1 - ty) * z10 +
+         (1 - tx) * ty * z01 + tx * ty * z11;
+}
+
+}  // namespace otem

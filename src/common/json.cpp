@@ -1,0 +1,154 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace otem {
+
+Json& Json::set(const std::string& key, Json value) {
+  OTEM_REQUIRE(type_ == Type::kObject, "Json::set on a non-object");
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  OTEM_REQUIRE(type_ == Type::kArray, "Json::push on a non-array");
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+Json Json::numbers(const std::vector<double>& values) {
+  Json j = array();
+  for (double v : values) j.push(Json(v));
+  return j;
+}
+
+size_t Json::size() const {
+  switch (type_) {
+    case Type::kArray:
+      return items_.size();
+    case Type::kObject:
+      return members_.size();
+    default:
+      return 0;
+  }
+}
+
+namespace {
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<size_t>(indent) * depth, ' ');
+}
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber: {
+      if (!std::isfinite(number_)) {
+        out += "null";
+        return;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.12g", number_);
+      out += buf;
+      return;
+    }
+    case Type::kString:
+      append_escaped(out, string_);
+      return;
+    case Type::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        append_newline_indent(out, indent, depth + 1);
+        items_[i].dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i) out += ',';
+        append_newline_indent(out, indent, depth + 1);
+        append_escaped(out, members_[i].first);
+        out += indent > 0 ? ": " : ":";
+        members_[i].second.dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+void write_json_file(const std::string& path, const Json& value) {
+  std::ofstream f(path);
+  OTEM_REQUIRE(f.good(), "cannot open JSON output file: " + path);
+  f << value.dump() << '\n';
+}
+
+}  // namespace otem

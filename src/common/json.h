@@ -1,0 +1,70 @@
+// json.h — minimal JSON value tree and serializer.
+//
+// Just enough JSON for result reports (sim/report.h): objects keep
+// insertion order, numbers print with %.12g, non-finite doubles encode
+// as null. No parser — this library only EMITS JSON.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace otem {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}           // NOLINT
+  Json(double v) : type_(Type::kNumber), number_(v) {}     // NOLINT
+  Json(int v) : Json(static_cast<double>(v)) {}            // NOLINT
+  Json(long v) : Json(static_cast<double>(v)) {}           // NOLINT
+  Json(size_t v) : Json(static_cast<double>(v)) {}         // NOLINT
+  Json(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  Type type() const { return type_; }
+
+  /// Object: set key to value (appends; later sets of the same key
+  /// overwrite). Returns *this for chaining. Throws if not an object.
+  Json& set(const std::string& key, Json value);
+
+  /// Array: append a value. Throws if not an array.
+  Json& push(Json value);
+
+  /// Convenience: array from a vector of doubles.
+  static Json numbers(const std::vector<double>& values);
+
+  size_t size() const;
+
+  /// Serialize; indent > 0 pretty-prints with that many spaces.
+  std::string dump(int indent = 2) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;                                // array
+  std::vector<std::pair<std::string, Json>> members_;      // object
+};
+
+/// Write JSON to a file; throws otem::SimError on failure.
+void write_json_file(const std::string& path, const Json& value);
+
+}  // namespace otem

@@ -1,0 +1,36 @@
+#include "common/logging.h"
+
+#include <iostream>
+
+namespace otem::log {
+
+namespace {
+Level g_level = Level::kWarn;
+
+const char* tag(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO ";
+    case Level::kWarn:
+      return "WARN ";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+Level level() { return g_level; }
+
+void set_level(Level lvl) { g_level = lvl; }
+
+void write(Level lvl, const std::string& message) {
+  if (lvl < g_level) return;
+  std::cerr << "[otem " << tag(lvl) << "] " << message << '\n';
+}
+
+}  // namespace otem::log

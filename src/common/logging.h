@@ -1,0 +1,56 @@
+// logging.h — minimal leveled logging to stderr.
+//
+// The library itself is silent by default (level = kWarn); examples and
+// benches raise the level for progress output. No global mutable state
+// beyond the level, no allocation on the fast path when the level filters
+// the message out.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace otem::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Current threshold; messages below it are dropped.
+Level level();
+void set_level(Level level);
+
+/// Emit one line at `level` (no-op if filtered).
+void write(Level level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string cat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void debug(Args&&... args) {
+  if (level() <= Level::kDebug)
+    write(Level::kDebug, detail::cat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void info(Args&&... args) {
+  if (level() <= Level::kInfo)
+    write(Level::kInfo, detail::cat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void warn(Args&&... args) {
+  if (level() <= Level::kWarn)
+    write(Level::kWarn, detail::cat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void error(Args&&... args) {
+  if (level() <= Level::kError)
+    write(Level::kError, detail::cat(std::forward<Args>(args)...));
+}
+
+}  // namespace otem::log

@@ -1,0 +1,45 @@
+// rng.h — deterministic pseudo-random number generation.
+//
+// The library never uses global RNG state or wall-clock seeding: every
+// stochastic component (synthetic drive-cycle jitter, prediction-noise
+// injection in tests, multi-start optimisation) takes an explicit Rng
+// constructed from a caller-supplied seed, so identical builds produce
+// identical benchmark rows.
+#pragma once
+
+#include <cstdint>
+
+namespace otem {
+
+/// xoshiro256** by Blackman & Vigna — small, fast, high-quality PRNG,
+/// seeded through SplitMix64 so that any 64-bit seed (including 0) gives a
+/// well-mixed state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() noexcept;
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Uniform integer in [0, n) for n > 0.
+  std::uint64_t below(std::uint64_t n) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace otem

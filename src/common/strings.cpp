@@ -1,0 +1,70 @@
+#include "common/strings.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace otem::strings {
+
+std::string trim(std::string_view s) {
+  auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && is_space(s[begin])) ++begin;
+  while (end > begin && is_space(s[end - 1])) --end;
+  return std::string(s.substr(begin, end - begin));
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.push_back(trim(s.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+double parse_double(std::string_view s) {
+  const std::string t = trim(s);
+  OTEM_REQUIRE(!t.empty(), "cannot parse empty string as double");
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  OTEM_REQUIRE(end == t.c_str() + t.size(),
+               "trailing characters parsing double: '" + t + "'");
+  return v;
+}
+
+long parse_long(std::string_view s) {
+  const std::string t = trim(s);
+  long v = 0;
+  auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+  OTEM_REQUIRE(ec == std::errc() && ptr == t.data() + t.size(),
+               "cannot parse integer: '" + t + "'");
+  return v;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace otem::strings

@@ -1,0 +1,32 @@
+// strings.h — small string utilities (trim/split/parse/format helpers).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace otem::strings {
+
+/// Remove leading and trailing whitespace.
+std::string trim(std::string_view s);
+
+/// Split `s` on `delim`, trimming each piece. Empty pieces are kept so
+/// "a,,b" yields {"a", "", "b"}.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// True when `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse a double; throws otem::SimError with context on failure.
+double parse_double(std::string_view s);
+
+/// Parse an integer; throws otem::SimError with context on failure.
+long parse_long(std::string_view s);
+
+/// Lower-case an ASCII string.
+std::string to_lower(std::string_view s);
+
+/// printf-style helper returning std::string ("%.3f" etc.).
+std::string format_double(double v, int precision);
+
+}  // namespace otem::strings

@@ -1,0 +1,101 @@
+#include "common/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace otem {
+
+TimeSeries::TimeSeries(double dt, std::vector<double> values, double t0)
+    : dt_(dt), t0_(t0), values_(std::move(values)) {
+  OTEM_REQUIRE(dt > 0.0, "TimeSeries sample period must be positive");
+}
+
+double TimeSeries::duration() const {
+  return values_.empty() ? 0.0
+                         : static_cast<double>(values_.size() - 1) * dt_;
+}
+
+double TimeSeries::at_time(double t) const {
+  OTEM_REQUIRE(!values_.empty(), "at_time on empty TimeSeries");
+  const double rel = (t - t0_) / dt_;
+  if (rel <= 0.0) return values_.front();
+  const double last = static_cast<double>(values_.size() - 1);
+  if (rel >= last) return values_.back();
+  const size_t k = static_cast<size_t>(rel);
+  const double frac = rel - static_cast<double>(k);
+  return values_[k] + frac * (values_[k + 1] - values_[k]);
+}
+
+double TimeSeries::min() const {
+  OTEM_REQUIRE(!values_.empty(), "min on empty TimeSeries");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::max() const {
+  OTEM_REQUIRE(!values_.empty(), "max on empty TimeSeries");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::mean() const {
+  OTEM_REQUIRE(!values_.empty(), "mean on empty TimeSeries");
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double TimeSeries::stddev() const {
+  OTEM_REQUIRE(!values_.empty(), "stddev on empty TimeSeries");
+  const double m = mean();
+  double s = 0.0;
+  for (double v : values_) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(values_.size()));
+}
+
+double TimeSeries::rms() const {
+  OTEM_REQUIRE(!values_.empty(), "rms on empty TimeSeries");
+  double s = 0.0;
+  for (double v : values_) s += v * v;
+  return std::sqrt(s / static_cast<double>(values_.size()));
+}
+
+double TimeSeries::integral() const {
+  double s = 0.0;
+  for (double v : values_) s += v * dt_;
+  return s;
+}
+
+double TimeSeries::mean_positive() const {
+  double s = 0.0;
+  size_t n = 0;
+  for (double v : values_) {
+    if (v > 0.0) {
+      s += v;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : s / static_cast<double>(n);
+}
+
+TimeSeries TimeSeries::repeated(size_t n) const {
+  std::vector<double> out;
+  out.reserve(values_.size() * n);
+  for (size_t i = 0; i < n; ++i)
+    out.insert(out.end(), values_.begin(), values_.end());
+  return TimeSeries(dt_, std::move(out), t0_);
+}
+
+TimeSeries TimeSeries::resampled(double new_dt) const {
+  OTEM_REQUIRE(new_dt > 0.0, "resample period must be positive");
+  OTEM_REQUIRE(!values_.empty(), "resample on empty TimeSeries");
+  const double dur = duration();
+  const size_t n = static_cast<size_t>(std::floor(dur / new_dt)) + 1;
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t k = 0; k < n; ++k)
+    out.push_back(at_time(t0_ + static_cast<double>(k) * new_dt));
+  return TimeSeries(new_dt, std::move(out), t0_);
+}
+
+}  // namespace otem

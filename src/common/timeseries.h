@@ -1,0 +1,74 @@
+// timeseries.h — uniformly sampled time series with summary statistics.
+//
+// The simulator, the drive-cycle generator and the benchmark harness all
+// exchange data as TimeSeries: a fixed sample period dt plus a value
+// vector. Keeping the representation uniform makes resampling, alignment
+// and statistics trivial and avoids per-sample timestamp storage.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace otem {
+
+/// Uniformly sampled series: value(k) is the sample at time t0 + k*dt.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  TimeSeries(double dt, std::vector<double> values, double t0 = 0.0);
+
+  double dt() const { return dt_; }
+  double t0() const { return t0_; }
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Total covered duration [s]: (size-1)*dt for non-empty series.
+  double duration() const;
+
+  double operator[](size_t k) const { return values_[k]; }
+  double& operator[](size_t k) { return values_[k]; }
+  const std::vector<double>& values() const { return values_; }
+
+  void push_back(double v) { values_.push_back(v); }
+  void reserve(size_t n) { values_.reserve(n); }
+
+  /// Linear interpolation at arbitrary time t (clamped to the domain).
+  double at_time(double t) const;
+
+  // --- statistics -------------------------------------------------------
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+  /// Root of the mean square of samples.
+  double rms() const;
+  /// Trapezoidal integral over time, i.e. sum of v*dt (units: value*s).
+  double integral() const;
+  /// Mean of only the positive samples (0 if none) — used for average
+  /// *consumed* power where regen samples are negative.
+  double mean_positive() const;
+
+  // --- transforms -------------------------------------------------------
+  /// Concatenate `n` repetitions of this series (e.g. "drive US06 five
+  /// times", as in the paper's Figs. 6-7).
+  TimeSeries repeated(size_t n) const;
+
+  /// Resample to a new period via linear interpolation.
+  TimeSeries resampled(double new_dt) const;
+
+  /// Elementwise map through `f` (takes/returns double).
+  template <typename F>
+  TimeSeries mapped(F&& f) const {
+    std::vector<double> out;
+    out.reserve(values_.size());
+    for (double v : values_) out.push_back(f(v));
+    return TimeSeries(dt_, std::move(out), t0_);
+  }
+
+ private:
+  double dt_ = 1.0;
+  double t0_ = 0.0;
+  std::vector<double> values_;
+};
+
+}  // namespace otem

@@ -1,0 +1,78 @@
+#include "core/cooling_methodology.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace otem::core {
+
+CoolingPolicyParams CoolingPolicyParams::from_config(const Config& cfg) {
+  CoolingPolicyParams p;
+  p.inlet_target_k = cfg.get_double("cooling.inlet_target_k", p.inlet_target_k);
+  p.engage_above_k = cfg.get_double("cooling.engage_above_k", p.engage_above_k);
+  return p;
+}
+
+CoolingMethodology::CoolingMethodology(const SystemSpec& spec,
+                                       CoolingPolicyParams policy)
+    : battery_(spec.make_battery()),
+      fade_(spec.battery.cell),
+      cooling_(spec.make_cooling()),
+      policy_(policy),
+      ambient_k_(spec.ambient_k),
+      pump_w_(spec.thermal.pump_power_w) {}
+
+void CoolingMethodology::reset(const PlantState&, const TimeSeries&) {}
+
+StepRecord CoolingMethodology::step(PlantState& state, double p_e_w,
+                                    size_t /*k*/, double dt) {
+  StepRecord rec;
+  rec.p_load_w = p_e_w;
+
+  // Fixed-inlet policy: whenever the pack is warm, spend whatever it
+  // takes (up to the C3 cap) to hold the inlet at the target.
+  const bool engaged = state.t_battery_k > policy_.engage_above_k;
+  double p_cool = 0.0;
+  if (engaged) {
+    p_cool = std::min(
+        cooling_.cooler_power(state.t_coolant_k, ambient_k_,
+                              policy_.inlet_target_k),
+        cooling_.params().max_cooler_power_w);
+  }
+  const double p_pump = engaged ? pump_w_ : 0.0;
+
+  // The cooler and pump draw from the same battery as the traction load.
+  const double tb = state.t_battery_k;
+  const double p_total = p_e_w + p_cool + p_pump;
+  const battery::PowerSolve solve =
+      battery_.current_for_power(state.soc_percent, tb, p_total);
+  const double i_b = solve.current_a;
+  const double voc = battery_.open_circuit_voltage(state.soc_percent);
+  const double rb = battery_.internal_resistance(state.soc_percent, tb);
+  const double q_bat = battery_.heat_generation(state.soc_percent, tb, i_b);
+
+  const double t_inlet =
+      cooling_.inlet_for_power(state.t_coolant_k, ambient_k_, p_cool);
+  const thermal::ThermalState th = cooling_.step(
+      {state.t_battery_k, state.t_coolant_k}, q_bat, t_inlet, dt);
+
+  state.t_battery_k = th.t_battery_k;
+  state.t_coolant_k = th.t_coolant_k;
+  state.soc_percent = battery_.step_soc(state.soc_percent, i_b, dt);
+  // No ultracapacitor in this architecture; SoE untouched.
+
+  rec.p_cooler_w = p_cool;
+  rec.p_pump_w = p_pump;
+  rec.t_inlet_k = t_inlet;
+  rec.i_bat_a = i_b;
+  rec.q_bat_w = q_bat;
+  rec.e_bat_j = voc * i_b * dt;
+  rec.e_cooling_j = (p_cool + p_pump) * dt;
+  rec.e_loss_j = i_b * i_b * rb * dt;
+  rec.qloss_percent = fade_.loss_for_step(
+      std::max(i_b, 0.0) / battery_.params().parallel, tb, dt);
+  rec.feasible = solve.feasible;
+  rec.state_after = state;
+  return rec;
+}
+
+}  // namespace otem::core

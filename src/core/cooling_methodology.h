@@ -1,0 +1,53 @@
+// cooling_methodology.h — baseline [25]: battery-only storage with an
+// active battery cooling system.
+//
+// "Only battery is used as the energy storage and active battery
+// cooling system is utilized to maintain the battery temperature in the
+// safe range" (Section IV-B.2). [25]-class thermal managements hold the
+// coolant at a fixed cold inlet temperature with a fixed flow rate —
+// the cooler spends whatever it takes to keep T_i at target whenever
+// the pack is warmer, regardless of whether the electrochemistry would
+// rather save the energy. That bluntness is exactly what OTEM's Fig. 9
+// comparison improves on.
+#pragma once
+
+#include "core/methodology.h"
+#include "core/system_spec.h"
+
+namespace otem::core {
+
+struct CoolingPolicyParams {
+  /// Coolant inlet temperature the cooler maintains [K] (21 C default —
+  /// a typical liquid-loop chiller target).
+  double inlet_target_k = 294.15;
+
+  /// Do not spend cooler power when the battery is already below this
+  /// temperature [K] (the loop idles; pump off).
+  double engage_above_k = 297.15;
+
+  /// Read overrides with prefix "cooling." from cfg.
+  static CoolingPolicyParams from_config(const Config& cfg);
+};
+
+class CoolingMethodology final : public Methodology {
+ public:
+  CoolingMethodology(const SystemSpec& spec, CoolingPolicyParams policy = {});
+
+  std::string name() const override { return "active_cooling"; }
+
+  void reset(const PlantState& initial,
+             const TimeSeries& power_forecast) override;
+
+  StepRecord step(PlantState& state, double p_e_w, size_t k,
+                  double dt) override;
+
+ private:
+  battery::PackModel battery_;
+  battery::CapacityFadeModel fade_;
+  thermal::CoolingSystem cooling_;
+  CoolingPolicyParams policy_;
+  double ambient_k_;
+  double pump_w_;
+};
+
+}  // namespace otem::core

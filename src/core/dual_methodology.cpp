@@ -1,0 +1,103 @@
+#include "core/dual_methodology.h"
+
+namespace otem::core {
+
+DualPolicyParams DualPolicyParams::from_config(const Config& cfg) {
+  DualPolicyParams p;
+  p.hot_threshold_k = cfg.get_double("dual.hot_threshold_k", p.hot_threshold_k);
+  p.cool_band_k = cfg.get_double("dual.cool_band_k", p.cool_band_k);
+  p.min_soe_percent = cfg.get_double("dual.min_soe", p.min_soe_percent);
+  p.recharge_below_percent =
+      cfg.get_double("dual.recharge_below", p.recharge_below_percent);
+  p.recharge_load_max_w =
+      cfg.get_double("dual.recharge_load_max", p.recharge_load_max_w);
+  p.recharge_power_w =
+      cfg.get_double("dual.recharge_power", p.recharge_power_w);
+  p.vent_load_min_w =
+      cfg.get_double("dual.vent_load_min", p.vent_load_min_w);
+  return p;
+}
+
+DualMethodology::DualMethodology(const SystemSpec& spec,
+                                 DualPolicyParams policy)
+    : arch_(spec.make_dual_arch()),
+      cooling_(spec.make_cooling()),
+      policy_(policy),
+      ambient_k_(spec.ambient_k) {
+  if (policy_.hot_threshold_k <= 0.0)
+    policy_.hot_threshold_k = spec.thermal.max_battery_temp_k - 4.0;
+  arch_.set_recharge_power_w(policy_.recharge_power_w);
+}
+
+void DualMethodology::reset(const PlantState&, const TimeSeries&) {
+  mode_ = hees::DualMode::kBatteryOnly;
+  venting_ = false;
+}
+
+StepRecord DualMethodology::step(PlantState& state, double p_e_w, size_t,
+                                 double dt) {
+  StepRecord rec;
+  rec.p_load_w = p_e_w;
+
+  // --- switching policy [16] ------------------------------------------
+  const double tb = state.t_battery_k;
+  if (venting_) {
+    // Stay on the UC until the battery cooled or the bank is exhausted.
+    if (tb < policy_.hot_threshold_k - policy_.cool_band_k ||
+        state.soe_percent <= policy_.min_soe_percent)
+      venting_ = false;
+  } else if (tb > policy_.hot_threshold_k &&
+             state.soe_percent > policy_.min_soe_percent) {
+    venting_ = true;
+  }
+
+  const bool bank_low =
+      state.soe_percent < policy_.recharge_below_percent;
+  if (venting_) {
+    // Spend the bank where it counts: heavy requests (and regen
+    // capture); light loads barely heat the resting battery.
+    mode_ = (p_e_w >= policy_.vent_load_min_w || p_e_w < 0.0)
+                ? hees::DualMode::kUltracapOnly
+                : hees::DualMode::kBatteryOnly;
+  } else if (bank_low && p_e_w < 0.0) {
+    // Free recharge: route regen into the bank instead of the battery.
+    mode_ = hees::DualMode::kUltracapOnly;
+  } else if (bank_low && p_e_w < policy_.recharge_load_max_w &&
+             tb < policy_.hot_threshold_k) {
+    // Battery serves the (light) load and pushes a current-limited
+    // recharge into the bank — extra battery current and heat, the
+    // cost [16] pays to restore its thermal headroom. Waiting for a
+    // low-load window keeps that cost down.
+    mode_ = hees::DualMode::kRecharge;
+  } else {
+    mode_ = hees::DualMode::kBatteryOnly;
+  }
+
+  const hees::ArchStep arch =
+      arch_.step(state.soc_percent, state.soe_percent, tb, p_e_w, mode_, dt);
+
+  const double t_inlet =
+      cooling_.passive_inlet(state.t_coolant_k, ambient_k_);
+  const thermal::ThermalState th = cooling_.step(
+      {state.t_battery_k, state.t_coolant_k}, arch.q_bat_w, t_inlet, dt);
+
+  state.t_battery_k = th.t_battery_k;
+  state.t_coolant_k = th.t_coolant_k;
+  state.soc_percent = arch.soc_next;
+  state.soe_percent = arch.soe_next;
+
+  rec.t_inlet_k = t_inlet;
+  rec.i_bat_a = arch.i_bat_a;
+  rec.i_cap_a = arch.i_cap_a;
+  rec.q_bat_w = arch.q_bat_w;
+  rec.e_bat_j = arch.e_bat_j;
+  rec.e_cap_j = arch.e_cap_j;
+  rec.e_loss_j = arch.e_loss_j;
+  rec.qloss_percent = arch.qloss_percent;
+  rec.feasible = arch.feasible;
+  rec.unmet_w = arch.unmet_bus_w;
+  rec.state_after = state;
+  return rec;
+}
+
+}  // namespace otem::core

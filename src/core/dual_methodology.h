@@ -1,0 +1,73 @@
+// dual_methodology.h — baseline [16]: dual architecture with
+// temperature-threshold switching.
+//
+// [16]'s policy, as described in the paper's Section I case study and
+// Fig. 6: drive from the battery; when T_b crosses a hot threshold,
+// switch the load to the ultracapacitor so the battery rests and cools
+// passively; switch back when the battery has cooled (or the bank is
+// exhausted). While on battery with a depleted bank, recharge the
+// bank by closing both switches (parallel mode) — which adds battery
+// current and heat, the failure mode Fig. 1 shows for undersized banks.
+#pragma once
+
+#include "core/methodology.h"
+#include "core/system_spec.h"
+
+namespace otem::core {
+
+struct DualPolicyParams {
+  /// Switch the load to the UC above this T_b [K]. [16] maintains the
+  /// cells near their preferred operating temperature, so the default
+  /// threshold sits just above it (30.5 C) rather than at the C1
+  /// safety ceiling; set 0 to derive "ceiling - 4 K" instead.
+  double hot_threshold_k = 303.65;
+  /// Return to the battery below hot_threshold - band.
+  double cool_band_k = 3.0;
+  /// Keep at least this SoE [%] before abandoning UC-only mode.
+  double min_soe_percent = 22.0;
+  /// Recharge the bank when SoE falls below this while the battery is
+  /// cool.
+  double recharge_below_percent = 85.0;
+  /// Only spend battery power on recharging while the EV load is below
+  /// this threshold [W] — otherwise wait for a cheaper window (idle,
+  /// cruise, regen). Regen always recharges the bank when it is below
+  /// the recharge threshold.
+  double recharge_load_max_w = 15000.0;
+
+  /// Charge power pushed into the bank while recharging [W].
+  double recharge_power_w = 12000.0;
+
+  /// While venting, only route requests above this to the bank; light
+  /// loads stay on the battery (they generate little I^2 R heat), so
+  /// the bank's energy stretches across the damaging peaks.
+  double vent_load_min_w = 8000.0;
+
+  /// Read overrides with prefix "dual." from cfg.
+  static DualPolicyParams from_config(const Config& cfg);
+};
+
+class DualMethodology final : public Methodology {
+ public:
+  DualMethodology(const SystemSpec& spec, DualPolicyParams policy = {});
+
+  std::string name() const override { return "dual"; }
+
+  void reset(const PlantState& initial,
+             const TimeSeries& power_forecast) override;
+
+  StepRecord step(PlantState& state, double p_e_w, size_t k,
+                  double dt) override;
+
+  /// Mode applied at the most recent step (telemetry for Fig. 1).
+  hees::DualMode last_mode() const { return mode_; }
+
+ private:
+  hees::DualArchitecture arch_;
+  thermal::CoolingSystem cooling_;
+  DualPolicyParams policy_;
+  double ambient_k_;
+  hees::DualMode mode_ = hees::DualMode::kBatteryOnly;
+  bool venting_ = false;  ///< true while in the UC-only thermal vent
+};
+
+}  // namespace otem::core

@@ -1,0 +1,114 @@
+#include "core/forecast.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace otem::core {
+
+namespace {
+std::vector<double> slice(const TimeSeries& ts, size_t k, size_t horizon) {
+  std::vector<double> out;
+  out.reserve(horizon);
+  for (size_t j = 0; j < horizon && k + j < ts.size(); ++j)
+    out.push_back(ts[k + j]);
+  return out;
+}
+}  // namespace
+
+std::vector<double> PerfectForecast::window(size_t k,
+                                            size_t horizon) const {
+  return slice(truth_, k, horizon);
+}
+
+NoisyForecast::NoisyForecast(std::uint64_t seed, double relative_sigma,
+                             double absolute_sigma_w)
+    : seed_(seed),
+      relative_sigma_(relative_sigma),
+      absolute_sigma_w_(absolute_sigma_w) {
+  OTEM_REQUIRE(relative_sigma >= 0.0 && absolute_sigma_w >= 0.0,
+               "forecast noise levels must be non-negative");
+}
+
+std::string NoisyForecast::name() const {
+  return "noisy(rel=" + strings::format_double(relative_sigma_, 2) +
+         ",abs=" + strings::format_double(absolute_sigma_w_, 0) + ")";
+}
+
+std::vector<double> NoisyForecast::window(size_t k, size_t horizon) const {
+  std::vector<double> out = slice(truth_, k, horizon);
+  for (size_t j = 0; j < out.size(); ++j) {
+    // Deterministic error per (absolute step, lead): re-querying the
+    // same future instant at the same lead reproduces the same error;
+    // as the instant draws nearer (smaller lead) the error shrinks.
+    const std::uint64_t key =
+        seed_ ^ (static_cast<std::uint64_t>(k + j) * 0x9e3779b97f4a7c15ULL) ^
+        (static_cast<std::uint64_t>(j) << 32);
+    Rng rng(key);
+    const double growth = std::sqrt(static_cast<double>(j + 1));
+    const double rel = rng.normal(0.0, relative_sigma_ * growth);
+    const double abs = rng.normal(0.0, absolute_sigma_w_ * growth);
+    out[j] = out[j] * (1.0 + rel) + abs;
+  }
+  return out;
+}
+
+SmoothedForecast::SmoothedForecast(double smooth_window_s)
+    : smooth_window_s_(smooth_window_s) {
+  OTEM_REQUIRE(smooth_window_s > 0.0,
+               "forecast smoothing window must be positive");
+}
+
+void SmoothedForecast::reset(const TimeSeries& truth) {
+  const int half = std::max(
+      1, static_cast<int>(smooth_window_s_ / (2.0 * truth.dt())));
+  std::vector<double> out(truth.size());
+  for (size_t k = 0; k < truth.size(); ++k) {
+    const size_t lo = k > static_cast<size_t>(half) ? k - half : 0;
+    const size_t hi = std::min(truth.size() - 1, k + half);
+    double s = 0.0;
+    for (size_t j = lo; j <= hi; ++j) s += truth[j];
+    out[k] = s / static_cast<double>(hi - lo + 1);
+  }
+  smoothed_ = TimeSeries(truth.dt(), std::move(out), truth.t0());
+}
+
+std::vector<double> SmoothedForecast::window(size_t k,
+                                             size_t horizon) const {
+  return slice(smoothed_, k, horizon);
+}
+
+std::vector<double> PersistenceForecast::window(size_t k,
+                                                size_t horizon) const {
+  if (truth_.empty()) return {};
+  const double now = truth_[std::min(k, truth_.size() - 1)];
+  return std::vector<double>(horizon, now);
+}
+
+std::unique_ptr<ForecastModel> make_forecast(const std::string& spec) {
+  const auto parts = strings::split(spec, ':');
+  OTEM_REQUIRE(!parts.empty(), "empty forecast spec");
+  const std::string kind = strings::to_lower(parts[0]);
+  if (kind == "perfect") return std::make_unique<PerfectForecast>();
+  if (kind == "persistence")
+    return std::make_unique<PersistenceForecast>();
+  if (kind == "smoothed") {
+    OTEM_REQUIRE(parts.size() == 2,
+                 "smoothed forecast spec: smoothed:<window_s>");
+    return std::make_unique<SmoothedForecast>(
+        strings::parse_double(parts[1]));
+  }
+  if (kind == "noisy") {
+    OTEM_REQUIRE(parts.size() == 4,
+                 "noisy forecast spec: noisy:<seed>:<rel>:<abs_w>");
+    return std::make_unique<NoisyForecast>(
+        static_cast<std::uint64_t>(strings::parse_long(parts[1])),
+        strings::parse_double(parts[2]), strings::parse_double(parts[3]));
+  }
+  throw SimError("unknown forecast model: '" + spec + "'");
+}
+
+}  // namespace otem::core

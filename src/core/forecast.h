@@ -1,0 +1,103 @@
+// forecast.h — power-request prediction models for the OTEM MPC.
+//
+// The paper's Algorithm 1 consumes "Estimated Power Request P_hat_e"
+// produced by modelling the power train and driving route [3]; the
+// evaluation implicitly uses a perfect prediction. A deployed OTEM sees
+// an imperfect forecast, so the library models the prediction channel
+// explicitly: the methodology asks a ForecastModel for the window it
+// hands the MPC, and the plant always serves the TRUE request. The
+// `bench/ablation_forecast` experiment quantifies how gracefully the
+// controller degrades — the reliability question the paper's research
+// challenge 3 raises.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timeseries.h"
+
+namespace otem::core {
+
+class ForecastModel {
+ public:
+  virtual ~ForecastModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once per run with the true future trace.
+  virtual void reset(const TimeSeries& truth) = 0;
+
+  /// Predicted requests for steps [k, k + horizon) — at most `horizon`
+  /// values; may return fewer near the route end (the MPC pads).
+  virtual std::vector<double> window(size_t k, size_t horizon) const = 0;
+};
+
+/// Perfect prediction — the paper's evaluation setting.
+class PerfectForecast final : public ForecastModel {
+ public:
+  std::string name() const override { return "perfect"; }
+  void reset(const TimeSeries& truth) override { truth_ = truth; }
+  std::vector<double> window(size_t k, size_t horizon) const override;
+
+ private:
+  TimeSeries truth_;
+};
+
+/// Noisy prediction: each forecast sample carries multiplicative and
+/// additive Gaussian error that GROWS with lead time (near-future is
+/// known well, the window tail poorly) — the signature of real route
+/// predictors. Deterministic per (seed, step, lead).
+class NoisyForecast final : public ForecastModel {
+ public:
+  /// `relative_sigma` is the 1-lead-step multiplicative error std; it
+  /// scales with sqrt(lead). `absolute_sigma_w` likewise [W].
+  NoisyForecast(std::uint64_t seed, double relative_sigma,
+                double absolute_sigma_w);
+
+  std::string name() const override;
+  void reset(const TimeSeries& truth) override { truth_ = truth; }
+  std::vector<double> window(size_t k, size_t horizon) const override;
+
+ private:
+  std::uint64_t seed_;
+  double relative_sigma_;
+  double absolute_sigma_w_;
+  TimeSeries truth_;
+};
+
+/// Route-level prediction: only a smoothed profile of the route is
+/// known (moving average over `smooth_window_s`), as a navigation
+/// system would provide — no individual acceleration spikes.
+class SmoothedForecast final : public ForecastModel {
+ public:
+  explicit SmoothedForecast(double smooth_window_s);
+
+  std::string name() const override { return "smoothed"; }
+  void reset(const TimeSeries& truth) override;
+  std::vector<double> window(size_t k, size_t horizon) const override;
+
+ private:
+  double smooth_window_s_;
+  TimeSeries smoothed_;
+};
+
+/// No prediction at all: the controller only knows the current request
+/// and assumes it persists (zero-order hold) — the reactive lower
+/// bound.
+class PersistenceForecast final : public ForecastModel {
+ public:
+  std::string name() const override { return "persistence"; }
+  void reset(const TimeSeries& truth) override { truth_ = truth; }
+  std::vector<double> window(size_t k, size_t horizon) const override;
+
+ private:
+  TimeSeries truth_;
+};
+
+/// Factory from a spec string: "perfect", "persistence",
+/// "smoothed:<window_s>", "noisy:<seed>:<rel_sigma>:<abs_sigma_w>".
+std::unique_ptr<ForecastModel> make_forecast(const std::string& spec);
+
+}  // namespace otem::core

@@ -1,0 +1,61 @@
+// methodology.h — interface every energy/thermal management strategy
+// implements.
+//
+// A Methodology pairs an HEES architecture with its control policy: the
+// paper's three baselines (Parallel [15], Active-cooling-only [25],
+// Dual [16]) and OTEM itself. The simulator drives any of them through
+// the same loop, making the Fig. 6/8/9 and Table I comparisons a matter
+// of swapping the object.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/timeseries.h"
+#include "core/plant_state.h"
+
+namespace otem::core {
+
+/// Everything that happened during one plant step — consumed by the
+/// metrics/trace layer.
+struct StepRecord {
+  double p_load_w = 0.0;       ///< EV power request P_e served this step
+  double p_cooler_w = 0.0;     ///< cooler electric power
+  double p_pump_w = 0.0;       ///< pump electric power
+  double t_inlet_k = 0.0;      ///< coolant inlet applied
+
+  double i_bat_a = 0.0;        ///< battery pack current (mean)
+  double i_cap_a = 0.0;        ///< ultracap current (mean)
+  double q_bat_w = 0.0;        ///< battery heat generation (mean)
+
+  double e_bat_j = 0.0;        ///< battery chemistry energy this step
+  double e_cap_j = 0.0;        ///< ultracap terminal energy this step
+  double e_cooling_j = 0.0;    ///< cooler + pump electric energy
+  double e_loss_j = 0.0;       ///< resistive + conversion losses
+
+  double qloss_percent = 0.0;  ///< battery capacity loss this step
+  double unmet_w = 0.0;        ///< bus power the HEES failed to deliver
+
+  PlantState state_after;      ///< plant state at the end of the step
+  bool feasible = true;        ///< false when a physical clamp fired
+};
+
+class Methodology {
+ public:
+  virtual ~Methodology() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before a run. `power_forecast` is the full predicted
+  /// EV power-request trace P_hat_e (Algorithm 1 input); predictive
+  /// strategies (OTEM) read ahead into it, reactive baselines ignore it.
+  virtual void reset(const PlantState& initial,
+                     const TimeSeries& power_forecast) = 0;
+
+  /// Advance one plant step: serve request p_e_w at step index k,
+  /// mutate `state`, and report what happened.
+  virtual StepRecord step(PlantState& state, double p_e_w, size_t k,
+                          double dt) = 0;
+};
+
+}  // namespace otem::core

@@ -1,0 +1,32 @@
+// controller_iface.h — interface between the OTEM methodology (plant
+// side) and an MPC solver strategy. Two implementations ship:
+//   * OtemController       — single-shooting NLP, augmented Lagrangian
+//                            (the production path),
+//   * LtvOtemController    — iterated linearise-and-QP (LTV-SQP) on the
+//                            ADMM QP solver (the classic alternative
+//                            transcription; bench/ablation_solver
+//                            compares them).
+#pragma once
+
+#include <vector>
+
+#include "core/otem/mpc_problem.h"
+
+namespace otem::core {
+
+class ControllerIface {
+ public:
+  virtual ~ControllerIface() = default;
+
+  /// Clear warm starts; call at the start of a run.
+  virtual void reset() = 0;
+
+  /// Solve the window and return the first step's controls.
+  virtual MpcProblem::Controls solve(
+      const PlantState& state, const std::vector<double>& p_e_window) = 0;
+
+  /// Control window length [steps].
+  virtual size_t horizon() const = 0;
+};
+
+}  // namespace otem::core

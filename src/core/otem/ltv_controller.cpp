@@ -1,0 +1,209 @@
+#include "core/otem/ltv_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace otem::core {
+
+LtvOtemController::LtvOtemController(const SystemSpec& spec,
+                                     MpcOptions mpc_options,
+                                     LtvOptions options)
+    : problem_(spec, mpc_options),
+      options_(options),
+      cap_power_max_(spec.ultracap.max_power_w),
+      pc_max_(spec.thermal.max_cooler_power_w),
+      max_battery_power_w_(spec.hybrid.max_battery_power_w),
+      t_max_k_(spec.thermal.max_battery_temp_k),
+      t_min_k_(spec.thermal.min_battery_temp_k) {}
+
+void LtvOtemController::reset() {
+  have_warm_ = false;
+  warm_z_.clear();
+  info_ = SolveInfo{};
+}
+
+MpcProblem::Controls LtvOtemController::solve(
+    const PlantState& state, const std::vector<double>& p_e_window) {
+  problem_.set_window(state, p_e_window);
+  const size_t n = problem_.options().horizon;
+  const size_t nu = 2 * n;
+
+  // Incumbent plan: shifted previous solution or "all off".
+  optim::Vector z(nu);
+  if (have_warm_ && warm_z_.size() == nu) {
+    for (size_t i = 0; i + 2 < nu; ++i) z[i] = warm_z_[i + 2];
+    z[nu - 2] = warm_z_[nu - 2];
+    z[nu - 1] = warm_z_[nu - 1];
+  } else {
+    for (size_t k = 0; k < n; ++k) {
+      z[2 * k] = 0.5;  // 0 W ultracap
+      z[2 * k + 1] = 0.0;
+    }
+  }
+
+  optim::Vector c(problem_.num_constraints());
+  const optim::Vector w0(problem_.num_constraints(), 0.0);
+  optim::Vector g_z(nu);
+
+  for (size_t round = 0; round < options_.sqp_iterations; ++round) {
+    info_.cost = problem_.evaluate(z, c);
+    problem_.gradient(z, w0, g_z);
+    const auto jac = problem_.linearize();
+    const auto& xs = problem_.predicted_states();
+
+    // Physical incumbent controls and cost gradient w.r.t. them.
+    optim::Vector u(nu), g_u(nu);
+    for (size_t k = 0; k < n; ++k) {
+      const auto uk = problem_.decode(z, k);
+      u[2 * k] = uk.p_cap_bus_w;
+      u[2 * k + 1] = uk.p_cooler_w;
+      g_u[2 * k] = g_z[2 * k] / (2.0 * cap_power_max_);
+      g_u[2 * k + 1] = g_z[2 * k + 1] / pc_max_;
+    }
+
+    // Control-to-state sensitivities S_k (4 x nu), built forward.
+    // S_{k+1} = A_k S_k + B_k at columns (2k, 2k+1).
+    std::vector<optim::Matrix> sens(n + 1, optim::Matrix(4, nu));
+    for (size_t k = 0; k < n; ++k) {
+      const auto& jk = jac[k];
+      optim::Matrix& next = sens[k + 1];
+      const optim::Matrix& cur = sens[k];
+      for (size_t r = 0; r < 4; ++r) {
+        for (size_t col = 0; col < nu; ++col) {
+          double v = 0.0;
+          for (size_t m = 0; m < 4; ++m) v += jk.a[r][m] * cur(m, col);
+          next(r, col) = v;
+        }
+        next(r, 2 * k) += jk.b[r][0];
+        next(r, 2 * k + 1) += jk.b[r][1];
+      }
+    }
+
+    // --- assemble the QP over normalised corrections ---------------------
+    // Decision variables are du / T with T = trust_region_w, so every
+    // variable lives in [-1, 1] and ADMM sees a well-scaled problem.
+    const double T = options_.trust_region_w;
+    const size_t rows = nu + 4 * n;  // boxes + (tb, soc, soe, p_bs) / step
+    optim::QpProblem qp;
+    qp.q.resize(nu);
+    qp.p = optim::Matrix(nu, nu);
+    for (size_t i = 0; i < nu; ++i) {
+      qp.q[i] = g_u[i] * T;
+      qp.p(i, i) = std::max(std::abs(g_u[i]) * T,
+                            options_.regularisation_floor * T * T);
+    }
+    qp.a = optim::Matrix(rows, nu);
+    qp.l.assign(rows, 0.0);
+    qp.u.assign(rows, 0.0);
+
+    // Box + trust-region rows (normalised units).
+    for (size_t i = 0; i < nu; ++i) {
+      qp.a(i, i) = 1.0;
+      const bool is_cap = (i % 2 == 0);
+      const double lo = is_cap ? -cap_power_max_ : 0.0;
+      const double hi = is_cap ? cap_power_max_ : pc_max_;
+      qp.l[i] = std::max((lo - u[i]) / T, -1.0);
+      qp.u[i] = std::min((hi - u[i]) / T, 1.0);
+      if (qp.l[i] > qp.u[i]) qp.l[i] = qp.u[i];  // u outside box: pull in
+    }
+
+    // Linearised state and battery-power rows.
+    for (size_t k = 0; k < n; ++k) {
+      const size_t base = nu + 4 * k;
+      const optim::Matrix& s1 = sens[k + 1];
+      // T_b
+      for (size_t col = 0; col < nu; ++col) qp.a(base, col) = s1(0, col);
+      qp.l[base] = t_min_k_ - xs[k + 1].t_battery_k;
+      qp.u[base] = t_max_k_ - xs[k + 1].t_battery_k;
+      // SoC
+      for (size_t col = 0; col < nu; ++col)
+        qp.a(base + 1, col) = s1(2, col);
+      qp.l[base + 1] =
+          problem_.options().soc_min_percent - xs[k + 1].soc_percent;
+      qp.u[base + 1] = 100.0 - xs[k + 1].soc_percent;
+      // SoE
+      for (size_t col = 0; col < nu; ++col)
+        qp.a(base + 2, col) = s1(3, col);
+      qp.l[base + 2] =
+          problem_.options().soe_min_percent - xs[k + 1].soe_percent;
+      qp.u[base + 2] = 100.0 - xs[k + 1].soe_percent;
+      // Battery power (C6): p_bs + dpbs_du du_k + dpbs_dx (x_k - x*_k).
+      const auto& jk = jac[k];
+      const optim::Matrix& s0 = sens[k];
+      for (size_t col = 0; col < nu; ++col) {
+        double v = 0.0;
+        for (size_t m = 0; m < 4; ++m) v += jk.dpbs_dx[m] * s0(m, col);
+        qp.a(base + 3, col) = v;
+      }
+      qp.a(base + 3, 2 * k) += jk.dpbs_du[0];
+      qp.a(base + 3, 2 * k + 1) += jk.dpbs_du[1];
+      qp.l[base + 3] = -max_battery_power_w_ - jk.p_bs;
+      qp.u[base + 3] = max_battery_power_w_ - jk.p_bs;
+      // Guard against an infeasible incumbent: keep l <= u.
+      for (size_t r = base; r < base + 4; ++r)
+        if (qp.l[r] > qp.u[r]) qp.l[r] = qp.u[r];
+    }
+
+    // Convert the state/power rows from per-watt to per-normalised-unit
+    // (x T), then equilibrate: kelvin/percent rows carry tiny entries
+    // next to unit box rows, and ADMM needs comparable row norms.
+    for (size_t r = nu; r < rows; ++r) {
+      double m = 0.0;
+      for (size_t col = 0; col < nu; ++col) {
+        qp.a(r, col) *= T;
+        m = std::max(m, std::abs(qp.a(r, col)));
+      }
+      if (m < 1e-9) {
+        // Degenerate row (no control authority): drop it.
+        qp.l[r] = -1e30;
+        qp.u[r] = 1e30;
+        continue;
+      }
+      for (size_t col = 0; col < nu; ++col) qp.a(r, col) /= m;
+      qp.l[r] /= m;
+      qp.u[r] /= m;
+
+      // Soften rows the control cannot satisfy this round (e.g. a T_b
+      // bound already violated beyond one window's cooling authority):
+      // clip the bound to the best reachable value so the QP stays
+      // feasible and still pushes as hard as it can, instead of letting
+      // an infeasible row destabilise ADMM.
+      double reach_min = 0.0, reach_max = 0.0;
+      for (size_t col = 0; col < nu; ++col) {
+        const double a = qp.a(r, col);
+        reach_min += std::min(a * qp.l[col], a * qp.u[col]);
+        reach_max += std::max(a * qp.l[col], a * qp.u[col]);
+      }
+      // 5 % slack off the exact vertex keeps the softened row from
+      // pinning every variable at a bound (slow ADMM corner case).
+      const double slack = 0.05 * (reach_max - reach_min);
+      if (qp.u[r] < reach_min + slack) qp.u[r] = reach_min + slack;
+      if (qp.l[r] > reach_max - slack) qp.l[r] = reach_max - slack;
+      if (qp.l[r] > qp.u[r]) qp.l[r] = qp.u[r];
+    }
+
+    const optim::QpResult sol = optim::solve_qp(qp, options_.qp);
+    info_.qp_iterations = sol.iterations;
+    info_.qp_converged = sol.converged;
+
+    // Apply the correction (de-normalise).
+    for (size_t k = 0; k < n; ++k) {
+      MpcProblem::Controls uk;
+      uk.p_cap_bus_w = std::clamp(u[2 * k] + T * sol.x[2 * k],
+                                  -cap_power_max_, cap_power_max_);
+      uk.p_cooler_w =
+          std::clamp(u[2 * k + 1] + T * sol.x[2 * k + 1], 0.0, pc_max_);
+      problem_.encode(k, uk, z);
+    }
+  }
+
+  // Refresh diagnostics at the final point.
+  info_.cost = problem_.evaluate(z, c);
+  warm_z_ = z;
+  have_warm_ = true;
+  return problem_.decode(z, 0);
+}
+
+}  // namespace otem::core

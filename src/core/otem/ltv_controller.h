@@ -1,0 +1,82 @@
+// ltv_controller.h — linear-time-varying SQP transcription of the OTEM
+// problem (the alternative to the shooting/augmented-Lagrangian path).
+//
+// Per solve:
+//   1. roll the nonlinear model out along the incumbent plan (the
+//      shifted previous solution),
+//   2. linearise the dynamics around that trajectory
+//      (MpcProblem::linearize()) and take the exact cost gradient
+//      (MpcProblem::gradient with zero constraint weights),
+//   3. build a dense convex QP in the control CORRECTION du:
+//      a trust-region-regularised linear cost subject to the
+//      linearised constraints C1/C4/C5/C6 and the C2/C3/C7 boxes,
+//   4. solve with the ADMM QP solver, apply the correction, repeat.
+//
+// Versus the shooting path it trades global-ish exploration (Adam) for
+// crisp constraint handling near a good incumbent. bench/ablation_solver
+// compares quality and per-step cost of both.
+#pragma once
+
+#include "core/otem/controller_iface.h"
+#include "optim/qp.h"
+
+namespace otem::core {
+
+struct LtvOptions {
+  /// Linearise-solve-apply rounds per control step.
+  size_t sqp_iterations = 3;
+
+  /// Trust region: per-coordinate |du| cap per round [W].
+  double trust_region_w = 15000.0;
+
+  /// Quadratic regularisation floor (cost per W^2) — keeps the QP
+  /// strictly convex where the linear cost is flat.
+  double regularisation_floor = 1e-6;
+
+  optim::QpOptions qp;
+
+  LtvOptions() {
+    qp.max_iterations = 4000;
+    // The QP is assembled in trust-region-normalised variables
+    // (|du| <= 1), so unit-scale tolerances converge quickly.
+    qp.eps_abs = 1e-4;
+    qp.eps_rel = 1e-4;
+  }
+};
+
+class LtvOtemController final : public ControllerIface {
+ public:
+  LtvOtemController(const SystemSpec& spec, MpcOptions mpc_options,
+                    LtvOptions options = {});
+
+  void reset() override;
+  MpcProblem::Controls solve(
+      const PlantState& state,
+      const std::vector<double>& p_e_window) override;
+  size_t horizon() const override { return problem_.options().horizon; }
+
+  /// Diagnostics of the most recent solve.
+  struct SolveInfo {
+    double cost = 0.0;
+    size_t qp_iterations = 0;
+    bool qp_converged = false;
+  };
+  const SolveInfo& last_solve() const { return info_; }
+
+ private:
+  MpcProblem problem_;
+  LtvOptions options_;
+
+  // Bounds of the physical control variables.
+  double cap_power_max_;
+  double pc_max_;
+  double max_battery_power_w_;
+  double t_max_k_;
+  double t_min_k_;
+
+  optim::Vector warm_z_;
+  bool have_warm_ = false;
+  SolveInfo info_;
+};
+
+}  // namespace otem::core

@@ -1,0 +1,84 @@
+// otem_controller.h — receding-horizon driver for the OTEM MPC
+// (paper Algorithm 1, lines 10-22).
+//
+// At each plant step the controller installs the current state and the
+// next N predicted power requests into the MpcProblem, solves the
+// constrained NLP with the augmented-Lagrangian solver (warm-started
+// from the previous solution shifted by one step — the standard MPC
+// warm start), and returns the first step's controls to apply.
+#pragma once
+
+#include <vector>
+
+#include "core/otem/controller_iface.h"
+#include "core/otem/mpc_problem.h"
+#include "optim/augmented_lagrangian.h"
+
+namespace otem::core {
+
+struct OtemSolverOptions {
+  optim::AugmentedLagrangianOptions al;
+
+  OtemSolverOptions() {
+    // Tuned for the 2N-dimensional shooting problem: Adam explores, a
+    // short L-BFGS polish sharpens, few outer multiplier rounds. The
+    // penalty schedule is aggressive because the constraint scales in
+    // mpc_problem.cpp put one scale-unit of violation at 0.02 K / 0.2 %
+    // — the penalty must dominate the J-scale running cost quickly.
+    al.adam.max_iterations = 120;
+    al.adam.learning_rate = 0.04;
+    al.lbfgs.max_iterations = 25;
+    al.max_outer_iterations = 4;
+    al.initial_penalty = 500.0;
+    al.penalty_growth = 8.0;
+    al.max_penalty = 1e9;
+    al.constraint_tolerance = 0.5;  // scaled units: 10 mK / 0.1 % / 1 kW
+  }
+
+  /// Read overrides with prefix "otem.solver." from cfg.
+  static OtemSolverOptions from_config(const Config& cfg);
+};
+
+class OtemController final : public ControllerIface {
+ public:
+  OtemController(const SystemSpec& spec, MpcOptions mpc_options,
+                 OtemSolverOptions solver_options = {});
+
+  const MpcOptions& mpc_options() const { return problem_.options(); }
+  size_t horizon() const override { return problem_.options().horizon; }
+
+  /// Diagnostics of the most recent solve.
+  struct SolveInfo {
+    double cost = 0.0;
+    double constraint_violation = 0.0;
+    size_t iterations = 0;
+    bool converged = false;
+    MpcProblem::CostBreakdown breakdown;
+  };
+
+  /// Clear the warm start (call at the beginning of a run).
+  void reset() override;
+
+  /// Solve the window starting from `state` with predicted requests
+  /// `p_e_window` (may be shorter than the horizon near the route end)
+  /// and return the controls for the first step.
+  MpcProblem::Controls solve(
+      const PlantState& state,
+      const std::vector<double>& p_e_window) override;
+
+  const SolveInfo& last_solve() const { return info_; }
+
+  /// Predicted state trajectory of the accepted solution.
+  const std::vector<PlantState>& predicted_states() const {
+    return problem_.predicted_states();
+  }
+
+ private:
+  MpcProblem problem_;
+  OtemSolverOptions solver_;
+  optim::Vector warm_;         ///< previous solution, shifted
+  bool have_warm_ = false;
+  SolveInfo info_;
+};
+
+}  // namespace otem::core

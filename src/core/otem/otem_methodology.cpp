@@ -1,0 +1,97 @@
+#include "core/otem/otem_methodology.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace otem::core {
+
+OtemMethodology::OtemMethodology(const SystemSpec& spec,
+                                 MpcOptions mpc_options,
+                                 OtemSolverOptions solver_options,
+                                 std::unique_ptr<ForecastModel> forecast)
+    : OtemMethodology(spec,
+                      std::make_unique<OtemController>(spec, mpc_options,
+                                                       solver_options),
+                      std::move(forecast)) {}
+
+OtemMethodology::OtemMethodology(const SystemSpec& spec,
+                                 std::unique_ptr<ControllerIface> controller,
+                                 std::unique_ptr<ForecastModel> forecast)
+    : arch_(spec.make_hybrid_arch()),
+      cooling_(spec.make_cooling()),
+      controller_(std::move(controller)),
+      forecast_(forecast ? std::move(forecast)
+                         : std::make_unique<PerfectForecast>()),
+      ambient_k_(spec.ambient_k),
+      pump_w_(spec.thermal.pump_power_w) {
+  OTEM_REQUIRE(controller_ != nullptr, "OTEM needs a controller");
+}
+
+const OtemController& OtemMethodology::controller() const {
+  const auto* shooting =
+      dynamic_cast<const OtemController*>(controller_.get());
+  OTEM_REQUIRE(shooting != nullptr,
+               "diagnostics accessor requires the shooting controller");
+  return *shooting;
+}
+
+void OtemMethodology::reset(const PlantState&,
+                            const TimeSeries& power_forecast) {
+  forecast_->reset(power_forecast);
+  controller_->reset();
+}
+
+StepRecord OtemMethodology::step(PlantState& state, double p_e_w, size_t k,
+                                 double dt) {
+  StepRecord rec;
+  rec.p_load_w = p_e_w;
+
+  // Predicted requests for the control window (Algorithm 1 lines 11-12);
+  // the window shrinks (pads with the last value) near the route end.
+  const size_t n = controller_->horizon();
+  std::vector<double> window = forecast_->window(k, n);
+  if (window.empty()) window.push_back(p_e_w);
+
+  const MpcProblem::Controls u = controller_->solve(state, window);
+
+  // Apply through the plant (lines 15-16). The pump runs whenever the
+  // loop is active — always, for the actively-cooled architecture.
+  const double p_cool = std::clamp(
+      u.p_cooler_w, 0.0, cooling_.params().max_cooler_power_w);
+  const double load = p_e_w + pump_w_ + p_cool;
+  const double p_cap_bus = u.p_cap_bus_w;
+  const double p_bat_bus = load - p_cap_bus;
+
+  const hees::ArchStep arch =
+      arch_.step(state.soc_percent, state.soe_percent, state.t_battery_k,
+                 p_bat_bus, p_cap_bus, dt);
+
+  const double t_inlet =
+      cooling_.inlet_for_power(state.t_coolant_k, ambient_k_, p_cool);
+  const thermal::ThermalState th = cooling_.step(
+      {state.t_battery_k, state.t_coolant_k}, arch.q_bat_w, t_inlet, dt);
+
+  state.t_battery_k = th.t_battery_k;
+  state.t_coolant_k = th.t_coolant_k;
+  state.soc_percent = arch.soc_next;
+  state.soe_percent = arch.soe_next;
+
+  rec.p_cooler_w = p_cool;
+  rec.p_pump_w = pump_w_;
+  rec.t_inlet_k = t_inlet;
+  rec.i_bat_a = arch.i_bat_a;
+  rec.i_cap_a = arch.i_cap_a;
+  rec.q_bat_w = arch.q_bat_w;
+  rec.e_bat_j = arch.e_bat_j;
+  rec.e_cap_j = arch.e_cap_j;
+  rec.e_cooling_j = (p_cool + pump_w_) * dt;
+  rec.e_loss_j = arch.e_loss_j;
+  rec.qloss_percent = arch.qloss_percent;
+  rec.feasible = arch.feasible;
+  rec.unmet_w = arch.unmet_bus_w;
+  rec.state_after = state;
+  return rec;
+}
+
+}  // namespace otem::core

@@ -1,0 +1,56 @@
+// otem_methodology.h — the paper's contribution: OTEM applied to the
+// hybrid architecture with active battery cooling.
+//
+// Per plant step (Algorithm 1): read the next N predicted power
+// requests from the forecast, solve the MPC (otem_controller.h), apply
+// the first step's controls through the hybrid architecture and the
+// cooling system, then advance the plant with the PLANT's own clamps —
+// the controller never bypasses physics.
+#pragma once
+
+#include <memory>
+
+#include "core/forecast.h"
+#include "core/methodology.h"
+#include "core/otem/otem_controller.h"
+#include "core/system_spec.h"
+
+namespace otem::core {
+
+class OtemMethodology final : public Methodology {
+ public:
+  /// `forecast` models the prediction channel between route knowledge
+  /// and the MPC (core/forecast.h); null means perfect prediction, the
+  /// paper's evaluation setting.
+  OtemMethodology(const SystemSpec& spec, MpcOptions mpc_options = {},
+                  OtemSolverOptions solver_options = {},
+                  std::unique_ptr<ForecastModel> forecast = nullptr);
+
+  /// Bring-your-own solver variant (e.g. LtvOtemController).
+  OtemMethodology(const SystemSpec& spec,
+                  std::unique_ptr<ControllerIface> controller,
+                  std::unique_ptr<ForecastModel> forecast = nullptr);
+
+  std::string name() const override { return "otem"; }
+
+  void reset(const PlantState& initial,
+             const TimeSeries& power_forecast) override;
+
+  StepRecord step(PlantState& state, double p_e_w, size_t k,
+                  double dt) override;
+
+  /// The shooting controller's diagnostics — only valid when the
+  /// default controller is in use (throws otherwise).
+  const OtemController& controller() const;
+  const ForecastModel& forecast() const { return *forecast_; }
+
+ private:
+  hees::HybridArchitecture arch_;
+  thermal::CoolingSystem cooling_;
+  std::unique_ptr<ControllerIface> controller_;
+  std::unique_ptr<ForecastModel> forecast_;
+  double ambient_k_;
+  double pump_w_;
+};
+
+}  // namespace otem::core

@@ -1,0 +1,46 @@
+#include "core/parallel_methodology.h"
+
+namespace otem::core {
+
+ParallelMethodology::ParallelMethodology(const SystemSpec& spec)
+    : arch_(spec.make_parallel_arch()),
+      cooling_(spec.make_cooling()),
+      ambient_k_(spec.ambient_k) {}
+
+void ParallelMethodology::reset(const PlantState&, const TimeSeries&) {}
+
+StepRecord ParallelMethodology::step(PlantState& state, double p_e_w,
+                                     size_t /*k*/, double dt) {
+  StepRecord rec;
+  rec.p_load_w = p_e_w;
+
+  const hees::ArchStep arch = arch_.step(
+      state.soc_percent, state.soe_percent, state.t_battery_k, p_e_w, dt);
+
+  // Passive coolant loop: inlet at the ambient-radiator temperature,
+  // no cooler/pump electric cost.
+  const double t_inlet =
+      cooling_.passive_inlet(state.t_coolant_k, ambient_k_);
+  const thermal::ThermalState th = cooling_.step(
+      {state.t_battery_k, state.t_coolant_k}, arch.q_bat_w, t_inlet, dt);
+
+  state.t_battery_k = th.t_battery_k;
+  state.t_coolant_k = th.t_coolant_k;
+  state.soc_percent = arch.soc_next;
+  state.soe_percent = arch.soe_next;
+
+  rec.t_inlet_k = t_inlet;
+  rec.i_bat_a = arch.i_bat_a;
+  rec.i_cap_a = arch.i_cap_a;
+  rec.q_bat_w = arch.q_bat_w;
+  rec.e_bat_j = arch.e_bat_j;
+  rec.e_cap_j = arch.e_cap_j;
+  rec.e_loss_j = arch.e_loss_j;
+  rec.qloss_percent = arch.qloss_percent;
+  rec.feasible = arch.feasible;
+  rec.unmet_w = arch.unmet_bus_w;
+  rec.state_after = state;
+  return rec;
+}
+
+}  // namespace otem::core

@@ -1,0 +1,32 @@
+// parallel_methodology.h — baseline [15]: plain parallel HEES.
+//
+// "There is no thermal or energy management implemented" (Section
+// IV-B.1): the battery and ultracapacitor hang in parallel across the
+// load, physics does the power split, and the coolant loop runs
+// passively at the ambient-radiator inlet with no cooler or pump cost.
+#pragma once
+
+#include "core/methodology.h"
+#include "core/system_spec.h"
+
+namespace otem::core {
+
+class ParallelMethodology final : public Methodology {
+ public:
+  explicit ParallelMethodology(const SystemSpec& spec);
+
+  std::string name() const override { return "parallel"; }
+
+  void reset(const PlantState& initial,
+             const TimeSeries& power_forecast) override;
+
+  StepRecord step(PlantState& state, double p_e_w, size_t k,
+                  double dt) override;
+
+ private:
+  hees::ParallelArchitecture arch_;
+  thermal::CoolingSystem cooling_;
+  double ambient_k_;
+};
+
+}  // namespace otem::core

@@ -1,0 +1,16 @@
+// plant_state.h — the physical state every methodology evolves.
+//
+// Matches the paper's MPC state vector x = [T_b, T_c, SoE, SoC]
+// (Algorithm 1, line 5); initial conditions x^0 = [298, 298, 100, 100].
+#pragma once
+
+namespace otem::core {
+
+struct PlantState {
+  double t_battery_k = 298.0;   ///< T_b
+  double t_coolant_k = 298.0;   ///< T_c
+  double soe_percent = 100.0;   ///< ultracapacitor State-of-Energy
+  double soc_percent = 100.0;   ///< battery State-of-Charge
+};
+
+}  // namespace otem::core

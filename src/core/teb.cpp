@@ -1,0 +1,29 @@
+#include "core/teb.h"
+
+#include <algorithm>
+
+namespace otem::core {
+
+TebMetric::TebMetric(const SystemSpec& spec)
+    : battery_heat_capacity_(spec.thermal.battery_heat_capacity),
+      t_max_k_(spec.thermal.max_battery_temp_k),
+      t_min_k_(spec.thermal.min_battery_temp_k),
+      soe_floor_(spec.ultracap.min_soe_percent),
+      cap_energy_j_(spec.ultracap.energy_capacity_j()) {}
+
+TebValue TebMetric::evaluate(const PlantState& state) const {
+  TebValue v;
+  const double headroom_k = std::max(0.0, t_max_k_ - state.t_battery_k);
+  v.thermal_budget_j = battery_heat_capacity_ * headroom_k;
+  v.thermal_fraction =
+      std::clamp(headroom_k / (t_max_k_ - t_min_k_), 0.0, 1.0);
+
+  const double usable_percent =
+      std::max(0.0, state.soe_percent - soe_floor_);
+  v.energy_budget_j = usable_percent / 100.0 * cap_energy_j_;
+  v.energy_fraction =
+      std::clamp(usable_percent / (100.0 - soe_floor_), 0.0, 1.0);
+  return v;
+}
+
+}  // namespace otem::core

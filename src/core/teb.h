@@ -1,0 +1,50 @@
+// teb.h — the paper's Thermal and Energy Budget (TEB) metric.
+//
+// TEB quantifies how prepared the HEES is for upcoming power requests
+// (Section I): the THERMAL budget is the heat the battery pack can
+// absorb before hitting the C1 safety ceiling; the ENERGY budget is the
+// ultracapacitor energy usable above the C5 floor. OTEM's whole point
+// is to keep TEB adequate *before* large requests arrive — pre-cool or
+// pre-charge "up to the perfect amount". Fig. 7 plots these components
+// over time.
+#pragma once
+
+#include "core/plant_state.h"
+#include "core/system_spec.h"
+
+namespace otem::core {
+
+struct TebValue {
+  /// Heat absorbable before T_b reaches the safety ceiling [J thermal]:
+  /// C_b * (T_b,max - T_b), floored at 0.
+  double thermal_budget_j = 0.0;
+
+  /// Ultracap energy available above the SoE floor [J electric].
+  double energy_budget_j = 0.0;
+
+  /// Normalised budgets in [0, 1] (fraction of the full band).
+  double thermal_fraction = 0.0;
+  double energy_fraction = 0.0;
+
+  /// Combined scalar: mean of the two fractions — the single "TEB"
+  /// number used in telemetry.
+  double combined() const {
+    return 0.5 * (thermal_fraction + energy_fraction);
+  }
+};
+
+class TebMetric {
+ public:
+  explicit TebMetric(const SystemSpec& spec);
+
+  TebValue evaluate(const PlantState& state) const;
+
+ private:
+  double battery_heat_capacity_;
+  double t_max_k_;
+  double t_min_k_;
+  double soe_floor_;
+  double cap_energy_j_;
+};
+
+}  // namespace otem::core

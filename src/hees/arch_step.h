@@ -1,0 +1,41 @@
+// arch_step.h — common result of applying one architecture time step.
+//
+// Every architecture (parallel, dual, hybrid) resolves a power request
+// into storage currents, updated storage states, heat and accumulated
+// energy/ageing over one plant step. Battery temperature is held fixed
+// within the step (thermal time constants are minutes; plant steps are
+// ~1 s) — the thermal model consumes the returned heat afterwards.
+#pragma once
+
+namespace otem::hees {
+
+struct ArchStep {
+  // Currents averaged over the step.
+  double i_bat_a = 0.0;      ///< battery pack current [A], discharge +
+  double i_cap_a = 0.0;      ///< ultracap current [A] (bus/terminal level)
+
+  // Updated storage states.
+  double soc_next = 0.0;     ///< battery SoC [%]
+  double soe_next = 0.0;     ///< ultracap SoE [%]
+
+  // Thermal/ageing effects of the step.
+  double q_bat_w = 0.0;      ///< mean battery heat generation [W]
+  double qloss_percent = 0.0;///< capacity loss accumulated this step [%]
+
+  // Energy bookkeeping over the step [J].
+  double e_bat_j = 0.0;      ///< chemistry energy drawn from the battery
+                             ///< (Voc * I integrated; negative on charge)
+  double e_cap_j = 0.0;      ///< energy drawn from the ultracap terminal
+  double e_loss_j = 0.0;     ///< resistive + conversion losses
+
+  /// False when a request had to be clamped (storage limit hit); the
+  /// simulator accumulates these as reliability violations.
+  bool feasible = true;
+
+  /// Bus power the architecture could NOT deliver this step [W]
+  /// (mean over the step; 0 when the request was met). Distinguishes a
+  /// 2 kW boundary graze from a 30 kW brown-out.
+  double unmet_bus_w = 0.0;
+};
+
+}  // namespace otem::hees

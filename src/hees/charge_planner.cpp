@@ -1,0 +1,81 @@
+#include "hees/charge_planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace otem::hees {
+
+ChargePlan simulate_migration(const battery::PackModel& battery,
+                              const ultracap::BankModel& bank,
+                              const Converter& cap_converter,
+                              const ChargePlannerInputs& in,
+                              const std::vector<double>& bus_power_w) {
+  OTEM_REQUIRE(in.dt > 0.0, "planner step must be positive");
+  OTEM_REQUIRE(in.soe_target_percent > in.soe_start_percent,
+               "migration target must exceed the starting SoE");
+
+  ChargePlan out;
+  double soe = in.soe_start_percent;
+  for (double p_bus : bus_power_w) {
+    if (soe >= in.soe_target_percent) break;
+    OTEM_REQUIRE(p_bus >= 0.0, "migration power must be non-negative");
+    // Bank side: p_bus arrives through the converter.
+    const double v_cap = bank.voltage(soe);
+    const double eta = cap_converter.efficiency(v_cap);
+    const double p_stored = p_bus * eta;
+    soe = bank.step_soe(soe, -p_stored, in.dt);
+    out.converter_loss_j += (p_bus - p_stored) * in.dt;
+
+    // Battery side: supplies p_bus at its terminal.
+    const battery::PowerSolve solve =
+        battery.current_for_power(in.soc_percent, in.t_battery_k, p_bus);
+    const double i = solve.current_a;
+    out.battery_energy_j +=
+        battery.open_circuit_voltage(in.soc_percent) * i * in.dt;
+    out.battery_loss_j +=
+        i * i * battery.internal_resistance(in.soc_percent, in.t_battery_k) *
+        in.dt;
+    ++out.steps;
+  }
+  out.final_soe_percent = soe;
+  out.feasible = soe >= in.soe_target_percent - 1e-9;
+  return out;
+}
+
+ChargePlan plan_migration(const battery::PackModel& battery,
+                          const ultracap::BankModel& bank,
+                          const Converter& cap_converter,
+                          const ChargePlannerInputs& in) {
+  OTEM_REQUIRE(in.window_s >= in.dt, "window shorter than one step");
+  const size_t steps = static_cast<size_t>(in.window_s / in.dt);
+
+  auto outcome = [&](double p_bus) {
+    ChargePlan plan = simulate_migration(
+        battery, bank, cap_converter, in,
+        std::vector<double>(steps, p_bus));
+    plan.bus_power_w = p_bus;
+    return plan;
+  };
+
+  // Feasibility at the ceiling first.
+  ChargePlan best = outcome(in.max_bus_power_w);
+  if (!best.feasible) return best;  // best effort, flagged infeasible
+
+  // Bisect for the lowest constant power that still completes — the
+  // minimum-I^2R schedule.
+  double lo = 0.0, hi = in.max_bus_power_w;
+  for (int it = 0; it < 50; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (outcome(mid).feasible)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  best = outcome(hi);
+  OTEM_ENSURE(best.feasible, "bisection lost feasibility");
+  return best;
+}
+
+}  // namespace otem::hees

@@ -1,0 +1,67 @@
+// charge_planner.h — energy-migration planning (battery -> ultracap).
+//
+// The hybrid architecture can migrate charge between storages [14];
+// OTEM does it implicitly inside the MPC, but charging the bank during
+// a known idle window (pre-trip conditioning, a charging stop) is a
+// planning problem in its own right: WHEN and HOW HARD to push so the
+// target SoE is reached with minimum battery loss.
+//
+// In this model the converter loss depends only on the bank voltage
+// (state), not the rate, so the schedulable loss is the battery's
+// I^2 R — strictly convex in power. The minimum-loss plan is therefore
+// the LOWEST CONSTANT battery power that completes in the window
+// (Jensen: any power wobble adds loss), which the planner computes by
+// bisection on the constant bus power, simulating the voltage-dependent
+// converter forward.
+#pragma once
+
+#include <vector>
+
+#include "battery/battery_model.h"
+#include "hees/converter.h"
+#include "ultracap/ultracap_model.h"
+
+namespace otem::hees {
+
+struct ChargePlan {
+  /// Constant bus-side charging power [W] (positive number; the bank
+  /// RECEIVES it through the converter).
+  double bus_power_w = 0.0;
+  /// Steps actually needed (<= window).
+  size_t steps = 0;
+  /// Predicted outcome.
+  double final_soe_percent = 0.0;
+  double battery_energy_j = 0.0;   ///< chemistry energy drawn
+  double battery_loss_j = 0.0;     ///< I^2 R inside the pack
+  double converter_loss_j = 0.0;   ///< lost across the DC/DC stage
+  bool feasible = false;           ///< target reachable within limits
+};
+
+struct ChargePlannerInputs {
+  double soc_percent = 90.0;     ///< battery state (held ~constant)
+  double t_battery_k = 298.15;
+  double soe_start_percent = 30.0;
+  double soe_target_percent = 90.0;
+  double window_s = 120.0;
+  double dt = 1.0;
+  /// Bus-power ceiling for the migration [W] (battery electronics).
+  double max_bus_power_w = 40000.0;
+};
+
+/// Plan the minimum-loss constant-power migration. Infeasible targets
+/// return the best-effort plan at the power ceiling with
+/// `feasible == false`.
+ChargePlan plan_migration(const battery::PackModel& battery,
+                          const ultracap::BankModel& bank,
+                          const Converter& cap_converter,
+                          const ChargePlannerInputs& in);
+
+/// Simulate an arbitrary bus-power schedule (same conventions) and
+/// report the outcome — used to compare plans.
+ChargePlan simulate_migration(const battery::PackModel& battery,
+                              const ultracap::BankModel& bank,
+                              const Converter& cap_converter,
+                              const ChargePlannerInputs& in,
+                              const std::vector<double>& bus_power_w);
+
+}  // namespace otem::hees

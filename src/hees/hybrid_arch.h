@@ -1,0 +1,71 @@
+// hybrid_arch.h — Hybrid HEES architecture (paper Section II-C.2).
+//
+// Battery and ultracapacitor each connect to the vehicle DC bus through
+// their own DC/DC converter (Fig. 4), so the power drawn from each
+// storage is an independent control input — the flexibility OTEM needs
+// for energy migration (pre-charging the UC) and utilisation splitting.
+// Converter efficiency is voltage-dependent (hees/converter.h), which
+// is what couples the UC's SoE to total HEES efficiency.
+//
+// The architecture applies a pair of BUS-side power requests
+// (p_bat_bus, p_cap_bus); physical limits (UC energy window and power
+// rating, battery deliverable power) clamp the request, and any
+// clamped-away shortfall on the UC branch is transparently shifted to
+// the battery branch so the bus power balance holds.
+#pragma once
+
+#include "battery/aging.h"
+#include "battery/battery_model.h"
+#include "hees/arch_step.h"
+#include "hees/converter.h"
+#include "ultracap/ultracap_model.h"
+
+namespace otem::hees {
+
+struct HybridParams {
+  ConverterParams battery_converter;   ///< nominal voltage <- pack Voc(100)
+  ConverterParams cap_converter;       ///< nominal voltage <- UC rated V
+  /// Battery power restriction [W] at the storage side — paper C6.
+  double max_battery_power_w = 150000.0;
+
+  /// Build defaults sized for the given storage models, with optional
+  /// config overrides under "hees.".
+  static HybridParams for_storages(const battery::PackModel& battery,
+                                   const ultracap::BankModel& ultracap,
+                                   const Config& cfg = Config());
+};
+
+class HybridArchitecture {
+ public:
+  HybridArchitecture(battery::PackModel battery, ultracap::BankModel ultracap,
+                     HybridParams params);
+
+  const battery::PackModel& battery() const { return battery_; }
+  const ultracap::BankModel& ultracap() const { return ultracap_; }
+  const Converter& battery_converter() const { return bat_conv_; }
+  const Converter& cap_converter() const { return cap_conv_; }
+  const HybridParams& params() const { return params_; }
+
+  /// Apply bus-side requests for one step. The bus must receive
+  /// p_bat_bus + p_cap_bus in total; clamped UC shortfall is shifted to
+  /// the battery branch. `feasible` is false when even the battery
+  /// cannot cover the final request.
+  ArchStep step(double soc_percent, double soe_percent, double t_battery_k,
+                double p_bat_bus_w, double p_cap_bus_w, double dt) const;
+
+  /// Bus-side power the UC branch can actually deliver (+) this step.
+  double cap_bus_discharge_limit(double soe_percent, double dt) const;
+
+  /// Bus-side power the UC branch can actually absorb this step (>= 0).
+  double cap_bus_charge_limit(double soe_percent, double dt) const;
+
+ private:
+  battery::PackModel battery_;
+  ultracap::BankModel ultracap_;
+  battery::CapacityFadeModel fade_;
+  HybridParams params_;
+  Converter bat_conv_;
+  Converter cap_conv_;
+};
+
+}  // namespace otem::hees

@@ -1,0 +1,123 @@
+#include "hees/parallel_arch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace otem::hees {
+
+ParallelArchitecture::ParallelArchitecture(battery::PackModel battery,
+                                           ultracap::BankModel ultracap,
+                                           double cap_path_resistance)
+    : battery_(std::move(battery)),
+      ultracap_(std::move(ultracap)),
+      fade_(battery_.params().cell),
+      v_ref_(battery_.open_circuit_voltage(100.0)),
+      r_c_(cap_path_resistance) {
+  OTEM_ENSURE(v_ref_ > 0.0, "pack reference voltage must be positive");
+  OTEM_REQUIRE(r_c_ > 0.0, "ultracap path resistance must be positive");
+}
+
+double ParallelArchitecture::effective_capacitance() const {
+  const double vr = ultracap_.params().rated_voltage;
+  return ultracap_.params().capacitance_f * (vr / v_ref_) * (vr / v_ref_);
+}
+
+double ParallelArchitecture::cap_bus_voltage(double soe_percent) const {
+  return v_ref_ * std::sqrt(std::clamp(soe_percent, 0.0, 100.0) / 100.0);
+}
+
+double ParallelArchitecture::equilibrium_soe(double soc_percent) const {
+  const double ratio =
+      battery_.open_circuit_voltage(soc_percent) / v_ref_;
+  return std::clamp(100.0 * ratio * ratio, 0.0, 100.0);
+}
+
+ArchStep ParallelArchitecture::step(double soc_percent, double soe_percent,
+                                    double t_battery_k, double p_load_w,
+                                    double dt) const {
+  OTEM_REQUIRE(dt > 0.0, "step duration must be positive");
+
+  ArchStep out;
+  out.soc_next = soc_percent;
+  out.soe_next = soe_percent;
+
+  // Sub-step sizing from the (R_b + R_c) C_eff relaxation constant.
+  const double rb0 = battery_.internal_resistance(soc_percent, t_battery_k);
+  const double tau =
+      std::max((rb0 + r_c_) * effective_capacitance(), 1e-3);
+  const int substeps =
+      std::clamp(static_cast<int>(std::ceil(dt / (tau / 5.0))), 1, 200);
+  const double h = dt / substeps;
+
+  const double e_cap_capacity = ultracap_.energy_capacity_j();
+  double q_heat_accum = 0.0;
+  double i_bat_accum = 0.0;
+  double i_cap_accum = 0.0;
+
+  double soc = soc_percent;
+  double soe = soe_percent;
+
+  for (int k = 0; k < substeps; ++k) {
+    const double vb = battery_.open_circuit_voltage(soc);
+    const double rb = battery_.internal_resistance(soc, t_battery_k);
+    const double vc = cap_bus_voltage(soe);
+
+    // Eqs. (10)-(13) with a resistive ultracap branch:
+    //   I_b = (V_b - V_l)/R_b,  I_c = (V_c - V_l)/R_c,
+    //   I_b + I_c = I_l = P_l / V_l
+    // giving G V_l^2 - S V_l + P = 0 with G = 1/R_b + 1/R_c and
+    // S = V_b/R_b + V_c/R_c. The physical operating point is the
+    // high-voltage root. A bank at the 100 % ceiling cannot absorb
+    // charge: its branch opens and surplus regen goes to the brakes.
+    const bool cap_open = soe >= 100.0 && p_load_w < 0.0;
+    const double g = 1.0 / rb + (cap_open ? 0.0 : 1.0 / r_c_);
+    const double s = vb / rb + (cap_open ? 0.0 : vc / r_c_);
+    const double disc = s * s - 4.0 * g * p_load_w;
+    double v_l;
+    if (disc >= 0.0) {
+      v_l = (s + std::sqrt(disc)) / (2.0 * g);
+    } else {
+      v_l = s / (2.0 * g);  // peak-power clamp
+      out.feasible = false;
+      // Delivered power at the clamp is s^2/(4g); the rest is unmet.
+      out.unmet_bus_w += (p_load_w - s * s / (4.0 * g)) * h / dt;
+    }
+
+    const double i_b = (vb - v_l) / rb;
+    double i_c = cap_open ? 0.0 : (vc - v_l) / r_c_;
+    // A drained bank cannot source current.
+    if (soe <= 0.0 && i_c > 0.0) {
+      i_c = 0.0;
+      out.feasible = false;
+    }
+
+    // Stored-energy flow out of the capacitor plates (loss in R_c is
+    // external to the storage).
+    const double p_cap = vc * i_c;
+
+    // State updates.
+    soe = std::clamp(soe - 100.0 * p_cap * h / e_cap_capacity, 0.0, 100.0);
+    soc = battery_.step_soc(soc, i_b, h);
+
+    // Bookkeeping.
+    out.e_bat_j += vb * i_b * h;
+    out.e_cap_j += p_cap * h;
+    out.e_loss_j += (i_b * i_b * rb + i_c * i_c * r_c_) * h;
+    q_heat_accum += battery_.heat_generation(soc, t_battery_k, i_b) * h;
+    out.qloss_percent += fade_.loss_for_step(
+        std::max(i_b, 0.0) / battery_.params().parallel, t_battery_k, h);
+    i_bat_accum += i_b * h;
+    i_cap_accum += i_c * h;
+  }
+
+  out.soc_next = soc;
+  out.soe_next = soe;
+  out.q_bat_w = q_heat_accum / dt;
+  out.i_bat_a = i_bat_accum / dt;
+  out.i_cap_a = i_cap_accum / dt;
+  return out;
+}
+
+}  // namespace otem::hees

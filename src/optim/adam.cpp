@@ -1,0 +1,63 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "optim/vector_ops.h"
+
+namespace otem::optim {
+
+SolveResult minimize_adam(Objective& objective, const Box& box,
+                          const Vector& x0, const AdamOptions& options) {
+  const size_t n = objective.dim();
+  OTEM_REQUIRE(x0.size() == n, "Adam: x0 dimension mismatch");
+  OTEM_REQUIRE(box.lo.size() == n && box.hi.size() == n,
+               "Adam: box dimension mismatch");
+
+  Vector x = x0;
+  project_box(box.lo, box.hi, x);
+
+  Vector m(n, 0.0);
+  Vector v(n, 0.0);
+  Vector grad(n, 0.0);
+
+  SolveResult result;
+  result.x = x;
+  result.value = objective.value_and_gradient(x, grad);
+
+  double best_value = result.value;
+  Vector best_x = x;
+
+  for (size_t it = 1; it <= options.max_iterations; ++it) {
+    const double pg = projected_gradient_norm(box.lo, box.hi, x, grad);
+    if (pg < options.tolerance) {
+      result.converged = true;
+      result.iterations = it - 1;
+      break;
+    }
+
+    const double bc1 = 1.0 - std::pow(options.beta1, static_cast<double>(it));
+    const double bc2 = 1.0 - std::pow(options.beta2, static_cast<double>(it));
+    for (size_t i = 0; i < n; ++i) {
+      m[i] = options.beta1 * m[i] + (1.0 - options.beta1) * grad[i];
+      v[i] = options.beta2 * v[i] + (1.0 - options.beta2) * grad[i] * grad[i];
+      const double mh = m[i] / bc1;
+      const double vh = v[i] / bc2;
+      x[i] -= options.learning_rate * mh / (std::sqrt(vh) + options.epsilon);
+    }
+    project_box(box.lo, box.hi, x);
+
+    const double f = objective.value_and_gradient(x, grad);
+    if (f < best_value) {
+      best_value = f;
+      best_x = x;
+    }
+    result.iterations = it;
+  }
+
+  result.x = std::move(best_x);
+  result.value = best_value;
+  return result;
+}
+
+}  // namespace otem::optim

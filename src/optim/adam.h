@@ -1,0 +1,28 @@
+// adam.h — box-projected Adam for smooth minimisation.
+//
+// The workhorse inner solver of the MPC controller: cheap per iteration,
+// tolerant of the mild non-convexity of the HEES rollout, and trivially
+// warm-startable from the previous MPC step's shifted solution.
+#pragma once
+
+#include "optim/problem.h"
+
+namespace otem::optim {
+
+struct AdamOptions {
+  size_t max_iterations = 300;
+  double learning_rate = 0.05;   ///< step scale; callers scale per problem
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  /// Stop when the projected-gradient infinity norm falls below this.
+  double tolerance = 1e-7;
+};
+
+/// Minimise `objective` over the box, starting from x0 (projected into the
+/// box first). Tracks and returns the best iterate seen, not merely the
+/// last one.
+SolveResult minimize_adam(Objective& objective, const Box& box,
+                          const Vector& x0, const AdamOptions& options = {});
+
+}  // namespace otem::optim

@@ -1,0 +1,140 @@
+#include "optim/augmented_lagrangian.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "optim/vector_ops.h"
+
+namespace otem::optim {
+
+namespace {
+
+// Inner objective: L(x; lam, mu) with gradient assembled through the
+// ConstrainedObjective's two-pass (forward/backward) interface.
+class AlInner final : public Objective {
+ public:
+  AlInner(ConstrainedObjective& problem, const Vector& lam, double mu)
+      : problem_(problem), lam_(lam), mu_(mu), c_(problem.num_constraints()),
+        w_(problem.num_constraints()) {}
+
+  size_t dim() const override { return problem_.dim(); }
+
+  double value_and_gradient(const Vector& x, Vector& grad) override {
+    const double f = problem_.evaluate(x, c_);
+    double penalty = 0.0;
+    for (size_t i = 0; i < c_.size(); ++i) {
+      const double t = std::max(0.0, lam_[i] + mu_ * c_[i]);
+      w_[i] = t;  // dL/dc_i
+      penalty += (t * t - lam_[i] * lam_[i]);
+    }
+    grad.assign(dim(), 0.0);
+    problem_.gradient(x, w_, grad);
+    return f + penalty / (2.0 * mu_);
+  }
+
+  /// Constraint values from the most recent evaluate().
+  const Vector& last_constraints() const { return c_; }
+
+ private:
+  ConstrainedObjective& problem_;
+  const Vector& lam_;
+  double mu_;
+  Vector c_;
+  Vector w_;
+};
+
+double max_violation(const Vector& c) {
+  double m = 0.0;
+  for (double v : c) m = std::max(m, v);
+  return m;
+}
+
+}  // namespace
+
+SolveResult minimize_augmented_lagrangian(
+    ConstrainedObjective& problem, const Vector& x0,
+    const AugmentedLagrangianOptions& options) {
+  const size_t n = problem.dim();
+  const size_t m = problem.num_constraints();
+  OTEM_REQUIRE(x0.size() == n, "AL: x0 dimension mismatch");
+
+  const Box box = problem.bounds();
+  OTEM_REQUIRE(box.lo.size() == n && box.hi.size() == n,
+               "AL: bounds dimension mismatch");
+
+  Vector lam(m, 0.0);
+  if (!options.initial_multipliers.empty()) {
+    OTEM_REQUIRE(options.initial_multipliers.size() == m,
+                 "AL: warm-start multiplier size mismatch");
+    lam = options.initial_multipliers;
+  }
+  double mu = options.initial_penalty;
+
+  Vector x = x0;
+  project_box(box.lo, box.hi, x);
+
+  SolveResult best;
+  best.x = x;
+  {
+    Vector c(m);
+    best.value = problem.evaluate(x, c);
+    best.constraint_violation = max_violation(c);
+  }
+
+  double prev_violation = std::numeric_limits<double>::infinity();
+  size_t total_iterations = 0;
+
+  for (size_t outer = 0; outer < options.max_outer_iterations; ++outer) {
+    AlInner inner(problem, lam, mu);
+    SolveResult r = minimize_adam(inner, box, x, options.adam);
+    if (options.polish_with_lbfgs) {
+      const SolveResult p = minimize_lbfgs(inner, box, r.x, options.lbfgs);
+      if (p.value <= r.value) {
+        r.x = p.x;
+        r.iterations += p.iterations;
+      }
+    }
+    total_iterations += r.iterations;
+    x = r.x;
+
+    // Fresh constraint values and true objective at the inner solution.
+    Vector c(m);
+    const double f = problem.evaluate(x, c);
+    const double violation = max_violation(c);
+
+    // Keep the best point by (feasibility first, then objective).
+    const bool improves =
+        (violation <= options.constraint_tolerance &&
+         (best.constraint_violation > options.constraint_tolerance ||
+          f < best.value)) ||
+        (best.constraint_violation > options.constraint_tolerance &&
+         violation < best.constraint_violation);
+    if (improves) {
+      best.x = x;
+      best.value = f;
+      best.constraint_violation = violation;
+    }
+
+    if (violation <= options.constraint_tolerance) {
+      // Multiplier refinement still helps the objective, but a feasible
+      // point plus a converged inner solve is our acceptance criterion.
+      best.converged = true;
+      if (outer + 1 >= 2) break;  // one refinement round is enough
+    }
+
+    // First-order multiplier update.
+    for (size_t i = 0; i < m; ++i)
+      lam[i] = std::max(0.0, lam[i] + mu * c[i]);
+
+    // Penalty schedule.
+    if (violation > options.required_decrease * prev_violation)
+      mu = std::min(mu * options.penalty_growth, options.max_penalty);
+    prev_violation = violation;
+  }
+
+  best.iterations = total_iterations;
+  return best;
+}
+
+}  // namespace otem::optim

@@ -1,0 +1,42 @@
+// augmented_lagrangian.h — outer loop for inequality-constrained NLPs.
+//
+// Solves  min f(x)  s.t.  c(x) <= 0,  lo <= x <= hi
+// by repeatedly minimising the augmented Lagrangian
+//   L(x; lam, mu) = f(x) + 1/(2 mu) * sum_i [ max(0, lam_i + mu c_i(x))^2
+//                                             - lam_i^2 ]
+// over the box with the inner solver (Adam, optional L-BFGS polish), then
+// updating lam_i <- max(0, lam_i + mu c_i(x)) and growing mu while the
+// constraint violation is not shrinking fast enough. This is exactly the
+// optimiser shape MATLAB's fmincon-class solvers provide to the paper's
+// MPC (Eq. 18-19); we verify stationarity and feasibility in tests.
+#pragma once
+
+#include "optim/adam.h"
+#include "optim/lbfgs.h"
+#include "optim/problem.h"
+
+namespace otem::optim {
+
+struct AugmentedLagrangianOptions {
+  size_t max_outer_iterations = 8;
+  double initial_penalty = 10.0;       ///< mu_0
+  double penalty_growth = 5.0;         ///< mu <- growth * mu when stalled
+  double max_penalty = 1e7;
+  double constraint_tolerance = 1e-4;  ///< max_i c_i(x) acceptance level
+  /// Violation must shrink by this factor per outer iteration or the
+  /// penalty is increased.
+  double required_decrease = 0.25;
+  AdamOptions adam;
+  bool polish_with_lbfgs = true;
+  LbfgsOptions lbfgs;
+  /// Optional warm-start multipliers (size num_constraints or empty).
+  Vector initial_multipliers;
+};
+
+/// Minimise the constrained problem starting from x0. Returns the best
+/// feasible-ish iterate; `constraint_violation` reports max_i c_i(x).
+SolveResult minimize_augmented_lagrangian(
+    ConstrainedObjective& problem, const Vector& x0,
+    const AugmentedLagrangianOptions& options = {});
+
+}  // namespace otem::optim

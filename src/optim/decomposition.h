@@ -1,0 +1,51 @@
+// decomposition.h — Cholesky and LU factorisations with solves.
+//
+// Used by the QP solver (KKT systems) and available for tests and
+// model-fitting utilities. Both throw otem::SimError on singular /
+// non-SPD input rather than returning NaNs.
+#pragma once
+
+#include <vector>
+
+#include "optim/matrix.h"
+
+namespace otem::optim {
+
+/// Cholesky factorisation A = L L^T of a symmetric positive-definite
+/// matrix. Throws if A is not SPD (within a pivot tolerance).
+class Cholesky {
+ public:
+  explicit Cholesky(const Matrix& a);
+
+  /// Solve A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// log(det A) — useful for conditioning diagnostics.
+  double log_det() const;
+
+  const Matrix& l() const { return l_; }
+
+ private:
+  Matrix l_;
+};
+
+/// LU factorisation with partial pivoting, P A = L U.
+class Lu {
+ public:
+  explicit Lu(const Matrix& a);
+
+  Vector solve(const Vector& b) const;
+
+  /// Determinant (including pivot sign).
+  double det() const;
+
+ private:
+  Matrix lu_;                  // packed L (unit diag) and U
+  std::vector<size_t> perm_;   // row permutation
+  int sign_ = 1;
+};
+
+/// Convenience: solve A x = b for general square A via LU.
+Vector solve_linear(const Matrix& a, const Vector& b);
+
+}  // namespace otem::optim

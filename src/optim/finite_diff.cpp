@@ -1,0 +1,42 @@
+#include "optim/finite_diff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace otem::optim {
+
+Vector finite_difference_gradient(
+    const std::function<double(const Vector&)>& f, const Vector& x,
+    double step) {
+  Vector g(x.size());
+  Vector xp = x;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double orig = xp[i];
+    const double h = step * std::max(1.0, std::abs(orig));
+    xp[i] = orig + h;
+    const double fp = f(xp);
+    xp[i] = orig - h;
+    const double fm = f(xp);
+    xp[i] = orig;
+    g[i] = (fp - fm) / (2.0 * h);
+  }
+  return g;
+}
+
+double gradient_max_rel_error(const std::function<double(const Vector&)>& f,
+                              const Vector& x, const Vector& analytic,
+                              double step) {
+  OTEM_REQUIRE(analytic.size() == x.size(),
+               "gradient_max_rel_error size mismatch");
+  const Vector fd = finite_difference_gradient(f, x, step);
+  double worst = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double denom = std::max(1.0, std::abs(fd[i]));
+    worst = std::max(worst, std::abs(fd[i] - analytic[i]) / denom);
+  }
+  return worst;
+}
+
+}  // namespace otem::optim

@@ -1,0 +1,24 @@
+// finite_diff.h — central-difference gradient checking.
+//
+// Every hand-written adjoint in the MPC layer is validated against these
+// in the test suite; they are not used on any hot path.
+#pragma once
+
+#include <functional>
+
+#include "optim/matrix.h"
+
+namespace otem::optim {
+
+/// Central-difference gradient of a scalar function at x.
+Vector finite_difference_gradient(
+    const std::function<double(const Vector&)>& f, const Vector& x,
+    double step = 1e-6);
+
+/// Max relative error between `analytic` and the finite-difference
+/// gradient of `f` at x (relative to max(1, |g_fd|)).
+double gradient_max_rel_error(const std::function<double(const Vector&)>& f,
+                              const Vector& x, const Vector& analytic,
+                              double step = 1e-6);
+
+}  // namespace otem::optim

@@ -1,0 +1,116 @@
+#include "optim/lbfgs.h"
+
+#include <cmath>
+#include <deque>
+
+#include "common/error.h"
+#include "optim/vector_ops.h"
+
+namespace otem::optim {
+
+namespace {
+struct Pair {
+  Vector s;
+  Vector y;
+  double rho;
+};
+
+// Two-loop recursion: d = -H * g with implicit H from the history.
+Vector lbfgs_direction(const std::deque<Pair>& hist, const Vector& g) {
+  Vector q = g;
+  std::vector<double> alpha(hist.size());
+  for (size_t i = hist.size(); i-- > 0;) {
+    alpha[i] = hist[i].rho * dot(hist[i].s, q);
+    axpy(-alpha[i], hist[i].y, q);
+  }
+  double gamma = 1.0;
+  if (!hist.empty()) {
+    const auto& last = hist.back();
+    const double yy = dot(last.y, last.y);
+    if (yy > 0.0) gamma = dot(last.s, last.y) / yy;
+  }
+  for (double& v : q) v *= gamma;
+  for (size_t i = 0; i < hist.size(); ++i) {
+    const double beta = hist[i].rho * dot(hist[i].y, q);
+    axpy(alpha[i] - beta, hist[i].s, q);
+  }
+  for (double& v : q) v = -v;
+  return q;
+}
+}  // namespace
+
+SolveResult minimize_lbfgs(Objective& objective, const Box& box,
+                           const Vector& x0, const LbfgsOptions& options) {
+  const size_t n = objective.dim();
+  OTEM_REQUIRE(x0.size() == n, "L-BFGS: x0 dimension mismatch");
+  OTEM_REQUIRE(box.lo.size() == n && box.hi.size() == n,
+               "L-BFGS: box dimension mismatch");
+
+  Vector x = x0;
+  project_box(box.lo, box.hi, x);
+  Vector grad(n, 0.0);
+  double f = objective.value_and_gradient(x, grad);
+
+  std::deque<Pair> hist;
+  SolveResult result;
+  result.x = x;
+  result.value = f;
+
+  for (size_t it = 0; it < options.max_iterations; ++it) {
+    const double pg = projected_gradient_norm(box.lo, box.hi, x, grad);
+    if (pg < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    Vector d = lbfgs_direction(hist, grad);
+    if (dot(d, grad) > -1e-14 * norm2(d) * norm2(grad)) {
+      // Not a descent direction — restart with steepest descent.
+      hist.clear();
+      d = scaled(grad, -1.0);
+    }
+
+    // Backtracking Armijo along the projected path.
+    double step = 1.0;
+    Vector x_new(n);
+    Vector grad_new(n, 0.0);
+    double f_new = f;
+    bool accepted = false;
+    for (size_t ls = 0; ls < options.max_line_search; ++ls) {
+      x_new = x;
+      axpy(step, d, x_new);
+      project_box(box.lo, box.hi, x_new);
+      const Vector dx = subtract(x_new, x);
+      const double decrease = dot(grad, dx);
+      f_new = objective.value_and_gradient(x_new, grad_new);
+      if (f_new <= f + options.armijo_c1 * decrease ||
+          (decrease >= 0.0 && f_new < f)) {
+        accepted = true;
+        break;
+      }
+      step *= options.backtrack_factor;
+    }
+    result.iterations = it + 1;
+    if (!accepted) break;  // line search failed: stationary for our purposes
+
+    Vector s = subtract(x_new, x);
+    Vector y = subtract(grad_new, grad);
+    const double sy = dot(s, y);
+    if (sy > 1e-12 * norm2(s) * norm2(y)) {
+      hist.push_back({std::move(s), std::move(y), 1.0 / sy});
+      if (hist.size() > options.history) hist.pop_front();
+    }
+
+    x = std::move(x_new);
+    grad = grad_new;
+    f = f_new;
+    if (f < result.value) {
+      result.value = f;
+      result.x = x;
+    }
+  }
+
+  return result;
+}
+
+}  // namespace otem::optim

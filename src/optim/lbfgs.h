@@ -1,0 +1,27 @@
+// lbfgs.h — limited-memory BFGS with box projection.
+//
+// Used to polish Adam's solution near a minimiser where curvature
+// information pays off. The projection scheme is the classic
+// projected-path backtracking: candidate points along the L-BFGS
+// direction are projected onto the box before the Armijo test, falling
+// back to steepest descent when the quasi-Newton direction is not a
+// descent direction.
+#pragma once
+
+#include "optim/problem.h"
+
+namespace otem::optim {
+
+struct LbfgsOptions {
+  size_t max_iterations = 100;
+  size_t history = 8;          ///< number of (s, y) pairs retained
+  double tolerance = 1e-8;     ///< projected-gradient stopping threshold
+  double armijo_c1 = 1e-4;
+  double backtrack_factor = 0.5;
+  size_t max_line_search = 30;
+};
+
+SolveResult minimize_lbfgs(Objective& objective, const Box& box,
+                           const Vector& x0, const LbfgsOptions& options = {});
+
+}  // namespace otem::optim

@@ -1,0 +1,121 @@
+#include "optim/matrix.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace otem::optim {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    OTEM_REQUIRE(row.size() == cols_, "ragged matrix initializer");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(const Vector& d) {
+  Matrix m(d.size(), d.size());
+  for (size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  OTEM_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+               "matrix addition shape mismatch");
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] + other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  OTEM_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+               "matrix subtraction shape mismatch");
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] - other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  OTEM_REQUIRE(cols_ == other.rows_, "matrix product shape mismatch");
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c)
+        out(r, c) += a * other(k, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * s;
+  return out;
+}
+
+Vector Matrix::operator*(const Vector& v) const {
+  OTEM_REQUIRE(cols_ == v.size(), "matrix-vector shape mismatch");
+  Vector out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (size_t c = 0; c < cols_; ++c) s += (*this)(r, c) * v[c];
+    out[r] = s;
+  }
+  return out;
+}
+
+void Matrix::transpose_multiply_add(const Vector& x, double alpha,
+                                    Vector& y) const {
+  OTEM_REQUIRE(rows_ == x.size() && cols_ == y.size(),
+               "transpose_multiply_add shape mismatch");
+  for (size_t r = 0; r < rows_; ++r) {
+    const double xr = alpha * x[r];
+    if (xr == 0.0) continue;
+    for (size_t c = 0; c < cols_; ++c) y[c] += (*this)(r, c) * xr;
+  }
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+bool Matrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t c = r + 1; c < cols_; ++c)
+      if (std::abs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+  return true;
+}
+
+}  // namespace otem::optim

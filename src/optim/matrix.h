@@ -1,0 +1,63 @@
+// matrix.h — dense row-major matrix for the optimisation stack.
+//
+// Sized for MPC-scale problems (tens to a few hundred rows); no BLAS, no
+// expression templates — straightforward loops the compiler vectorises.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace otem::optim {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+  /// Construct from nested initializer list, e.g. {{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(size_t n);
+  /// Diagonal matrix from a vector.
+  static Matrix diagonal(const Vector& d);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+
+  const double* data() const { return data_.data(); }
+
+  Matrix transposed() const;
+
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix operator*(const Matrix& other) const;
+  Matrix operator*(double s) const;
+
+  Vector operator*(const Vector& v) const;
+
+  /// y += alpha * A^T x (used by adjoint code and CG-style iterations).
+  void transpose_multiply_add(const Vector& x, double alpha, Vector& y) const;
+
+  /// Max absolute element (infinity norm of the flattened data).
+  double max_abs() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// True when symmetric to within `tol` (absolute).
+  bool is_symmetric(double tol = 1e-12) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace otem::optim

@@ -1,0 +1,67 @@
+// problem.h — optimisation problem interfaces.
+//
+// Two levels:
+//  * Objective — smooth box-constrained minimisation (inner solvers: Adam,
+//    L-BFGS).
+//  * ConstrainedObjective — adds general inequality constraints c(x) <= 0,
+//    solved by the augmented-Lagrangian outer loop. The two-pass
+//    evaluate()/gradient() split matches adjoint (reverse-mode)
+//    differentiation through a simulation rollout: evaluate() runs the
+//    forward pass and records intermediates, gradient() runs one backward
+//    pass accumulating the objective gradient plus a weighted sum of
+//    constraint gradients in a single sweep.
+#pragma once
+
+#include <cstddef>
+
+#include "optim/matrix.h"
+
+namespace otem::optim {
+
+/// Box bounds; components may be +/-infinity.
+struct Box {
+  Vector lo;
+  Vector hi;
+};
+
+/// Smooth objective with gradient, minimised subject to box bounds.
+class Objective {
+ public:
+  virtual ~Objective() = default;
+
+  virtual size_t dim() const = 0;
+
+  /// Returns f(x) and fills `grad` (resized by the caller to dim()).
+  virtual double value_and_gradient(const Vector& x, Vector& grad) = 0;
+};
+
+/// Objective with inequality constraints c_i(x) <= 0 in addition to the
+/// box. Implementations may cache forward-pass state between evaluate()
+/// and the gradient() call that follows at the same x.
+class ConstrainedObjective {
+ public:
+  virtual ~ConstrainedObjective() = default;
+
+  virtual size_t dim() const = 0;
+  virtual Box bounds() const = 0;
+  virtual size_t num_constraints() const = 0;
+
+  /// Forward pass: returns f(x), fills c_out (size num_constraints()).
+  virtual double evaluate(const Vector& x, Vector& c_out) = 0;
+
+  /// Backward pass at the x of the immediately preceding evaluate():
+  /// grad_out = grad f(x) + sum_i w[i] * grad c_i(x).
+  virtual void gradient(const Vector& x, const Vector& w,
+                        Vector& grad_out) = 0;
+};
+
+/// Result common to the iterative solvers.
+struct SolveResult {
+  Vector x;              ///< best iterate found
+  double value = 0.0;    ///< objective at x (AL: original objective)
+  size_t iterations = 0; ///< inner iterations actually performed
+  bool converged = false;
+  double constraint_violation = 0.0;  ///< max_i c_i(x), AL solver only
+};
+
+}  // namespace otem::optim

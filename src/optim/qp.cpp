@@ -1,0 +1,115 @@
+#include "optim/qp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "optim/decomposition.h"
+#include "optim/vector_ops.h"
+
+namespace otem::optim {
+
+QpResult solve_qp(const QpProblem& problem, const QpOptions& options) {
+  const size_t n = problem.q.size();
+  const size_t m = problem.l.size();
+  OTEM_REQUIRE(problem.p.rows() == n && problem.p.cols() == n,
+               "QP: P must be n x n");
+  OTEM_REQUIRE(problem.a.rows() == m && problem.a.cols() == n,
+               "QP: A must be m x n");
+  OTEM_REQUIRE(problem.u.size() == m, "QP: l/u size mismatch");
+  OTEM_REQUIRE(problem.p.is_symmetric(1e-9), "QP: P must be symmetric");
+  for (size_t i = 0; i < m; ++i)
+    OTEM_REQUIRE(problem.l[i] <= problem.u[i], "QP: l > u in some row");
+
+  // KKT matrix K = P + sigma I + rho A^T A, re-factored when rho adapts.
+  const Matrix ata = problem.a.transposed() * problem.a;
+  double rho = options.rho;
+  auto factor = [&](double rho_now) {
+    Matrix k = problem.p;
+    for (size_t i = 0; i < n; ++i) k(i, i) += options.sigma;
+    for (size_t r = 0; r < n; ++r)
+      for (size_t c = 0; c < n; ++c) k(r, c) += rho_now * ata(r, c);
+    return Cholesky(k);
+  };
+  Cholesky chol = factor(rho);
+
+  Vector x(n, 0.0);
+  Vector z(m, 0.0);
+  Vector y(m, 0.0);
+
+  QpResult result;
+  for (size_t it = 0; it < options.max_iterations; ++it) {
+    // x-update: solve K x = sigma x - q + A^T (rho z - y)
+    Vector rhs(n, 0.0);
+    for (size_t i = 0; i < n; ++i) rhs[i] = options.sigma * x[i] - problem.q[i];
+    Vector t(m);
+    for (size_t i = 0; i < m; ++i) t[i] = rho * z[i] - y[i];
+    problem.a.transpose_multiply_add(t, 1.0, rhs);
+    const Vector x_new = chol.solve(rhs);
+
+    // Over-relaxed z-update with projection onto [l, u].
+    const Vector ax = problem.a * x_new;
+    Vector z_new(m);
+    for (size_t i = 0; i < m; ++i) {
+      const double axr = options.alpha * ax[i] + (1.0 - options.alpha) * z[i];
+      z_new[i] = std::clamp(axr + y[i] / rho, problem.l[i],
+                            problem.u[i]);
+      y[i] += rho * (axr - z_new[i]);
+    }
+
+    // Residuals (unscaled OSQP-style).
+    double r_prim = 0.0;
+    for (size_t i = 0; i < m; ++i)
+      r_prim = std::max(r_prim, std::abs(ax[i] - z_new[i]));
+
+    // dual residual: || P x + q + A^T y ||_inf, with the OSQP-style
+    // relative scale max(||P x||, ||q||, ||A^T y||).
+    const Vector px = problem.p * x_new;
+    Vector aty(n, 0.0);
+    problem.a.transpose_multiply_add(y, 1.0, aty);
+    Vector dres(n);
+    for (size_t i = 0; i < n; ++i)
+      dres[i] = px[i] + problem.q[i] + aty[i];
+    const double r_dual = norm_inf(dres);
+    const double dual_scale = std::max(
+        {norm_inf(px), norm_inf(problem.q), norm_inf(aty)});
+
+    x = x_new;
+    z = z_new;
+    result.iterations = it + 1;
+    result.primal_residual = r_prim;
+    result.dual_residual = r_dual;
+
+    const double eps_p =
+        options.eps_abs +
+        options.eps_rel * std::max(norm_inf(ax), norm_inf(z));
+    const double eps_d = options.eps_abs + options.eps_rel * dual_scale;
+    if (r_prim <= eps_p && r_dual <= eps_d) {
+      result.converged = true;
+      break;
+    }
+
+    // Adaptive rho: rebalance when the (relative) primal and dual
+    // residuals diverge by more than one order of magnitude.
+    if (options.rho_update_interval != 0 &&
+        (it + 1) % options.rho_update_interval == 0) {
+      const double rel_p = r_prim / std::max(eps_p, 1e-30);
+      const double rel_d = r_dual / std::max(eps_d, 1e-30);
+      const double ratio = std::sqrt(rel_p / std::max(rel_d, 1e-30));
+      if (ratio > 3.16 || ratio < 0.316) {
+        const double rho_new =
+            std::clamp(rho * ratio, 1e-6, 1e6);
+        if (rho_new != rho) {
+          rho = rho_new;
+          chol = factor(rho);
+        }
+      }
+    }
+  }
+
+  result.x = std::move(x);
+  result.y = std::move(y);
+  return result;
+}
+
+}  // namespace otem::optim

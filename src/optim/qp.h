@@ -1,0 +1,53 @@
+// qp.h — dense convex quadratic programming via ADMM (OSQP-style).
+//
+// Solves
+//     min  1/2 x^T P x + q^T x
+//     s.t. l <= A x <= u
+// with P symmetric positive semidefinite. Used by the linear-time-varying
+// MPC ablation (`bench/ablation_solver`) and as a reference solver in
+// tests; the production OTEM controller uses the shooting NLP path.
+//
+// Algorithm: standard two-block ADMM with over-relaxation. Each iteration
+// solves the cached KKT-regularised system
+//     (P + sigma I + rho A^T A) x = sigma x_prev - q + A^T (rho z - y)
+// via a Cholesky factorisation computed once.
+#pragma once
+
+#include "optim/matrix.h"
+
+namespace otem::optim {
+
+struct QpProblem {
+  Matrix p;   ///< n x n, symmetric PSD
+  Vector q;   ///< n
+  Matrix a;   ///< m x n
+  Vector l;   ///< m (may contain -inf)
+  Vector u;   ///< m (may contain +inf)
+};
+
+struct QpOptions {
+  size_t max_iterations = 4000;
+  double rho = 0.1;
+  double sigma = 1e-6;
+  double alpha = 1.6;       ///< over-relaxation
+  double eps_abs = 1e-6;
+  double eps_rel = 1e-6;
+  /// Adaptive rho (OSQP-style): every `rho_update_interval` iterations
+  /// rho is rebalanced by the primal/dual residual ratio (requires one
+  /// re-factorisation per update). 0 disables adaptation.
+  size_t rho_update_interval = 100;
+};
+
+struct QpResult {
+  Vector x;
+  Vector y;   ///< dual for the l <= Ax <= u rows
+  size_t iterations = 0;
+  bool converged = false;
+  double primal_residual = 0.0;
+  double dual_residual = 0.0;
+};
+
+/// Solve the QP; throws otem::SimError on malformed shapes.
+QpResult solve_qp(const QpProblem& problem, const QpOptions& options = {});
+
+}  // namespace otem::optim

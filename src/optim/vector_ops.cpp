@@ -1,0 +1,75 @@
+#include "optim/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace otem::optim {
+
+double dot(const Vector& a, const Vector& b) {
+  OTEM_REQUIRE(a.size() == b.size(), "dot size mismatch");
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+double norm_inf(const Vector& a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  OTEM_REQUIRE(x.size() == y.size(), "axpy size mismatch");
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+Vector subtract(const Vector& a, const Vector& b) {
+  OTEM_REQUIRE(a.size() == b.size(), "subtract size mismatch");
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector add(const Vector& a, const Vector& b) {
+  OTEM_REQUIRE(a.size() == b.size(), "add size mismatch");
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector scaled(const Vector& a, double alpha) {
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = alpha * a[i];
+  return out;
+}
+
+void project_box(const Vector& lo, const Vector& hi, Vector& x) {
+  OTEM_REQUIRE(lo.size() == x.size() && hi.size() == x.size(),
+               "project_box size mismatch");
+  for (size_t i = 0; i < x.size(); ++i) x[i] = std::clamp(x[i], lo[i], hi[i]);
+}
+
+double box_violation(const Vector& lo, const Vector& hi, const Vector& x) {
+  double m = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    m = std::max(m, lo[i] - x[i]);
+    m = std::max(m, x[i] - hi[i]);
+  }
+  return std::max(m, 0.0);
+}
+
+double projected_gradient_norm(const Vector& lo, const Vector& hi,
+                               const Vector& x, const Vector& g) {
+  double m = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double step = std::clamp(x[i] - g[i], lo[i], hi[i]) - x[i];
+    m = std::max(m, std::abs(step));
+  }
+  return m;
+}
+
+}  // namespace otem::optim

@@ -1,0 +1,36 @@
+// vector_ops.h — free functions on optim::Vector (std::vector<double>).
+#pragma once
+
+#include "optim/matrix.h"
+
+namespace otem::optim {
+
+double dot(const Vector& a, const Vector& b);
+double norm2(const Vector& a);
+double norm_inf(const Vector& a);
+
+/// y += alpha * x
+void axpy(double alpha, const Vector& x, Vector& y);
+
+/// Elementwise a - b.
+Vector subtract(const Vector& a, const Vector& b);
+
+/// Elementwise a + b.
+Vector add(const Vector& a, const Vector& b);
+
+/// alpha * a.
+Vector scaled(const Vector& a, double alpha);
+
+/// Clamp each component into [lo_i, hi_i] (box projection).
+void project_box(const Vector& lo, const Vector& hi, Vector& x);
+
+/// Max_i of the box-constraint violation of x (0 when inside).
+double box_violation(const Vector& lo, const Vector& hi, const Vector& x);
+
+/// Norm of the projected gradient: || P_box(x - g) - x ||_inf. Zero at a
+/// box-constrained stationary point; the standard first-order criterion
+/// for projected-gradient methods.
+double projected_gradient_norm(const Vector& lo, const Vector& hi,
+                               const Vector& x, const Vector& g);
+
+}  // namespace otem::optim

@@ -1,0 +1,86 @@
+#include "sim/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "vehicle/drive_cycle.h"
+#include "vehicle/powertrain.h"
+
+namespace otem::sim {
+
+namespace {
+FleetStats stats_of(const std::vector<double>& values) {
+  FleetStats s;
+  OTEM_ENSURE(!values.empty(), "fleet stats over empty sample");
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    s.mean += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean /= static_cast<double>(values.size());
+  for (double v : values) s.stddev += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(s.stddev / static_cast<double>(values.size()));
+  return s;
+}
+}  // namespace
+
+FleetResult evaluate_fleet(
+    const core::SystemSpec& base_spec,
+    const std::function<std::unique_ptr<core::Methodology>(
+        const core::SystemSpec&)>& factory,
+    const FleetOptions& options) {
+  OTEM_REQUIRE(options.missions >= 1, "fleet needs at least one mission");
+  OTEM_REQUIRE(options.ambient_min_k <= options.ambient_max_k,
+               "fleet ambient range is inverted");
+
+  Rng rng(options.seed);
+  FleetResult out;
+  std::vector<double> qloss, power, tb;
+
+  for (size_t m = 0; m < options.missions; ++m) {
+    MissionOutcome mission;
+    mission.route_seed = rng.next_u64();
+    mission.ambient_k =
+        rng.uniform(options.ambient_min_k, options.ambient_max_k);
+    const double duration =
+        rng.uniform(options.min_duration_s, options.max_duration_s);
+    const double soe0 = rng.uniform(options.soe0_min, options.soe0_max);
+
+    core::SystemSpec spec = base_spec;
+    spec.ambient_k = mission.ambient_k;
+
+    const TimeSeries speed = vehicle::generate_synthetic(
+        mission.route_seed, duration, options.max_speed_mps);
+    const TimeSeries load =
+        vehicle::Powertrain(spec.vehicle).power_trace(speed);
+    mission.duration_s = load.duration();
+    mission.distance_m = vehicle::stats_of(speed).distance_m;
+
+    RunOptions ropt;
+    ropt.record_trace = false;
+    ropt.initial.t_battery_k = mission.ambient_k;  // soaked
+    ropt.initial.t_coolant_k = mission.ambient_k;
+    ropt.initial.soe_percent = soe0;
+
+    auto methodology = factory(spec);
+    mission.result = Simulator(spec).run(*methodology, load, ropt);
+
+    qloss.push_back(mission.result.qloss_percent);
+    power.push_back(mission.result.average_power_w);
+    tb.push_back(mission.result.max_t_battery_k);
+    out.total_violation_s += mission.result.thermal_violation_s;
+    out.total_unserved_j += mission.result.unserved_energy_j;
+    out.missions.push_back(std::move(mission));
+  }
+
+  out.qloss_percent = stats_of(qloss);
+  out.average_power_w = stats_of(power);
+  out.max_t_battery_k = stats_of(tb);
+  return out;
+}
+
+}  // namespace otem::sim

@@ -1,0 +1,75 @@
+// fleet.h — Monte-Carlo fleet evaluation.
+//
+// The paper evaluates on a handful of fixed dynamometer schedules; a
+// deployment decision wants DISTRIBUTIONS: how does a methodology do
+// across many routes, ambient temperatures and initial conditions?
+// This harness samples an ensemble of seeded synthetic missions
+// (vehicle::generate_synthetic + ambient/initial-state draws) and
+// reports summary statistics per metric. Fully deterministic for a
+// given seed.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/system_spec.h"
+#include "sim/simulator.h"
+
+namespace otem::sim {
+
+struct FleetOptions {
+  size_t missions = 16;
+  std::uint64_t seed = 1;
+
+  /// Synthetic route envelope.
+  double min_duration_s = 600.0;
+  double max_duration_s = 1500.0;
+  double max_speed_mps = 32.0;
+
+  /// Ambient temperature range the fleet operates across [K]; the pack
+  /// soaks to ambient before each mission.
+  double ambient_min_k = 283.15;
+  double ambient_max_k = 313.15;
+
+  /// Initial bank charge range [%].
+  double soe0_min = 40.0;
+  double soe0_max = 100.0;
+};
+
+/// Summary statistics of one metric across the fleet.
+struct FleetStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// One mission's conditions and outcome.
+struct MissionOutcome {
+  std::uint64_t route_seed = 0;
+  double ambient_k = 0.0;
+  double duration_s = 0.0;
+  double distance_m = 0.0;
+  RunResult result;
+};
+
+struct FleetResult {
+  FleetStats qloss_percent;
+  FleetStats average_power_w;
+  FleetStats max_t_battery_k;
+  double total_violation_s = 0.0;
+  double total_unserved_j = 0.0;
+  std::vector<MissionOutcome> missions;
+};
+
+/// Evaluate the methodology produced by `factory` (called once per
+/// mission with that mission's spec — ambient differs per mission)
+/// across the sampled fleet.
+FleetResult evaluate_fleet(
+    const core::SystemSpec& base_spec,
+    const std::function<std::unique_ptr<core::Methodology>(
+        const core::SystemSpec&)>& factory,
+    const FleetOptions& options = {});
+
+}  // namespace otem::sim

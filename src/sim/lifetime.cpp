@@ -1,0 +1,75 @@
+#include "sim/lifetime.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace otem::sim {
+
+LifetimeResult project_lifetime(
+    const core::SystemSpec& spec, const TimeSeries& power,
+    const std::function<std::unique_ptr<core::Methodology>(
+        const core::SystemSpec&)>& make_methodology,
+    double mission_distance_m, const LifetimeOptions& options) {
+  OTEM_REQUIRE(options.end_of_life_percent > 0.0,
+               "end-of-life threshold must be positive");
+  OTEM_REQUIRE(options.missions_per_epoch >= 1.0,
+               "epoch must cover at least one mission");
+
+  LifetimeResult result;
+  const double fresh_capacity = spec.battery.cell.capacity_ah;
+  double loss_percent = 0.0;
+  double missions = 0.0;
+
+  for (size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
+    // Degrade the pack: lost capacity raises the C-rate of every
+    // mission ampere, which Eq. 5 punishes.
+    core::SystemSpec degraded = spec;
+    degraded.battery.cell.capacity_ah =
+        fresh_capacity * (1.0 - loss_percent / 100.0);
+
+    const Simulator sim(degraded);
+    auto methodology = make_methodology(degraded);
+    RunOptions opt;
+    opt.record_trace = false;
+    const RunResult run = sim.run(*methodology, power, opt);
+
+    LifetimePoint point;
+    point.missions = missions;
+    point.capacity_loss_percent = loss_percent;
+    point.capacity_ah =
+        degraded.battery.cell.capacity_ah * degraded.battery.parallel;
+    point.mission_energy_j = run.energy_hees_j;
+    result.curve.push_back(point);
+
+    if (run.qloss_percent <= 0.0) break;  // ageless mission: cap epochs
+
+    // How many missions fit in this epoch before EOL?
+    const double remaining =
+        options.end_of_life_percent - loss_percent;
+    const double missions_left = remaining / run.qloss_percent;
+    if (missions_left <= options.missions_per_epoch) {
+      missions += std::max(missions_left, 0.0);
+      loss_percent = options.end_of_life_percent;
+      result.reached_eol = true;
+      LifetimePoint eol;
+      eol.missions = missions;
+      eol.capacity_loss_percent = loss_percent;
+      eol.capacity_ah = fresh_capacity *
+                        (1.0 - loss_percent / 100.0) *
+                        spec.battery.parallel;
+      eol.mission_energy_j = run.energy_hees_j;
+      result.curve.push_back(eol);
+      break;
+    }
+    missions += options.missions_per_epoch;
+    loss_percent += options.missions_per_epoch * run.qloss_percent;
+  }
+
+  result.missions_to_eol = missions;
+  result.km_to_eol = missions * units::m_to_km(mission_distance_m);
+  return result;
+}
+
+}  // namespace otem::sim

@@ -1,0 +1,55 @@
+// lifetime.h — long-horizon battery-lifetime projection.
+//
+// The paper reports Battery LifeTime (BLT) improvements from
+// single-mission capacity-loss ratios. This extension closes the loop
+// over the battery's life: the mission is re-simulated on a
+// progressively degraded pack (capacity scaled by the accumulated
+// loss), because a faded pack works at higher C-rates and ages FASTER
+// — lifetime is shorter than naive loss-ratio extrapolation suggests,
+// and good management compounds.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/system_spec.h"
+#include "sim/simulator.h"
+
+namespace otem::sim {
+
+struct LifetimeOptions {
+  /// Stop at this total capacity loss [%] — the paper's 20 % EOL.
+  double end_of_life_percent = 20.0;
+
+  /// Re-simulate the mission after every `missions_per_epoch` missions,
+  /// scaling within an epoch by the epoch's per-mission loss.
+  double missions_per_epoch = 250.0;
+
+  /// Hard cap on epochs (protects against ~zero-loss missions).
+  size_t max_epochs = 400;
+};
+
+struct LifetimePoint {
+  double missions = 0.0;         ///< missions completed so far
+  double capacity_loss_percent = 0.0;
+  double capacity_ah = 0.0;      ///< pack capacity at this point
+  double mission_energy_j = 0.0; ///< HEES energy of the epoch's mission
+};
+
+struct LifetimeResult {
+  std::vector<LifetimePoint> curve;  ///< one point per epoch
+  double missions_to_eol = 0.0;
+  double km_to_eol = 0.0;            ///< given the mission distance
+  bool reached_eol = false;          ///< false if max_epochs hit first
+};
+
+/// Project the battery's life driving `power` repeatedly under the
+/// methodology produced by `make_methodology` (called fresh for each
+/// degraded spec). `mission_distance_m` scales the km figure.
+LifetimeResult project_lifetime(
+    const core::SystemSpec& spec, const TimeSeries& power,
+    const std::function<std::unique_ptr<core::Methodology>(
+        const core::SystemSpec&)>& make_methodology,
+    double mission_distance_m, const LifetimeOptions& options = {});
+
+}  // namespace otem::sim

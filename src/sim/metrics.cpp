@@ -1,0 +1,44 @@
+#include "sim/metrics.h"
+
+#include <limits>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace otem::sim {
+
+double relative_capacity_loss_percent(const RunResult& result,
+                                      const RunResult& baseline) {
+  OTEM_REQUIRE(baseline.qloss_percent > 0.0,
+               "baseline run accumulated no capacity loss");
+  return 100.0 * result.qloss_percent / baseline.qloss_percent;
+}
+
+double missions_to_end_of_life(const RunResult& result,
+                               const battery::CellParams& cell) {
+  const battery::CapacityFadeModel fade(cell);
+  return fade.missions_to_end_of_life(result.qloss_percent);
+}
+
+double lifetime_improvement_percent(const RunResult& result,
+                                    const RunResult& baseline) {
+  // Lifetime scales inversely with per-mission loss. A run that aged
+  // the battery not at all (e.g. the whole mission served from the
+  // ultracapacitor) has unbounded improvement.
+  if (result.qloss_percent <= 0.0)
+    return std::numeric_limits<double>::infinity();
+  return 100.0 * (baseline.qloss_percent / result.qloss_percent - 1.0);
+}
+
+double estimated_range_km(const RunResult& result,
+                          const core::SystemSpec& spec, double distance_m) {
+  OTEM_REQUIRE(distance_m > 1.0, "mission covers no distance");
+  OTEM_REQUIRE(result.energy_hees_j > 0.0, "mission consumed no energy");
+  const battery::PackModel pack(spec.battery);
+  // Usable window: C4 keeps SoC above 20 %.
+  const double usable_j = pack.nominal_energy_j() * 0.8;
+  const double j_per_m = result.energy_hees_j / distance_m;
+  return units::m_to_km(usable_j / j_per_m);
+}
+
+}  // namespace otem::sim

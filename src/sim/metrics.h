@@ -1,0 +1,45 @@
+// metrics.h — derived evaluation metrics for the paper's figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "battery/aging.h"
+#include "sim/simulator.h"
+
+namespace otem::sim {
+
+/// Capacity loss of `result` as a percentage of `baseline`'s (the
+/// paper's Fig. 8 / Table I "Capacity Loss (%)" normalisation).
+double relative_capacity_loss_percent(const RunResult& result,
+                                      const RunResult& baseline);
+
+/// Battery lifetime in repetitions of the simulated mission until the
+/// 20 % end-of-life threshold.
+double missions_to_end_of_life(const RunResult& result,
+                               const battery::CellParams& cell);
+
+/// Battery-lifetime improvement of `result` over `baseline` in percent
+/// (positive = longer life), from the capacity-loss ratio.
+double lifetime_improvement_percent(const RunResult& result,
+                                    const RunResult& baseline);
+
+/// Driving-range estimate [km]: usable pack energy over the net
+/// consumption rate of this run.
+double estimated_range_km(const RunResult& result,
+                          const core::SystemSpec& spec, double distance_m);
+
+/// Row used by the comparison benches: one methodology on one cycle.
+struct ComparisonRow {
+  std::string methodology;
+  std::string cycle;
+  double average_power_w = 0.0;
+  double capacity_loss_percent_rel = 0.0;  ///< vs the parallel baseline
+  double qloss_percent_abs = 0.0;
+  double max_t_battery_k = 0.0;
+  double thermal_violation_s = 0.0;
+  double cooling_energy_j = 0.0;
+  size_t infeasible_steps = 0;
+};
+
+}  // namespace otem::sim

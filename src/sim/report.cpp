@@ -1,0 +1,85 @@
+#include "sim/report.h"
+
+namespace otem::sim {
+
+Json run_result_to_json(const RunResult& r) {
+  Json j = Json::object();
+  j.set("duration_s", r.duration_s);
+  j.set("qloss_percent", r.qloss_percent);
+  j.set("energy_hees_j", r.energy_hees_j);
+  j.set("energy_battery_j", r.energy_battery_j);
+  j.set("energy_cap_j", r.energy_cap_j);
+  j.set("energy_cooling_j", r.energy_cooling_j);
+  j.set("energy_loss_j", r.energy_loss_j);
+  j.set("average_power_w", r.average_power_w);
+  j.set("max_t_battery_k", r.max_t_battery_k);
+  j.set("thermal_violation_s", r.thermal_violation_s);
+  j.set("infeasible_steps", r.infeasible_steps);
+  j.set("unserved_energy_j", r.unserved_energy_j);
+  Json final_state = Json::object();
+  final_state.set("t_battery_k", r.final_state.t_battery_k);
+  final_state.set("t_coolant_k", r.final_state.t_coolant_k);
+  final_state.set("soc_percent", r.final_state.soc_percent);
+  final_state.set("soe_percent", r.final_state.soe_percent);
+  j.set("final_state", std::move(final_state));
+  return j;
+}
+
+Json run_result_to_json_with_trace(const RunResult& r) {
+  Json j = run_result_to_json(r);
+  Json trace = Json::object();
+  trace.set("dt_s", r.trace.t_battery_k.empty()
+                        ? Json()
+                        : Json(r.trace.t_battery_k.dt()));
+  trace.set("t_battery_k", Json::numbers(r.trace.t_battery_k.values()));
+  trace.set("t_coolant_k", Json::numbers(r.trace.t_coolant_k.values()));
+  trace.set("soc_percent", Json::numbers(r.trace.soc_percent.values()));
+  trace.set("soe_percent", Json::numbers(r.trace.soe_percent.values()));
+  trace.set("p_load_w", Json::numbers(r.trace.p_load_w.values()));
+  trace.set("p_cooler_w", Json::numbers(r.trace.p_cooler_w.values()));
+  trace.set("p_cap_w", Json::numbers(r.trace.p_cap_w.values()));
+  trace.set("q_bat_w", Json::numbers(r.trace.q_bat_w.values()));
+  trace.set("t_inlet_k", Json::numbers(r.trace.t_inlet_k.values()));
+  trace.set("i_bat_a", Json::numbers(r.trace.i_bat_a.values()));
+  trace.set("qloss_percent", Json::numbers(r.trace.qloss_percent.values()));
+  trace.set("teb", Json::numbers(r.trace.teb.values()));
+  j.set("trace", std::move(trace));
+  return j;
+}
+
+Json system_spec_to_json(const core::SystemSpec& spec) {
+  Json j = Json::object();
+  Json bat = Json::object();
+  bat.set("series", spec.battery.series);
+  bat.set("parallel", spec.battery.parallel);
+  bat.set("cell_capacity_ah", spec.battery.cell.capacity_ah);
+  bat.set("pack_capacity_ah", spec.battery.capacity_ah());
+  j.set("battery", std::move(bat));
+  Json cap = Json::object();
+  cap.set("capacitance_f", spec.ultracap.capacitance_f);
+  cap.set("rated_voltage", spec.ultracap.rated_voltage);
+  cap.set("energy_capacity_j", spec.ultracap.energy_capacity_j());
+  j.set("ultracap", std::move(cap));
+  Json th = Json::object();
+  th.set("max_battery_temp_k", spec.thermal.max_battery_temp_k);
+  th.set("max_cooler_power_w", spec.thermal.max_cooler_power_w);
+  th.set("cooler_efficiency", spec.thermal.cooler_efficiency);
+  j.set("thermal", std::move(th));
+  j.set("ambient_k", spec.ambient_k);
+  j.set("dt", spec.dt);
+  return j;
+}
+
+void write_run_report(const std::string& path,
+                      const core::SystemSpec& spec,
+                      const std::string& methodology,
+                      const RunResult& result, bool include_trace) {
+  Json j = Json::object();
+  j.set("spec", system_spec_to_json(spec));
+  j.set("methodology", methodology);
+  j.set("result", include_trace ? run_result_to_json_with_trace(result)
+                                : run_result_to_json(result));
+  write_json_file(path, j);
+}
+
+}  // namespace otem::sim

@@ -1,0 +1,34 @@
+// report.h — machine-readable run reports.
+//
+// Serialises a RunResult (and optionally its full per-step trace) to
+// JSON so external tooling — plotting notebooks, regression dashboards,
+// fleet analyses — can consume simulation outcomes without parsing
+// stdout tables. The CLI exposes it via `report_json=<path>`.
+#pragma once
+
+#include <string>
+
+#include "common/json.h"
+#include "core/system_spec.h"
+#include "sim/simulator.h"
+
+namespace otem::sim {
+
+/// Summary-only report: Algorithm 1 outputs, energy breakdown, thermal
+/// safety, reliability and final state.
+Json run_result_to_json(const RunResult& result);
+
+/// Full report: summary plus every recorded trace series (large).
+Json run_result_to_json_with_trace(const RunResult& result);
+
+/// The spec's headline physical parameters (for provenance in reports).
+Json system_spec_to_json(const core::SystemSpec& spec);
+
+/// Compose and write a complete report file:
+/// {"spec": ..., "methodology": name, "result": ...}.
+void write_run_report(const std::string& path,
+                      const core::SystemSpec& spec,
+                      const std::string& methodology,
+                      const RunResult& result, bool include_trace = false);
+
+}  // namespace otem::sim

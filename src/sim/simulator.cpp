@@ -1,0 +1,82 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace otem::sim {
+
+Simulator::Simulator(const core::SystemSpec& spec)
+    : spec_(spec), teb_(spec) {}
+
+RunResult Simulator::run(core::Methodology& methodology,
+                         const TimeSeries& power_request,
+                         const RunOptions& options) const {
+  OTEM_REQUIRE(!power_request.empty(), "empty power request trace");
+  const double dt = power_request.dt();
+
+  core::PlantState state = options.initial;
+  methodology.reset(state, power_request);
+
+  RunResult result;
+  const size_t steps = power_request.size();
+  auto reserve = [&](TimeSeries& ts) {
+    ts = TimeSeries(dt, {});
+    ts.reserve(steps);
+  };
+  if (options.record_trace) {
+    reserve(result.trace.t_battery_k);
+    reserve(result.trace.t_coolant_k);
+    reserve(result.trace.soc_percent);
+    reserve(result.trace.soe_percent);
+    reserve(result.trace.p_load_w);
+    reserve(result.trace.p_cooler_w);
+    reserve(result.trace.p_cap_w);
+    reserve(result.trace.q_bat_w);
+    reserve(result.trace.t_inlet_k);
+    reserve(result.trace.i_bat_a);
+    reserve(result.trace.qloss_percent);
+    reserve(result.trace.teb);
+  }
+
+  const double t_max = spec_.thermal.max_battery_temp_k;
+
+  for (size_t k = 0; k < steps; ++k) {
+    const core::StepRecord rec =
+        methodology.step(state, power_request[k], k, dt);
+
+    result.qloss_percent += rec.qloss_percent;
+    result.energy_battery_j += rec.e_bat_j;
+    result.energy_cap_j += rec.e_cap_j;
+    result.energy_cooling_j += rec.e_cooling_j;
+    result.energy_loss_j += rec.e_loss_j;
+    if (!rec.feasible) ++result.infeasible_steps;
+    result.unserved_energy_j += rec.unmet_w * dt;
+    result.max_t_battery_k =
+        std::max(result.max_t_battery_k, state.t_battery_k);
+    if (state.t_battery_k > t_max) result.thermal_violation_s += dt;
+
+    if (options.record_trace) {
+      result.trace.t_battery_k.push_back(state.t_battery_k);
+      result.trace.t_coolant_k.push_back(state.t_coolant_k);
+      result.trace.soc_percent.push_back(state.soc_percent);
+      result.trace.soe_percent.push_back(state.soe_percent);
+      result.trace.p_load_w.push_back(rec.p_load_w);
+      result.trace.p_cooler_w.push_back(rec.p_cooler_w);
+      result.trace.p_cap_w.push_back(rec.e_cap_j / dt);
+      result.trace.q_bat_w.push_back(rec.q_bat_w);
+      result.trace.t_inlet_k.push_back(rec.t_inlet_k);
+      result.trace.i_bat_a.push_back(rec.i_bat_a);
+      result.trace.qloss_percent.push_back(result.qloss_percent);
+      result.trace.teb.push_back(teb_.evaluate(state).combined());
+    }
+  }
+
+  result.duration_s = static_cast<double>(steps) * dt;
+  result.energy_hees_j = result.energy_battery_j + result.energy_cap_j;
+  result.average_power_w = result.energy_hees_j / result.duration_s;
+  result.final_state = state;
+  return result;
+}
+
+}  // namespace otem::sim

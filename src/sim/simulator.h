@@ -1,0 +1,79 @@
+// simulator.h — closed-loop plant simulator (paper Algorithm 1 outer
+// loop, generalised over methodologies).
+//
+// Drives any Methodology through a power-request trace, accumulating
+// the two outputs of Algorithm 1 — capacity loss Q_loss and HEES energy
+// `Energy` — plus the thermal/reliability telemetry the figures need.
+#pragma once
+
+#include "common/timeseries.h"
+#include "core/methodology.h"
+#include "core/system_spec.h"
+#include "core/teb.h"
+
+namespace otem::sim {
+
+/// Full per-step telemetry, recorded when RunOptions::record_trace.
+struct RunTrace {
+  TimeSeries t_battery_k;  ///< T_b after each step
+  TimeSeries t_coolant_k;
+  TimeSeries soc_percent;
+  TimeSeries soe_percent;
+  TimeSeries p_load_w;       ///< EV request served
+  TimeSeries p_cooler_w;     ///< cooler electric power
+  TimeSeries p_cap_w;        ///< ultracap terminal power (discharge +)
+  TimeSeries q_bat_w;        ///< battery heat generation
+  TimeSeries t_inlet_k;      ///< coolant inlet applied
+  TimeSeries i_bat_a;
+  TimeSeries qloss_percent;  ///< cumulative capacity loss
+  TimeSeries teb;            ///< combined TEB in [0, 1]
+};
+
+struct RunResult {
+  double duration_s = 0.0;
+
+  // Algorithm 1 outputs.
+  double qloss_percent = 0.0;   ///< total battery capacity loss
+  double energy_hees_j = 0.0;   ///< battery + ultracap energy consumed
+
+  // Energy breakdown.
+  double energy_battery_j = 0.0;
+  double energy_cap_j = 0.0;
+  double energy_cooling_j = 0.0;  ///< cooler + pump (subset of HEES energy
+                                  ///< for self-powered coolers)
+  double energy_loss_j = 0.0;     ///< resistive + conversion losses
+
+  /// The paper's Fig. 9 / Table I metric: HEES energy over duration [W].
+  double average_power_w = 0.0;
+
+  // Thermal safety (C1).
+  double max_t_battery_k = 0.0;
+  double thermal_violation_s = 0.0;  ///< time spent above the C1 ceiling
+
+  size_t infeasible_steps = 0;  ///< physical clamps fired (reliability)
+  double unserved_energy_j = 0.0;  ///< bus energy the HEES failed to deliver
+  core::PlantState final_state;
+
+  RunTrace trace;  ///< populated when requested
+};
+
+struct RunOptions {
+  core::PlantState initial;  ///< defaults to the paper's x0
+  bool record_trace = true;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const core::SystemSpec& spec);
+
+  /// Run `methodology` over the power-request trace.
+  RunResult run(core::Methodology& methodology,
+                const TimeSeries& power_request,
+                const RunOptions& options = {}) const;
+
+ private:
+  core::SystemSpec spec_;
+  core::TebMetric teb_;
+};
+
+}  // namespace otem::sim

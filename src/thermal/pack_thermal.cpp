@@ -1,0 +1,109 @@
+#include "thermal/pack_thermal.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace otem::thermal {
+
+namespace {
+CoolingParams scale_to_segment(CoolingParams lumped, int segments) {
+  // Capacities and the battery<->coolant coupling split across
+  // segments; the FLOW heat-capacity rate is the same stream passing
+  // every segment, so it is NOT divided.
+  lumped.battery_heat_capacity /= segments;
+  lumped.coolant_heat_capacity /= segments;
+  lumped.heat_transfer_w_k /= segments;
+  return lumped;
+}
+}  // namespace
+
+PackThermalModel::PackThermalModel(CoolingParams lumped, int segments)
+    : lumped_(lumped),
+      segments_(segments),
+      segment_system_(scale_to_segment(lumped, segments)) {
+  OTEM_REQUIRE(segments >= 1, "pack thermal model needs >= 1 segment");
+}
+
+PackThermalModel::State PackThermalModel::uniform(double temp_k) const {
+  State s;
+  s.t_cell_k.assign(segments_, temp_k);
+  s.t_coolant_k.assign(segments_, temp_k);
+  return s;
+}
+
+PackThermalModel::State PackThermalModel::step(const State& s,
+                                               double q_total_w,
+                                               double t_inlet_k,
+                                               double dt) const {
+  return step_distributed(
+      s, std::vector<double>(segments_, q_total_w / segments_), t_inlet_k,
+      dt);
+}
+
+PackThermalModel::State PackThermalModel::step_distributed(
+    const State& s, const std::vector<double>& q_w, double t_inlet_k,
+    double dt) const {
+  OTEM_REQUIRE(static_cast<int>(s.t_cell_k.size()) == segments_ &&
+                   static_cast<int>(s.t_coolant_k.size()) == segments_,
+               "pack thermal state size mismatch");
+  OTEM_REQUIRE(static_cast<int>(q_w.size()) == segments_,
+               "per-segment heat size mismatch");
+
+  State next;
+  next.t_cell_k.resize(segments_);
+  next.t_coolant_k.resize(segments_);
+
+  // Sweep in flow order: each segment sees the (time-midpoint) coolant
+  // temperature of its upstream neighbour as its inlet, which upwinds
+  // the advection implicitly.
+  double inlet_mid = t_inlet_k;
+  for (int i = 0; i < segments_; ++i) {
+    const ThermalState seg{s.t_cell_k[i], s.t_coolant_k[i]};
+    const ThermalState out =
+        segment_system_.step(seg, q_w[i], inlet_mid, dt);
+    next.t_cell_k[i] = out.t_battery_k;
+    next.t_coolant_k[i] = out.t_coolant_k;
+    inlet_mid = 0.5 * (s.t_coolant_k[i] + out.t_coolant_k);
+  }
+  return next;
+}
+
+double PackThermalModel::hottest_cell(const State& s) const {
+  return *std::max_element(s.t_cell_k.begin(), s.t_cell_k.end());
+}
+
+double PackThermalModel::mean_cell(const State& s) const {
+  double sum = 0.0;
+  for (double t : s.t_cell_k) sum += t;
+  return sum / static_cast<double>(segments_);
+}
+
+double PackThermalModel::outlet(const State& s) const {
+  return s.t_coolant_k.back();
+}
+
+double PackThermalModel::hotspot_margin(const State& s) const {
+  return hottest_cell(s) - mean_cell(s);
+}
+
+PackThermalModel::State PackThermalModel::equilibrium(
+    double q_total_w, double t_inlet_k) const {
+  // Steady state: the stream gains q_seg at each segment,
+  //   T_c,i = T_c,i-1 + q_seg / Cdot,
+  // and each cell rides q_seg / h_seg above its coolant.
+  const double q_seg = q_total_w / segments_;
+  const double h_seg = lumped_.heat_transfer_w_k / segments_;
+  State s;
+  s.t_cell_k.resize(segments_);
+  s.t_coolant_k.resize(segments_);
+  double tc = t_inlet_k;
+  for (int i = 0; i < segments_; ++i) {
+    tc += q_seg / lumped_.flow_heat_capacity_rate;
+    s.t_coolant_k[i] = tc;
+    s.t_cell_k[i] = tc + q_seg / h_seg;
+  }
+  return s;
+}
+
+}  // namespace otem::thermal

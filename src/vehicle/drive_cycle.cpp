@@ -1,0 +1,451 @@
+#include "vehicle/drive_cycle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/units.h"
+
+namespace otem::vehicle {
+
+const char* to_string(CycleName name) {
+  switch (name) {
+    case CycleName::kUdds:
+      return "UDDS";
+    case CycleName::kUs06:
+      return "US06";
+    case CycleName::kHwfet:
+      return "HWFET";
+    case CycleName::kNycc:
+      return "NYCC";
+    case CycleName::kLa92:
+      return "LA92";
+    case CycleName::kSc03:
+      return "SC03";
+    case CycleName::kWltp3:
+      return "WLTP3";
+    case CycleName::kJc08:
+      return "JC08";
+    case CycleName::kArtemisUrban:
+      return "ArtemisUrban";
+    case CycleName::kArtemisRoad:
+      return "ArtemisRoad";
+  }
+  return "?";
+}
+
+CycleName cycle_from_string(const std::string& s) {
+  const std::string u = strings::to_lower(s);
+  if (u == "udds") return CycleName::kUdds;
+  if (u == "us06") return CycleName::kUs06;
+  if (u == "hwfet") return CycleName::kHwfet;
+  if (u == "nycc") return CycleName::kNycc;
+  if (u == "la92") return CycleName::kLa92;
+  if (u == "sc03") return CycleName::kSc03;
+  if (u == "wltp3" || u == "wltp") return CycleName::kWltp3;
+  if (u == "jc08") return CycleName::kJc08;
+  if (u == "artemisurban") return CycleName::kArtemisUrban;
+  if (u == "artemisroad") return CycleName::kArtemisRoad;
+  throw SimError("unknown drive cycle: '" + s + "'");
+}
+
+std::vector<CycleName> all_cycles() {
+  return {CycleName::kUdds, CycleName::kUs06, CycleName::kHwfet,
+          CycleName::kNycc, CycleName::kLa92, CycleName::kSc03};
+}
+
+std::vector<CycleName> extended_cycles() {
+  std::vector<CycleName> out = all_cycles();
+  out.insert(out.end(), {CycleName::kWltp3, CycleName::kJc08,
+                         CycleName::kArtemisUrban,
+                         CycleName::kArtemisRoad});
+  return out;
+}
+
+CycleStats reference_stats(CycleName name) {
+  // EPA dynamometer schedule summary statistics.
+  switch (name) {
+    case CycleName::kUdds:
+      return {1369.0, 11990.0, 8.75, 25.35, 1.48, 1.48, 17};
+    case CycleName::kUs06:
+      return {596.0, 12890.0, 21.60, 35.90, 3.24, 3.08, 5};
+    case CycleName::kHwfet:
+      return {765.0, 16500.0, 21.60, 26.82, 1.43, 1.48, 1};
+    case CycleName::kNycc:
+      return {598.0, 1900.0, 3.17, 12.40, 2.68, 2.64, 18};
+    case CycleName::kLa92:
+      return {1435.0, 15800.0, 10.98, 30.04, 3.08, 3.93, 16};
+    case CycleName::kSc03:
+      return {600.0, 5760.0, 9.59, 24.51, 2.28, 2.73, 5};
+    case CycleName::kWltp3:
+      return {1800.0, 23270.0, 12.92, 36.47, 1.67, 1.50, 9};
+    case CycleName::kJc08:
+      return {1204.0, 8170.0, 6.79, 22.67, 1.69, 1.23, 12};
+    case CycleName::kArtemisUrban:
+      return {993.0, 4870.0, 4.90, 15.92, 2.86, 3.14, 20};
+    case CycleName::kArtemisRoad:
+      return {1082.0, 17270.0, 15.96, 30.86, 2.36, 4.08, 3};
+  }
+  throw SimError("unknown drive cycle");
+}
+
+CycleStats stats_of(const TimeSeries& speed) {
+  OTEM_REQUIRE(!speed.empty(), "stats of empty trace");
+  CycleStats s;
+  s.duration_s = speed.duration();
+  s.max_speed_mps = speed.max();
+  double dist = 0.0;
+  bool moving = false;
+  for (size_t k = 0; k < speed.size(); ++k) {
+    dist += speed[k] * speed.dt();
+    if (k > 0) {
+      const double a = (speed[k] - speed[k - 1]) / speed.dt();
+      s.max_accel_mps2 = std::max(s.max_accel_mps2, a);
+      s.max_decel_mps2 = std::max(s.max_decel_mps2, -a);
+    }
+    const bool now_moving = speed[k] > 0.1;
+    if (moving && !now_moving) ++s.stop_count;
+    moving = now_moving;
+  }
+  s.distance_m = dist;
+  s.avg_speed_mps = dist / std::max(s.duration_s, 1.0);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// CycleBuilder
+
+CycleBuilder::CycleBuilder(double dt) : dt_(dt) {
+  OTEM_REQUIRE(dt > 0.0, "cycle sample period must be positive");
+}
+
+CycleBuilder& CycleBuilder::ramp_to(double v_mps, double a_mps2) {
+  OTEM_REQUIRE(v_mps >= 0.0, "speed must be non-negative");
+  OTEM_REQUIRE(a_mps2 > 0.0, "ramp acceleration magnitude must be positive");
+  const double dir = v_mps >= v_ ? 1.0 : -1.0;
+  while (dir * (v_mps - v_) > 1e-9) {
+    v_ += dir * a_mps2 * dt_;
+    if (dir * (v_ - v_mps) > 0.0) v_ = v_mps;
+    samples_.push_back(v_);
+  }
+  return *this;
+}
+
+CycleBuilder& CycleBuilder::cruise(double seconds) {
+  const int n = static_cast<int>(std::round(seconds / dt_));
+  for (int i = 0; i < n; ++i) samples_.push_back(v_);
+  return *this;
+}
+
+CycleBuilder& CycleBuilder::cruise_wavy(double seconds, double amplitude_mps,
+                                        double period_s) {
+  OTEM_REQUIRE(period_s > 0.0, "wave period must be positive");
+  const int n = static_cast<int>(std::round(seconds / dt_));
+  const double base = v_;
+  for (int i = 1; i <= n; ++i) {
+    const double t = i * dt_;
+    // Sine ripple that returns to the base speed at the end, so the next
+    // phase ramps from a well-defined speed.
+    const double wave =
+        amplitude_mps * std::sin(2.0 * 3.14159265358979323846 * t / period_s);
+    v_ = std::max(0.0, base + wave);
+    samples_.push_back(v_);
+  }
+  v_ = base;
+  samples_.back() = base;
+  return *this;
+}
+
+CycleBuilder& CycleBuilder::idle(double seconds) {
+  OTEM_REQUIRE(std::abs(v_) < 1e-9, "idle requires standstill — ramp to 0 first");
+  return cruise(seconds);
+}
+
+CycleBuilder& CycleBuilder::stop(double a_mps2, double idle_seconds) {
+  ramp_to(0.0, a_mps2);
+  return idle(idle_seconds);
+}
+
+double CycleBuilder::elapsed() const {
+  return static_cast<double>(samples_.size() - 1) * dt_;
+}
+
+TimeSeries CycleBuilder::build() const { return TimeSeries(dt_, samples_); }
+
+// ---------------------------------------------------------------------------
+// Cycle definitions
+
+namespace {
+
+/// One stop-to-stop microtrip: accelerate, hold (with mild ripple),
+/// decelerate, idle.
+void microtrip(CycleBuilder& b, double peak_mps, double accel, double decel,
+               double cruise_s, double idle_s, double ripple = 0.6) {
+  b.ramp_to(peak_mps, accel);
+  if (ripple > 0.0 && cruise_s >= 20.0)
+    b.cruise_wavy(cruise_s, ripple, std::max(20.0, cruise_s / 3.0));
+  else
+    b.cruise(cruise_s);
+  b.stop(decel, idle_s);
+}
+
+TimeSeries build_udds() {
+  CycleBuilder b;
+  b.idle(15);
+  const struct {
+    double peak, accel, cruise, idle;
+  } trips[] = {
+      {8.33, 1.2, 25, 20},  {13.9, 1.3, 40, 15},  {25.35, 1.45, 120, 20},
+      {15.3, 1.2, 50, 15},  {12.5, 1.1, 45, 18},  {11.1, 1.0, 40, 15},
+      {13.3, 1.2, 45, 12},  {16.1, 1.3, 55, 15},  {17.2, 1.4, 60, 18},
+      {13.9, 1.2, 40, 15},  {11.7, 1.1, 35, 12},  {10.0, 1.0, 30, 15},
+      {14.4, 1.25, 45, 15}, {12.2, 1.1, 38, 20},  {8.9, 1.0, 28, 25},
+      {12.8, 1.2, 42, 18},
+  };
+  for (const auto& t : trips)
+    microtrip(b, t.peak, t.accel, t.accel, t.cruise, t.idle);
+  return b.build();
+}
+
+TimeSeries build_us06() {
+  CycleBuilder b;
+  b.idle(6);
+  b.ramp_to(28.0, 2.2).cruise_wavy(90, 1.5, 30);
+  // Ripple rides on top of the base speed: base 34.7 + 1.2 amplitude
+  // peaks exactly at the published 35.9 m/s maximum.
+  b.ramp_to(34.7, 1.2).cruise_wavy(60, 1.2, 25);
+  b.ramp_to(20.0, 1.6).cruise(40);
+  b.ramp_to(30.0, 1.8).cruise_wavy(100, 1.8, 28);
+  b.ramp_to(0.0, 2.2).idle(18);
+  b.ramp_to(25.0, 3.2).cruise_wavy(60, 1.5, 22);
+  b.ramp_to(0.0, 2.0).idle(8);
+  b.ramp_to(30.0, 2.5).cruise_wavy(75, 1.5, 30);
+  b.stop(1.8, 6);
+  return b.build();
+}
+
+TimeSeries build_hwfet() {
+  CycleBuilder b;
+  b.idle(5);
+  b.ramp_to(20.0, 1.4).cruise_wavy(120, 1.2, 45);
+  b.ramp_to(24.0, 0.8).cruise_wavy(150, 1.0, 50);
+  b.ramp_to(26.0, 0.6).cruise_wavy(120, 0.8, 40);
+  b.ramp_to(22.0, 0.8).cruise_wavy(130, 1.0, 45);
+  b.ramp_to(25.0, 0.7).cruise_wavy(180, 1.0, 50);
+  b.stop(1.2, 5);
+  return b.build();
+}
+
+TimeSeries build_nycc() {
+  CycleBuilder b;
+  b.idle(20);
+  const struct {
+    double peak, accel, cruise, idle;
+  } trips[] = {
+      {5.0, 1.0, 15, 20},  {8.0, 1.2, 20, 22}, {12.4, 2.6, 20, 20},
+      {6.0, 1.0, 15, 25},  {9.0, 1.5, 18, 22}, {4.0, 0.8, 12, 28},
+      {8.0, 1.3, 20, 22},  {10.0, 1.8, 18, 20}, {5.0, 1.0, 12, 22},
+      {7.0, 1.2, 15, 25},  {3.0, 0.8, 5, 15},  {3.5, 0.8, 6, 15},
+  };
+  for (const auto& t : trips)
+    microtrip(b, t.peak, t.accel, t.accel, t.cruise, t.idle, 0.0);
+  b.idle(30);
+  return b.build();
+}
+
+TimeSeries build_la92() {
+  CycleBuilder b;
+  b.idle(10);
+  const struct {
+    double peak, accel, decel, cruise, idle;
+  } trips[] = {
+      {10.0, 1.5, 1.8, 30, 12}, {14.0, 1.8, 2.0, 40, 10},
+      {18.0, 2.0, 2.2, 50, 12}, {24.0, 2.2, 2.5, 60, 10},
+      {30.04, 2.4, 3.0, 70, 15}, {22.0, 2.0, 2.4, 55, 10},
+      {16.0, 1.8, 2.0, 45, 12}, {12.0, 1.5, 1.8, 35, 10},
+      {20.0, 2.0, 2.2, 55, 12}, {26.0, 2.3, 2.8, 65, 10},
+      {17.0, 1.8, 2.0, 45, 10}, {13.0, 1.6, 1.8, 35, 12},
+      {19.0, 2.0, 2.2, 50, 10}, {23.0, 2.2, 2.6, 60, 12},
+      {15.0, 1.7, 1.9, 40, 10}, {11.0, 1.4, 1.6, 30, 15},
+  };
+  for (const auto& t : trips)
+    microtrip(b, t.peak, t.accel, t.decel, t.cruise, t.idle);
+  return b.build();
+}
+
+TimeSeries build_sc03() {
+  CycleBuilder b;
+  b.idle(10);
+  const struct {
+    double peak, accel, cruise, idle;
+  } trips[] = {
+      {12.0, 2.0, 40, 18}, {24.51, 2.2, 70, 22}, {16.0, 2.0, 50, 18},
+      {10.0, 1.8, 35, 20}, {18.0, 2.1, 45, 16},  {14.0, 2.0, 40, 18},
+      {20.0, 2.2, 50, 20},
+  };
+  for (const auto& t : trips)
+    microtrip(b, t.peak, t.accel, t.accel, t.cruise, t.idle);
+  return b.build();
+}
+
+TimeSeries build_wltp3() {
+  CycleBuilder b;
+  // Low phase: urban stop-and-go.
+  b.idle(12);
+  const struct {
+    double peak, accel, cruise, idle;
+  } low[] = {
+      {10.0, 1.3, 50, 15}, {14.0, 1.4, 75, 18}, {8.0, 1.2, 35, 12},
+      {13.0, 1.3, 65, 20}, {15.3, 1.4, 85, 15}, {11.0, 1.2, 50, 14},
+      {9.0, 1.2, 45, 20},  {12.0, 1.3, 55, 25},
+  };
+  for (const auto& t : low)
+    microtrip(b, t.peak, t.accel, t.accel, t.cruise, t.idle);
+  // Medium phase.
+  const struct {
+    double peak, accel, cruise, idle;
+  } med[] = {
+      {18.0, 1.3, 95, 10}, {21.6, 1.2, 110, 12}, {14.0, 1.2, 60, 10},
+  };
+  for (const auto& t : med)
+    microtrip(b, t.peak, t.accel, t.accel, t.cruise, t.idle);
+  // High phase: two long cruises.
+  b.ramp_to(25.0, 1.0).cruise_wavy(150, 1.2, 50);
+  b.ramp_to(0.0, 1.0).idle(8);
+  b.ramp_to(26.8, 0.8).cruise_wavy(130, 1.0, 45);
+  // Extra-high phase: motorway climb to the 131 km/h peak.
+  b.ramp_to(30.0, 1.0).cruise_wavy(80, 1.2, 40);
+  b.ramp_to(36.47, 0.6).cruise_wavy(110, 0.0, 30);
+  b.stop(1.3, 6);
+  return b.build();
+}
+
+TimeSeries build_jc08() {
+  CycleBuilder b;
+  b.idle(25);
+  const struct {
+    double peak, accel, cruise, idle;
+  } trips[] = {
+      {8.0, 0.8, 25, 42},   {13.0, 0.9, 40, 45}, {22.67, 1.0, 70, 50},
+      {11.0, 0.9, 35, 45},  {16.0, 1.0, 50, 48}, {9.0, 0.8, 25, 42},
+      {14.0, 0.9, 40, 45},  {19.0, 1.0, 55, 50}, {7.0, 0.8, 20, 40},
+      {12.0, 0.9, 35, 55},
+  };
+  for (const auto& t : trips)
+    microtrip(b, t.peak, t.accel, t.accel, t.cruise, t.idle, 0.4);
+  return b.build();
+}
+
+TimeSeries build_artemis_urban() {
+  CycleBuilder b;
+  b.idle(15);
+  const struct {
+    double peak, accel, cruise, idle;
+  } trips[] = {
+      {7.0, 1.8, 20, 33},  {10.0, 2.0, 28, 30}, {15.92, 2.6, 40, 27},
+      {5.0, 1.5, 12, 35},  {12.0, 2.2, 30, 30}, {8.0, 1.8, 20, 33},
+      {14.0, 2.4, 32, 27}, {6.0, 1.6, 15, 37},  {11.0, 2.0, 26, 30},
+      {9.0, 1.8, 22, 33},  {13.0, 2.3, 30, 29}, {7.0, 1.7, 16, 35},
+      {10.0, 2.0, 24, 31}, {12.0, 2.2, 26, 40},
+  };
+  for (const auto& t : trips)
+    microtrip(b, t.peak, t.accel, t.accel * 1.2, t.cruise, t.idle, 0.0);
+  return b.build();
+}
+
+TimeSeries build_artemis_road() {
+  CycleBuilder b;
+  b.idle(10);
+  b.ramp_to(14.0, 1.6).cruise_wavy(130, 1.2, 35);
+  b.ramp_to(20.0, 1.2).cruise_wavy(190, 1.5, 45);
+  b.ramp_to(12.0, 1.5).cruise(60);
+  b.ramp_to(30.86, 1.0).cruise_wavy(120, 0.0, 40);
+  b.ramp_to(17.0, 1.4).cruise_wavy(150, 1.2, 40);
+  b.ramp_to(0.0, 2.4).idle(25);
+  b.ramp_to(19.0, 1.6).cruise_wavy(180, 1.5, 45);
+  b.stop(1.8, 12);
+  return b.build();
+}
+
+}  // namespace
+
+TimeSeries generate(CycleName name) {
+  switch (name) {
+    case CycleName::kUdds:
+      return build_udds();
+    case CycleName::kUs06:
+      return build_us06();
+    case CycleName::kHwfet:
+      return build_hwfet();
+    case CycleName::kNycc:
+      return build_nycc();
+    case CycleName::kLa92:
+      return build_la92();
+    case CycleName::kSc03:
+      return build_sc03();
+    case CycleName::kWltp3:
+      return build_wltp3();
+    case CycleName::kJc08:
+      return build_jc08();
+    case CycleName::kArtemisUrban:
+      return build_artemis_urban();
+    case CycleName::kArtemisRoad:
+      return build_artemis_road();
+  }
+  throw SimError("unknown drive cycle");
+}
+
+TimeSeries load_speed_csv(const std::string& path,
+                          const std::string& time_column,
+                          const std::string& speed_column, SpeedUnit unit) {
+  const CsvData data = read_csv_file(path);
+  const std::vector<double> time =
+      data.numeric_column(data.column(time_column));
+  std::vector<double> speed =
+      data.numeric_column(data.column(speed_column));
+  OTEM_REQUIRE(time.size() >= 2, "cycle file needs at least two samples");
+  const double dt = time[1] - time[0];
+  OTEM_REQUIRE(dt > 0.0, "cycle file time column must be increasing");
+  for (size_t i = 1; i < time.size(); ++i) {
+    OTEM_REQUIRE(std::abs(time[i] - time[i - 1] - dt) < 1e-6 * dt + 1e-9,
+                 "cycle file must be uniformly sampled");
+  }
+  for (double& v : speed) {
+    OTEM_REQUIRE(v >= 0.0, "cycle speeds must be non-negative");
+    switch (unit) {
+      case SpeedUnit::kMetersPerSecond:
+        break;
+      case SpeedUnit::kKilometersPerHour:
+        v = units::kmh_to_mps(v);
+        break;
+      case SpeedUnit::kMilesPerHour:
+        v = units::mph_to_mps(v);
+        break;
+    }
+  }
+  return TimeSeries(dt, std::move(speed), time[0]);
+}
+
+TimeSeries generate_synthetic(std::uint64_t seed, double duration_s,
+                              double max_speed_mps) {
+  OTEM_REQUIRE(duration_s > 0.0, "synthetic cycle duration must be positive");
+  OTEM_REQUIRE(max_speed_mps > 0.0, "synthetic cycle speed must be positive");
+  Rng rng(seed);
+  CycleBuilder b;
+  b.idle(std::floor(rng.uniform(3.0, 10.0)));
+  while (b.elapsed() < duration_s) {
+    const double peak = rng.uniform(0.2, 1.0) * max_speed_mps;
+    const double accel = rng.uniform(0.8, 2.8);
+    const double decel = rng.uniform(1.0, 3.0);
+    const double cruise = rng.uniform(10.0, 80.0);
+    const double idle_t = rng.uniform(5.0, 25.0);
+    microtrip(b, peak, accel, decel, cruise, idle_t,
+              rng.uniform(0.0, 1.0));
+  }
+  return b.build();
+}
+
+}  // namespace otem::vehicle

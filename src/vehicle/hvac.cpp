@@ -1,0 +1,68 @@
+#include "vehicle/hvac.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace otem::vehicle {
+
+HvacParams HvacParams::from_config(const Config& cfg) {
+  HvacParams p;
+  p.cabin_heat_capacity =
+      cfg.get_double("hvac.cabin_heat_capacity", p.cabin_heat_capacity);
+  p.envelope_ua = cfg.get_double("hvac.envelope_ua", p.envelope_ua);
+  p.solar_gain_w = cfg.get_double("hvac.solar_gain", p.solar_gain_w);
+  p.setpoint_k = cfg.get_double("hvac.setpoint_k", p.setpoint_k);
+  p.cop = cfg.get_double("hvac.cop", p.cop);
+  p.max_power_w = cfg.get_double("hvac.max_power", p.max_power_w);
+  p.dead_band_k = cfg.get_double("hvac.dead_band", p.dead_band_k);
+  OTEM_REQUIRE(p.cabin_heat_capacity > 0.0 && p.envelope_ua > 0.0,
+               "cabin thermal parameters must be positive");
+  OTEM_REQUIRE(p.cop > 0.0, "HVAC COP must be positive");
+  return p;
+}
+
+CabinHvac::CabinHvac(HvacParams params) : params_(params) {
+  OTEM_REQUIRE(params_.cop > 0.0, "HVAC COP must be positive");
+}
+
+double CabinHvac::passive_heat_w(double t_cabin_k,
+                                 double t_ambient_k) const {
+  return params_.envelope_ua * (t_ambient_k - t_cabin_k) +
+         params_.solar_gain_w;
+}
+
+double CabinHvac::steady_load_w(double t_ambient_k) const {
+  // At the setpoint, the HVAC must remove/add exactly the passive heat.
+  const double q = passive_heat_w(params_.setpoint_k, t_ambient_k);
+  // Within the dead band the envelope imbalance is tolerated.
+  const double band_q = params_.envelope_ua * params_.dead_band_k;
+  if (std::abs(q) <= band_q) return 0.0;
+  return std::min(std::abs(q) / params_.cop, params_.max_power_w);
+}
+
+double CabinHvac::step(double t_cabin_k, double t_ambient_k, double dt,
+                       double* p_electric_w) const {
+  OTEM_REQUIRE(dt > 0.0, "HVAC step must be positive");
+  const double passive = passive_heat_w(t_cabin_k, t_ambient_k);
+
+  // Proportional pull toward the setpoint: aim to close the error over
+  // ~five minutes, plus cancel the passive load, capped by hardware.
+  const double error_k = params_.setpoint_k - t_cabin_k;
+  double q_cmd = 0.0;
+  if (std::abs(error_k) > params_.dead_band_k) {
+    q_cmd = params_.cabin_heat_capacity * error_k / 300.0 - passive;
+  } else {
+    q_cmd = 0.0;  // coast inside the dead band
+  }
+  const double q_max = params_.max_power_w * params_.cop;
+  q_cmd = std::clamp(q_cmd, -q_max, q_max);
+
+  if (p_electric_w != nullptr) *p_electric_w = std::abs(q_cmd) / params_.cop;
+
+  const double dT = (passive + q_cmd) * dt / params_.cabin_heat_capacity;
+  return t_cabin_k + dT;
+}
+
+}  // namespace otem::vehicle

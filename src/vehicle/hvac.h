@@ -1,0 +1,61 @@
+// hvac.h — cabin climate-control load model.
+//
+// The paper's companion work [2] ("HVAC System and Automotive Climate
+// Control Influence on Electric Vehicle and Battery") shows the cabin
+// HVAC is the second-largest load in an EV and strongly
+// ambient-dependent. This model closes that loop for the ambient
+// sweeps: a one-state cabin (air + interior mass) with an envelope
+// conductance, solar gain and a heat-pump HVAC holding a setpoint:
+//
+//   C_cab dT_cab/dt = UA (T_amb - T_cab) + Q_solar + Q_hvac,
+//   P_hvac = |Q_hvac| / COP,  |P_hvac| <= max power.
+//
+// Use steady_load_w() for the equilibrium electric draw at a given
+// ambient (what the sweep benches add to the accessory load), or
+// step() to simulate pull-down/pull-up transients.
+#pragma once
+
+#include "common/config.h"
+
+namespace otem::vehicle {
+
+struct HvacParams {
+  double cabin_heat_capacity = 80000.0;  ///< J/K (air + seats + trim)
+  double envelope_ua = 55.0;             ///< W/K through glass and body
+  double solar_gain_w = 350.0;           ///< daytime irradiation
+  double setpoint_k = 295.15;            ///< 22 C comfort target
+  double cop = 2.5;                      ///< heat-pump COP (both modes)
+  double max_power_w = 5000.0;           ///< compressor/heater limit
+  /// Dead band around the setpoint [K] within which the HVAC idles.
+  double dead_band_k = 0.7;
+
+  /// Load overrides with prefix "hvac." from cfg.
+  static HvacParams from_config(const Config& cfg);
+};
+
+class CabinHvac {
+ public:
+  explicit CabinHvac(HvacParams params);
+
+  const HvacParams& params() const { return params_; }
+
+  /// Thermal load the envelope + sun push into the cabin at T_cab [W].
+  double passive_heat_w(double t_cabin_k, double t_ambient_k) const;
+
+  /// Electric power needed to HOLD the setpoint at steady state [W]
+  /// (0 inside the ambient band where the envelope balance is within
+  /// the dead band).
+  double steady_load_w(double t_ambient_k) const;
+
+  /// One transient step: returns the new cabin temperature and writes
+  /// the electric power drawn into p_electric_w. The controller drives
+  /// the cabin toward the setpoint with a proportional thermal command
+  /// capped by the hardware limit.
+  double step(double t_cabin_k, double t_ambient_k, double dt,
+              double* p_electric_w) const;
+
+ private:
+  HvacParams params_;
+};
+
+}  // namespace otem::vehicle

@@ -1,0 +1,97 @@
+#include "vehicle/powertrain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/units.h"
+
+namespace otem::vehicle {
+
+VehicleParams VehicleParams::from_config(const Config& cfg) {
+  VehicleParams p;
+  p.mass_kg = cfg.get_double("vehicle.mass_kg", p.mass_kg);
+  p.rotating_mass_factor =
+      cfg.get_double("vehicle.rotating_mass_factor", p.rotating_mass_factor);
+  p.drag_coefficient = cfg.get_double("vehicle.cd", p.drag_coefficient);
+  p.frontal_area_m2 = cfg.get_double("vehicle.frontal_area", p.frontal_area_m2);
+  p.rolling_resistance = cfg.get_double("vehicle.cr", p.rolling_resistance);
+  p.traction_efficiency =
+      cfg.get_double("vehicle.traction_efficiency", p.traction_efficiency);
+  p.regen_efficiency =
+      cfg.get_double("vehicle.regen_efficiency", p.regen_efficiency);
+  p.max_motor_power_w =
+      cfg.get_double("vehicle.max_motor_power", p.max_motor_power_w);
+  p.max_regen_power_w =
+      cfg.get_double("vehicle.max_regen_power", p.max_regen_power_w);
+  p.accessory_power_w =
+      cfg.get_double("vehicle.accessory_power", p.accessory_power_w);
+
+  OTEM_REQUIRE(p.mass_kg > 0.0, "vehicle mass must be positive");
+  OTEM_REQUIRE(p.traction_efficiency > 0.0 && p.traction_efficiency <= 1.0,
+               "traction efficiency must be in (0, 1]");
+  OTEM_REQUIRE(p.regen_efficiency >= 0.0 && p.regen_efficiency <= 1.0,
+               "regen efficiency must be in [0, 1]");
+  return p;
+}
+
+Powertrain::Powertrain(VehicleParams params) : params_(params) {}
+
+double Powertrain::wheel_force(double v_mps, double a_mps2,
+                               double grade_rad) const {
+  const double inertial =
+      params_.mass_kg * params_.rotating_mass_factor * a_mps2;
+  const double rolling = params_.mass_kg * constants::kGravity *
+                         params_.rolling_resistance * std::cos(grade_rad) *
+                         (v_mps > 0.01 ? 1.0 : 0.0);
+  const double aero = 0.5 * constants::kAirDensity * params_.drag_coefficient *
+                      params_.frontal_area_m2 * v_mps * v_mps;
+  const double grade =
+      params_.mass_kg * constants::kGravity * std::sin(grade_rad);
+  return inertial + rolling + aero + grade;
+}
+
+double Powertrain::power_request(double v_mps, double a_mps2,
+                                 double grade_rad) const {
+  const double p_wheel = wheel_force(v_mps, a_mps2, grade_rad) * v_mps;
+  double p_bus;
+  if (p_wheel >= 0.0) {
+    p_bus = std::min(p_wheel, params_.max_motor_power_w) /
+            params_.traction_efficiency;
+  } else {
+    p_bus = std::max(p_wheel * params_.regen_efficiency,
+                     -params_.max_regen_power_w);
+  }
+  return p_bus + params_.accessory_power_w;
+}
+
+TimeSeries Powertrain::power_trace(const TimeSeries& speed,
+                                   double grade_rad) const {
+  OTEM_REQUIRE(!speed.empty(), "power trace of empty speed trace");
+  std::vector<double> out;
+  out.reserve(speed.size());
+  for (size_t k = 0; k < speed.size(); ++k) {
+    const double v = speed[k];
+    const double a =
+        k == 0 ? 0.0 : (speed[k] - speed[k - 1]) / speed.dt();
+    out.push_back(power_request(v, a, grade_rad));
+  }
+  return TimeSeries(speed.dt(), std::move(out), speed.t0());
+}
+
+double Powertrain::trip_energy_j(const TimeSeries& speed,
+                                 double grade_rad) const {
+  return power_trace(speed, grade_rad).integral();
+}
+
+double Powertrain::consumption_wh_per_km(const TimeSeries& speed,
+                                         double grade_rad) const {
+  double dist_m = 0.0;
+  for (size_t k = 0; k < speed.size(); ++k) dist_m += speed[k] * speed.dt();
+  OTEM_REQUIRE(dist_m > 1.0, "trace covers no distance");
+  return units::joule_to_wh(trip_energy_j(speed, grade_rad)) /
+         units::m_to_km(dist_m);
+}
+
+}  // namespace otem::vehicle

@@ -1,0 +1,67 @@
+#include "vehicle/route.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/interp.h"
+
+namespace otem::vehicle {
+
+TimeSeries grade_from_elevation(const TimeSeries& speed,
+                                const ElevationProfile& profile) {
+  OTEM_REQUIRE(!speed.empty(), "grade for an empty speed trace");
+  OTEM_REQUIRE(profile.size() >= 2, "elevation profile needs >= 2 points");
+  std::vector<double> dist, elev;
+  dist.reserve(profile.size());
+  elev.reserve(profile.size());
+  for (const auto& [d, e] : profile) {
+    dist.push_back(d);
+    elev.push_back(e);
+  }
+  OTEM_REQUIRE(dist.front() == 0.0, "elevation profile must start at 0 m");
+  const Interp1D elevation(dist, elev);
+
+  std::vector<double> grade(speed.size(), 0.0);
+  double travelled = 0.0;
+  for (size_t k = 0; k < speed.size(); ++k) {
+    // Slope of the elevation at the current position; the Interp1D
+    // derivative is dz/ddist = tan(grade) ~ grade for road slopes.
+    grade[k] = std::atan(elevation.derivative(travelled));
+    travelled += speed[k] * speed.dt();
+  }
+  return TimeSeries(speed.dt(), std::move(grade), speed.t0());
+}
+
+double elevation_gain_m(const Route& route) {
+  OTEM_REQUIRE(!route.speed_mps.empty(), "elevation gain of empty route");
+  if (route.grade_rad.empty()) return 0.0;
+  OTEM_REQUIRE(route.grade_rad.size() == route.speed_mps.size(),
+               "route speed/grade size mismatch");
+  double gain = 0.0;
+  for (size_t k = 0; k < route.speed_mps.size(); ++k) {
+    gain += route.speed_mps[k] * route.speed_mps.dt() *
+            std::sin(route.grade_rad[k]);
+  }
+  return gain;
+}
+
+TimeSeries route_power_trace(const Powertrain& powertrain,
+                             const Route& route) {
+  const TimeSeries& speed = route.speed_mps;
+  OTEM_REQUIRE(!speed.empty(), "power trace of empty route");
+  const bool flat = route.grade_rad.empty();
+  OTEM_REQUIRE(flat || route.grade_rad.size() == speed.size(),
+               "route speed/grade size mismatch");
+
+  std::vector<double> out;
+  out.reserve(speed.size());
+  for (size_t k = 0; k < speed.size(); ++k) {
+    const double v = speed[k];
+    const double a = k == 0 ? 0.0 : (speed[k] - speed[k - 1]) / speed.dt();
+    const double g = flat ? 0.0 : route.grade_rad[k];
+    out.push_back(powertrain.power_request(v, a, g));
+  }
+  return TimeSeries(speed.dt(), std::move(out), speed.t0());
+}
+
+}  // namespace otem::vehicle

@@ -1,0 +1,44 @@
+// route.h — routes with elevation: speed plus road-grade profiles.
+//
+// The powertrain's grade term matters enormously in hilly terrain (a
+// 5 % climb at 70 km/h costs more than all other road loads
+// combined), and descent regen is where HEES buffering shines. A Route
+// pairs a speed trace with a per-sample grade trace; the usual entry
+// point is elevation waypoints along the route's distance, from which
+// grade_from_elevation() derives the per-second profile consistent
+// with the speed trace.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/timeseries.h"
+#include "vehicle/powertrain.h"
+
+namespace otem::vehicle {
+
+struct Route {
+  TimeSeries speed_mps;
+  /// Per-sample road grade [rad]; same sampling as speed. May be empty
+  /// (flat route).
+  TimeSeries grade_rad;
+};
+
+/// Elevation waypoint: (distance along route [m], elevation [m]).
+using ElevationProfile = std::vector<std::pair<double, double>>;
+
+/// Derive the per-sample grade trace for `speed` from elevation
+/// waypoints (piecewise-linear elevation over distance). Waypoints
+/// must have strictly increasing distances starting at 0; the profile
+/// is clamped at its ends if the route runs longer.
+TimeSeries grade_from_elevation(const TimeSeries& speed,
+                                const ElevationProfile& profile);
+
+/// Net elevation gain of the route [m] implied by speed + grade.
+double elevation_gain_m(const Route& route);
+
+/// Electric power request for a full route (per-sample grade).
+TimeSeries route_power_trace(const Powertrain& powertrain,
+                             const Route& route);
+
+}  // namespace otem::vehicle

@@ -1,0 +1,215 @@
+// Property-based sweeps over the battery model: invariants that must
+// hold at EVERY operating point, checked on (SoC x temperature x power)
+// grids and randomised scenarios.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "battery/aging.h"
+#include "battery/battery_model.h"
+#include "common/rng.h"
+
+namespace otem::battery {
+namespace {
+
+PackModel default_pack() { return PackModel(PackParams{}); }
+
+// ---------------------------------------------------------------------------
+// Grid sweep: SoC x temperature.
+
+class SocTempGrid
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SocTempGrid, ResistancePositiveAndBounded) {
+  const auto [soc, temp] = GetParam();
+  const PackModel pack = default_pack();
+  const double r = pack.internal_resistance(soc, temp);
+  EXPECT_GT(r, 0.0);
+  EXPECT_LT(r, 10.0);  // a 10-ohm pack would be broken
+}
+
+TEST_P(SocTempGrid, PowerSolveRoundtripsAcrossPowers) {
+  const auto [soc, temp] = GetParam();
+  const PackModel pack = default_pack();
+  const double pmax = pack.max_discharge_power(soc, temp);
+  for (double frac : {-0.5, -0.1, 0.05, 0.3, 0.7, 0.95}) {
+    const double p = frac * pmax;
+    const PowerSolve s = pack.current_for_power(soc, temp, p);
+    ASSERT_TRUE(s.feasible) << "frac " << frac;
+    EXPECT_NEAR(s.terminal_voltage * s.current_a, p,
+                std::abs(p) * 1e-8 + 1e-6);
+  }
+}
+
+TEST_P(SocTempGrid, MaxPowerIsTheFeasibilityBoundary) {
+  const auto [soc, temp] = GetParam();
+  const PackModel pack = default_pack();
+  const double pmax = pack.max_discharge_power(soc, temp);
+  EXPECT_TRUE(pack.current_for_power(soc, temp, pmax * 0.999).feasible);
+  EXPECT_FALSE(pack.current_for_power(soc, temp, pmax * 1.001).feasible);
+}
+
+TEST_P(SocTempGrid, HeatNonNegativeOnDischarge) {
+  const auto [soc, temp] = GetParam();
+  const PackModel pack = default_pack();
+  // Discharge always heats (Joule and entropic terms both positive).
+  for (double i : {5.0, 40.0, 150.0}) {
+    EXPECT_GE(pack.heat_generation(soc, temp, i), 0.0)
+        << "i=" << i << " soc=" << soc << " T=" << temp;
+  }
+  // Charging at moderate current can be mildly endothermic (the
+  // entropic term flips sign — real Li-ion behaviour), but never by
+  // more than the entropic term itself; at high current Joule wins.
+  const double kappa =
+      pack.params().cell.dvoc_dtemp * pack.params().series;
+  EXPECT_GE(pack.heat_generation(soc, temp, -40.0),
+            -40.0 * temp * kappa - 1e-9);
+  EXPECT_GE(pack.heat_generation(soc, temp, -150.0), 0.0);
+}
+
+TEST_P(SocTempGrid, EnergySplitIdentity) {
+  const auto [soc, temp] = GetParam();
+  const PackModel pack = default_pack();
+  for (double i : {-80.0, -10.0, 25.0, 120.0}) {
+    const auto split = pack.energy_for_step(soc, temp, i, 3.0);
+    const double chem = pack.open_circuit_voltage(soc) * i * 3.0;
+    EXPECT_NEAR(chem, split.terminal_j + split.loss_j,
+                std::abs(chem) * 1e-9 + 1e-9);
+    EXPECT_GE(split.loss_j, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SocTempGrid,
+    ::testing::Combine(::testing::Values(25.0, 40.0, 60.0, 80.0, 95.0),
+                       ::testing::Values(273.15, 288.15, 298.15, 313.15,
+                                         328.15)));
+
+// ---------------------------------------------------------------------------
+// Coulomb counting.
+
+TEST(BatteryProperty, CoulombCountingIsExactUnderConstantCurrent) {
+  const PackModel pack = default_pack();
+  // Many small steps == one big step for constant current.
+  double soc_small = 90.0;
+  for (int k = 0; k < 600; ++k)
+    soc_small = pack.step_soc(soc_small, 30.0, 1.0);
+  const double soc_big = pack.step_soc(90.0, 30.0, 600.0);
+  EXPECT_NEAR(soc_small, soc_big, 1e-9);
+}
+
+TEST(BatteryProperty, ChargeDischargeSymmetry) {
+  const PackModel pack = default_pack();
+  double soc = 50.0;
+  soc = pack.step_soc(soc, 40.0, 120.0);
+  soc = pack.step_soc(soc, -40.0, 120.0);
+  EXPECT_NEAR(soc, 50.0, 1e-9);
+}
+
+TEST(BatteryProperty, FullPackTakesHoursToDrainAtOneC) {
+  const PackModel pack = default_pack();
+  const double i_1c = pack.capacity_ah();  // 1C in amps
+  const double soc_after_1h = pack.step_soc(100.0, i_1c, 3600.0);
+  EXPECT_NEAR(soc_after_1h, 0.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Randomised consistency (seeded).
+
+TEST(BatteryProperty, RandomisedSolveInverse) {
+  const PackModel pack = default_pack();
+  Rng rng(77);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double soc = rng.uniform(10.0, 99.0);
+    const double temp = rng.uniform(270.0, 330.0);
+    const double i = rng.uniform(-200.0, 200.0);
+    const double v = pack.terminal_voltage(soc, temp, i);
+    const double p = v * i;
+    const PowerSolve s = pack.current_for_power(soc, temp, p);
+    ASSERT_TRUE(s.feasible);
+    // current_for_power picks the high-voltage branch; currents on
+    // that branch must reproduce themselves.
+    const double voc = pack.open_circuit_voltage(soc);
+    const double r = pack.internal_resistance(soc, temp);
+    if (i < voc / (2.0 * r)) {
+      EXPECT_NEAR(s.current_a, i, std::abs(i) * 1e-7 + 1e-7);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ageing model properties.
+
+class FadeTempSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FadeTempSweep, ArrheniusMonotoneInTemperature) {
+  const CapacityFadeModel fade((CellParams()));
+  const double t = GetParam();
+  EXPECT_LT(fade.loss_rate_percent_per_s(3.0, t),
+            fade.loss_rate_percent_per_s(3.0, t + 5.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Temps, FadeTempSweep,
+                         ::testing::Values(273.15, 283.15, 298.15, 308.15,
+                                           318.15, 328.15));
+
+TEST(FadeProperty, MonotoneInCurrent) {
+  const CapacityFadeModel fade((CellParams()));
+  double prev = 0.0;
+  for (double i = 0.5; i < 10.0; i += 0.5) {
+    const double rate = fade.loss_rate_percent_per_s(i, 300.0);
+    EXPECT_GT(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(FadeProperty, ChargingNeverAges) {
+  const CapacityFadeModel fade((CellParams()));
+  for (double i : {-0.1, -1.0, -10.0}) {
+    EXPECT_DOUBLE_EQ(fade.loss_rate_percent_per_s(i, 320.0), 0.0);
+    EXPECT_DOUBLE_EQ(fade.loss_rate_from_pack_current(i * 16, 16, 320.0),
+                     0.0);
+  }
+}
+
+TEST(FadeProperty, AdditiveOverTime) {
+  const CapacityFadeModel fade((CellParams()));
+  const double whole = fade.loss_for_step(4.0, 310.0, 100.0);
+  double parts = 0.0;
+  for (int k = 0; k < 100; ++k) parts += fade.loss_for_step(4.0, 310.0, 1.0);
+  EXPECT_NEAR(whole, parts, whole * 1e-12);
+}
+
+TEST(FadeProperty, LifetimeInverselyProportionalToLoss) {
+  const CapacityFadeModel fade((CellParams()));
+  EXPECT_NEAR(fade.missions_to_end_of_life(0.01) /
+                  fade.missions_to_end_of_life(0.02),
+              2.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Temperature sensitivity direction (Section II-A: hot = efficient).
+
+TEST(BatteryProperty, HotterPackDeliversPowerWithLessLoss) {
+  const PackModel pack = default_pack();
+  const double p = 30000.0;
+  const PowerSolve cold = pack.current_for_power(70.0, 278.15, p);
+  const PowerSolve hot = pack.current_for_power(70.0, 318.15, p);
+  // Same power at lower current*... the current is nearly the same but
+  // the resistive loss is smaller when hot.
+  const double loss_cold = cold.current_a * cold.current_a *
+                           pack.internal_resistance(70.0, 278.15);
+  const double loss_hot =
+      hot.current_a * hot.current_a * pack.internal_resistance(70.0, 318.15);
+  EXPECT_LT(loss_hot, loss_cold);
+}
+
+TEST(BatteryProperty, MaxPowerGrowsWithTemperature) {
+  const PackModel pack = default_pack();
+  EXPECT_GT(pack.max_discharge_power(70.0, 318.15),
+            pack.max_discharge_power(70.0, 278.15));
+}
+
+}  // namespace
+}  // namespace otem::battery

@@ -1,0 +1,122 @@
+// Tests for the Monte-Carlo fleet evaluation harness.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.h"
+#include "core/otem/otem_methodology.h"
+#include "core/parallel_methodology.h"
+#include "sim/fleet.h"
+
+namespace otem::sim {
+namespace {
+
+core::SystemSpec default_spec() {
+  return core::SystemSpec::from_config(Config());
+}
+
+auto parallel_factory() {
+  return [](const core::SystemSpec& s) {
+    return std::make_unique<core::ParallelMethodology>(s);
+  };
+}
+
+FleetOptions small_fleet(size_t missions = 4) {
+  FleetOptions f;
+  f.missions = missions;
+  f.seed = 99;
+  f.min_duration_s = 200.0;
+  f.max_duration_s = 400.0;
+  return f;
+}
+
+TEST(Fleet, DeterministicPerSeed) {
+  const core::SystemSpec spec = default_spec();
+  const FleetResult a = evaluate_fleet(spec, parallel_factory(),
+                                       small_fleet());
+  const FleetResult b = evaluate_fleet(spec, parallel_factory(),
+                                       small_fleet());
+  EXPECT_DOUBLE_EQ(a.qloss_percent.mean, b.qloss_percent.mean);
+  EXPECT_DOUBLE_EQ(a.average_power_w.stddev, b.average_power_w.stddev);
+  ASSERT_EQ(a.missions.size(), b.missions.size());
+  for (size_t i = 0; i < a.missions.size(); ++i) {
+    EXPECT_EQ(a.missions[i].route_seed, b.missions[i].route_seed);
+    EXPECT_DOUBLE_EQ(a.missions[i].ambient_k, b.missions[i].ambient_k);
+  }
+}
+
+TEST(Fleet, DifferentSeedsSampleDifferentMissions) {
+  const core::SystemSpec spec = default_spec();
+  FleetOptions f1 = small_fleet();
+  FleetOptions f2 = small_fleet();
+  f2.seed = 100;
+  const FleetResult a = evaluate_fleet(spec, parallel_factory(), f1);
+  const FleetResult b = evaluate_fleet(spec, parallel_factory(), f2);
+  EXPECT_NE(a.missions[0].route_seed, b.missions[0].route_seed);
+}
+
+TEST(Fleet, StatsAreConsistent) {
+  const core::SystemSpec spec = default_spec();
+  const FleetResult r =
+      evaluate_fleet(spec, parallel_factory(), small_fleet(6));
+  ASSERT_EQ(r.missions.size(), 6u);
+  EXPECT_LE(r.qloss_percent.min, r.qloss_percent.mean);
+  EXPECT_LE(r.qloss_percent.mean, r.qloss_percent.max);
+  EXPECT_GE(r.qloss_percent.stddev, 0.0);
+  // Recompute the mean from the per-mission outcomes.
+  double mean = 0.0;
+  for (const auto& m : r.missions) mean += m.result.qloss_percent;
+  mean /= 6.0;
+  EXPECT_NEAR(r.qloss_percent.mean, mean, 1e-12);
+}
+
+TEST(Fleet, AmbientSamplesWithinRange) {
+  const core::SystemSpec spec = default_spec();
+  FleetOptions f = small_fleet(8);
+  f.ambient_min_k = 290.0;
+  f.ambient_max_k = 300.0;
+  const FleetResult r = evaluate_fleet(spec, parallel_factory(), f);
+  for (const auto& m : r.missions) {
+    EXPECT_GE(m.ambient_k, 290.0);
+    EXPECT_LE(m.ambient_k, 300.0);
+    EXPECT_GE(m.duration_s, 190.0);
+    EXPECT_GT(m.distance_m, 0.0);
+  }
+}
+
+TEST(Fleet, OtemBeatsParallelInDistribution) {
+  // The paper's ordering must hold on the paired random fleet, not
+  // just the fixed schedules.
+  const core::SystemSpec spec = default_spec();
+  FleetOptions f = small_fleet(5);
+  f.min_duration_s = 300.0;
+  f.max_duration_s = 500.0;
+  const FleetResult parallel =
+      evaluate_fleet(spec, parallel_factory(), f);
+  const FleetResult otem = evaluate_fleet(
+      spec,
+      [](const core::SystemSpec& s) {
+        core::MpcOptions mpc;
+        mpc.horizon = 12;
+        core::OtemSolverOptions sopt;
+        sopt.al.adam.max_iterations = 60;
+        sopt.al.max_outer_iterations = 2;
+        return std::make_unique<core::OtemMethodology>(s, mpc, sopt);
+      },
+      f);
+  EXPECT_LT(otem.qloss_percent.mean, parallel.qloss_percent.mean);
+  EXPECT_LE(otem.total_violation_s, parallel.total_violation_s);
+}
+
+TEST(Fleet, InvalidOptionsThrow) {
+  const core::SystemSpec spec = default_spec();
+  FleetOptions f = small_fleet(0);
+  EXPECT_THROW(evaluate_fleet(spec, parallel_factory(), f), SimError);
+  FleetOptions g = small_fleet();
+  g.ambient_min_k = 320.0;
+  g.ambient_max_k = 280.0;
+  EXPECT_THROW(evaluate_fleet(spec, parallel_factory(), g), SimError);
+}
+
+}  // namespace
+}  // namespace otem::sim

@@ -1,0 +1,126 @@
+// Tests for the power-request forecast models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "core/forecast.h"
+
+namespace otem::core {
+namespace {
+
+TimeSeries ramp_trace(size_t n) {
+  std::vector<double> v(n);
+  for (size_t k = 0; k < n; ++k) v[k] = 1000.0 * static_cast<double>(k);
+  return TimeSeries(1.0, std::move(v));
+}
+
+TEST(PerfectForecast, ReturnsTruthSlice) {
+  PerfectForecast f;
+  f.reset(ramp_trace(100));
+  const auto w = f.window(10, 5);
+  ASSERT_EQ(w.size(), 5u);
+  EXPECT_DOUBLE_EQ(w[0], 10000.0);
+  EXPECT_DOUBLE_EQ(w[4], 14000.0);
+}
+
+TEST(PerfectForecast, TruncatesAtRouteEnd) {
+  PerfectForecast f;
+  f.reset(ramp_trace(20));
+  EXPECT_EQ(f.window(18, 10).size(), 2u);
+  EXPECT_TRUE(f.window(25, 10).empty());
+}
+
+TEST(NoisyForecast, DeterministicPerSeed) {
+  NoisyForecast a(42, 0.1, 100.0);
+  NoisyForecast b(42, 0.1, 100.0);
+  a.reset(ramp_trace(100));
+  b.reset(ramp_trace(100));
+  const auto wa = a.window(7, 10);
+  const auto wb = b.window(7, 10);
+  for (size_t i = 0; i < wa.size(); ++i) EXPECT_DOUBLE_EQ(wa[i], wb[i]);
+}
+
+TEST(NoisyForecast, DifferentSeedsDiffer) {
+  NoisyForecast a(1, 0.1, 100.0);
+  NoisyForecast b(2, 0.1, 100.0);
+  a.reset(ramp_trace(100));
+  b.reset(ramp_trace(100));
+  EXPECT_NE(a.window(7, 10), b.window(7, 10));
+}
+
+TEST(NoisyForecast, ErrorConsistentAcrossRequeries) {
+  // The same future instant queried at the same lead gives the same
+  // prediction (errors are keyed by absolute step and lead).
+  NoisyForecast f(42, 0.1, 100.0);
+  f.reset(ramp_trace(100));
+  const auto w1 = f.window(10, 10);
+  const auto w2 = f.window(10, 10);
+  EXPECT_EQ(w1, w2);
+}
+
+TEST(NoisyForecast, ErrorGrowsWithLeadTime) {
+  // Aggregate the absolute relative error at lead 1 vs lead 20 over
+  // many window positions — the long lead must be noisier.
+  NoisyForecast f(9, 0.05, 0.0);
+  f.reset(TimeSeries(1.0, std::vector<double>(400, 10000.0)));
+  double err_near = 0.0, err_far = 0.0;
+  int n = 0;
+  for (size_t k = 0; k + 25 < 400; k += 5) {
+    const auto w = f.window(k, 25);
+    err_near += std::abs(w[0] - 10000.0);
+    err_far += std::abs(w[24] - 10000.0);
+    ++n;
+  }
+  EXPECT_LT(err_near / n, err_far / n);
+}
+
+TEST(NoisyForecast, ZeroNoiseIsPerfect) {
+  NoisyForecast f(3, 0.0, 0.0);
+  f.reset(ramp_trace(50));
+  const auto w = f.window(5, 10);
+  for (size_t j = 0; j < w.size(); ++j)
+    EXPECT_DOUBLE_EQ(w[j], 1000.0 * (5.0 + j));
+}
+
+TEST(SmoothedForecast, PreservesMeanRemovesPeaks) {
+  // Square wave: smoothing keeps the average but cuts the amplitude.
+  std::vector<double> v(200);
+  for (size_t k = 0; k < v.size(); ++k) v[k] = (k % 10 < 5) ? 0.0 : 20000.0;
+  SmoothedForecast f(20.0);
+  f.reset(TimeSeries(1.0, v));
+  const auto w = f.window(50, 40);
+  double mean = 0.0, peak = 0.0;
+  for (double x : w) {
+    mean += x;
+    peak = std::max(peak, x);
+  }
+  mean /= static_cast<double>(w.size());
+  EXPECT_NEAR(mean, 10000.0, 1500.0);
+  EXPECT_LT(peak, 18000.0);  // peaks flattened
+}
+
+TEST(PersistenceForecast, HoldsCurrentValue) {
+  PersistenceForecast f;
+  f.reset(ramp_trace(100));
+  const auto w = f.window(30, 8);
+  ASSERT_EQ(w.size(), 8u);
+  for (double x : w) EXPECT_DOUBLE_EQ(x, 30000.0);
+}
+
+TEST(ForecastFactory, ParsesSpecs) {
+  EXPECT_EQ(make_forecast("perfect")->name(), "perfect");
+  EXPECT_EQ(make_forecast("persistence")->name(), "persistence");
+  EXPECT_EQ(make_forecast("smoothed:30")->name(), "smoothed");
+  EXPECT_NE(make_forecast("noisy:1:0.1:500"), nullptr);
+}
+
+TEST(ForecastFactory, RejectsBadSpecs) {
+  EXPECT_THROW(make_forecast("oracle"), SimError);
+  EXPECT_THROW(make_forecast("smoothed"), SimError);
+  EXPECT_THROW(make_forecast("noisy:1:0.1"), SimError);
+  EXPECT_THROW(make_forecast("smoothed:-5"), SimError);
+}
+
+}  // namespace
+}  // namespace otem::core

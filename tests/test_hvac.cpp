@@ -1,0 +1,96 @@
+// Tests for the cabin HVAC load model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "vehicle/hvac.h"
+
+namespace otem::vehicle {
+namespace {
+
+CabinHvac default_hvac() { return CabinHvac(HvacParams{}); }
+
+TEST(Hvac, NoLoadInTheComfortBand) {
+  const CabinHvac hvac = default_hvac();
+  // Around ~16 C ambient the solar gain balances the envelope loss at
+  // the 22 C setpoint; nearby ambients need no HVAC power.
+  const double balance_amb =
+      HvacParams{}.setpoint_k - HvacParams{}.solar_gain_w /
+                                    HvacParams{}.envelope_ua;
+  EXPECT_DOUBLE_EQ(hvac.steady_load_w(balance_amb), 0.0);
+}
+
+TEST(Hvac, LoadGrowsAwayFromTheBalancePoint) {
+  const CabinHvac hvac = default_hvac();
+  const double hot35 = hvac.steady_load_w(308.15);
+  const double hot40 = hvac.steady_load_w(313.15);
+  const double cold0 = hvac.steady_load_w(273.15);
+  const double cold_m10 = hvac.steady_load_w(263.15);
+  EXPECT_GT(hot40, hot35);
+  EXPECT_GT(cold_m10, cold0);
+  EXPECT_GT(hot35, 0.0);
+  EXPECT_GT(cold0, 0.0);
+}
+
+TEST(Hvac, SteadyLoadValuesPlausible) {
+  // A 40 C day: UA*(40-22)+solar = 55*18+350 = 1340 W thermal -> /COP
+  // = 536 W electric.
+  const CabinHvac hvac = default_hvac();
+  EXPECT_NEAR(hvac.steady_load_w(313.15), (55.0 * 18.0 + 350.0) / 2.5,
+              1.0);
+  // Deep winter (-10 C): UA*32 - 350 = 1410 W heating -> 564 W.
+  EXPECT_NEAR(hvac.steady_load_w(263.15), (55.0 * 32.0 - 350.0) / 2.5,
+              1.0);
+}
+
+TEST(Hvac, LoadCappedByHardware) {
+  HvacParams p;
+  p.max_power_w = 300.0;
+  const CabinHvac hvac(p);
+  EXPECT_DOUBLE_EQ(hvac.steady_load_w(330.0), 300.0);
+}
+
+TEST(Hvac, PullDownReachesSetpoint) {
+  const CabinHvac hvac = default_hvac();
+  double t_cab = 323.15;  // 50 C soaked cabin
+  double p = 0.0;
+  double max_p = 0.0;
+  for (int k = 0; k < 1800; ++k) {
+    t_cab = hvac.step(t_cab, 308.15, 1.0, &p);
+    max_p = std::max(max_p, p);
+  }
+  EXPECT_NEAR(t_cab, HvacParams{}.setpoint_k, 1.5);
+  EXPECT_LE(max_p, HvacParams{}.max_power_w + 1e-9);
+  EXPECT_GT(max_p, 1000.0);  // the pull-down works the compressor hard
+}
+
+TEST(Hvac, WinterPullUpWorksToo) {
+  const CabinHvac hvac = default_hvac();
+  double t_cab = 263.15;
+  for (int k = 0; k < 2400; ++k) t_cab = hvac.step(t_cab, 263.15, 1.0, nullptr);
+  EXPECT_NEAR(t_cab, HvacParams{}.setpoint_k, 1.5);
+}
+
+TEST(Hvac, IdlesInsideDeadBand) {
+  const CabinHvac hvac = default_hvac();
+  double p = 1.0;
+  // Cabin exactly at setpoint: controller coasts.
+  hvac.step(HvacParams{}.setpoint_k, 295.15, 1.0, &p);
+  EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+TEST(Hvac, ConfigOverridesAndValidation) {
+  Config cfg;
+  cfg.set_pair("hvac.cop=3.5");
+  cfg.set_pair("hvac.setpoint_k=294");
+  const HvacParams p = HvacParams::from_config(cfg);
+  EXPECT_DOUBLE_EQ(p.cop, 3.5);
+  EXPECT_DOUBLE_EQ(p.setpoint_k, 294.0);
+  Config bad;
+  bad.set_pair("hvac.cop=0");
+  EXPECT_THROW(HvacParams::from_config(bad), SimError);
+}
+
+}  // namespace
+}  // namespace otem::vehicle

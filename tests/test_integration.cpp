@@ -1,0 +1,182 @@
+// Integration tests: the paper's qualitative claims on reduced
+// workloads. These are the "shape" checks — who wins and in which
+// direction — that the full benches then quantify.
+#include <gtest/gtest.h>
+
+#include "core/cooling_methodology.h"
+#include "core/dual_methodology.h"
+#include "core/otem/otem_methodology.h"
+#include "core/parallel_methodology.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "vehicle/drive_cycle.h"
+#include "vehicle/powertrain.h"
+
+namespace otem {
+namespace {
+
+core::SystemSpec hot_spec() {
+  // A warm day makes the thermal story visible on short workloads.
+  Config cfg;
+  cfg.set_pair("ambient_k=308.15");  // 35 C
+  return core::SystemSpec::from_config(cfg);
+}
+
+TimeSeries us06_power(const core::SystemSpec& spec, size_t repeats = 1) {
+  return vehicle::Powertrain(spec.vehicle)
+      .power_trace(vehicle::generate(vehicle::CycleName::kUs06))
+      .repeated(repeats);
+}
+
+core::MpcOptions fast_mpc() {
+  core::MpcOptions o;
+  o.horizon = 12;
+  return o;
+}
+
+core::OtemSolverOptions fast_solver() {
+  core::OtemSolverOptions s;
+  s.al.adam.max_iterations = 60;
+  s.al.lbfgs.max_iterations = 10;
+  s.al.max_outer_iterations = 2;
+  return s;
+}
+
+TEST(Integration, OtemReducesCapacityLossVsParallel) {
+  // The Fig. 8 headline: OTEM < parallel on capacity loss.
+  const core::SystemSpec spec = hot_spec();
+  const sim::Simulator sim(spec);
+  const TimeSeries power = us06_power(spec);
+
+  core::ParallelMethodology parallel(spec);
+  core::OtemMethodology otem(spec, fast_mpc(), fast_solver());
+  const sim::RunResult r_par = sim.run(parallel, power);
+  const sim::RunResult r_otem = sim.run(otem, power);
+
+  EXPECT_LT(r_otem.qloss_percent, r_par.qloss_percent);
+}
+
+TEST(Integration, ActiveCoolingAvoidsThermalViolations) {
+  // Fig. 1/6: without management the battery overheats on US06; the
+  // active cooling system keeps it in the safe band.
+  core::SystemSpec spec = hot_spec();
+  spec.thermal.max_battery_temp_k = 311.15;  // tight 38 C ceiling @ 35 C day
+  const sim::Simulator sim(spec);
+  const TimeSeries power = us06_power(spec, 3);
+
+  core::ParallelMethodology parallel(spec);
+  core::CoolingMethodology cooling(spec);
+  const sim::RunResult r_par = sim.run(parallel, power);
+  const sim::RunResult r_cool = sim.run(cooling, power);
+
+  EXPECT_GT(r_par.thermal_violation_s, 0.0);
+  EXPECT_LT(r_cool.thermal_violation_s, r_par.thermal_violation_s);
+  EXPECT_LT(r_cool.max_t_battery_k, r_par.max_t_battery_k);
+}
+
+TEST(Integration, ActiveCoolingCostsEnergy) {
+  // Fig. 9: methodologies with active cooling consume more than the
+  // passive parallel architecture.
+  const core::SystemSpec spec = hot_spec();
+  const sim::Simulator sim(spec);
+  const TimeSeries power = us06_power(spec, 2);
+
+  core::ParallelMethodology parallel(spec);
+  core::CoolingMethodology cooling(spec);
+  const sim::RunResult r_par = sim.run(parallel, power);
+  const sim::RunResult r_cool = sim.run(cooling, power);
+
+  EXPECT_GT(r_cool.energy_cooling_j, 0.0);
+  EXPECT_GT(r_cool.average_power_w, r_par.average_power_w);
+}
+
+TEST(Integration, DualSwitchingLimitsTemperatureVsBatteryOnly) {
+  // The [16] mechanism: venting to the UC caps the temperature rise.
+  core::SystemSpec spec = hot_spec();
+  const sim::Simulator sim(spec);
+  const TimeSeries power = us06_power(spec, 2);
+
+  core::DualMethodology dual(spec);
+  // Battery-only comparison: cooling methodology with the cooler
+  // disabled degenerates to pure battery.
+  core::SystemSpec no_cool = spec;
+  no_cool.thermal.max_cooler_power_w = 1e-9;
+  core::CoolingMethodology battery_only(no_cool);
+
+  const sim::RunResult r_dual = sim.run(dual, power);
+  const sim::RunResult r_bat = sim.run(battery_only, power);
+  EXPECT_LT(r_dual.max_t_battery_k, r_bat.max_t_battery_k);
+}
+
+TEST(Integration, SmallBankHurtsDualThermalManagement) {
+  // Fig. 1: with an undersized bank the dual architecture cannot hold
+  // the temperature — more violations / higher peak than a large bank.
+  core::SystemSpec spec = hot_spec();
+  spec.thermal.max_battery_temp_k = 313.15;
+  const sim::Simulator sim_small(spec.with_ultracap_size(2000.0));
+  const sim::Simulator sim_large(spec.with_ultracap_size(25000.0));
+  const TimeSeries power = us06_power(spec, 3);
+
+  core::DualMethodology dual_small(spec.with_ultracap_size(2000.0));
+  core::DualMethodology dual_large(spec.with_ultracap_size(25000.0));
+  const sim::RunResult r_small = sim_small.run(dual_small, power);
+  const sim::RunResult r_large = sim_large.run(dual_large, power);
+
+  // The small bank spends more time above the ceiling (venting
+  // capacity exhausted sooner) even if peak temperatures are close.
+  EXPECT_GE(r_small.thermal_violation_s, r_large.thermal_violation_s);
+  EXPECT_GE(r_small.max_t_battery_k, r_large.max_t_battery_k - 0.3);
+}
+
+TEST(Integration, OtemStaysWithinThermalBand) {
+  // C1 under OTEM on an aggressive workload.
+  const core::SystemSpec spec = hot_spec();
+  const sim::Simulator sim(spec);
+  const TimeSeries power = us06_power(spec, 2);
+  core::OtemMethodology otem(spec, fast_mpc(), fast_solver());
+  const sim::RunResult r = sim.run(otem, power);
+  EXPECT_LT(r.max_t_battery_k, spec.thermal.max_battery_temp_k + 1.5);
+}
+
+TEST(Integration, OtemUsesBothStorages) {
+  const core::SystemSpec spec = hot_spec();
+  const sim::Simulator sim(spec);
+  const TimeSeries power = us06_power(spec);
+  core::OtemMethodology otem(spec, fast_mpc(), fast_solver());
+  const sim::RunResult r = sim.run(otem, power);
+  // The UC actually cycled during the run.
+  EXPECT_LT(r.trace.soe_percent.min(), 99.0);
+  EXPECT_GT(r.energy_battery_j, 0.0);
+}
+
+TEST(Integration, OtemHandlesInternationalCycles) {
+  // The controller generalises beyond the EPA schedules: a WLTP class-3
+  // mission (long, mixed, 131 km/h extra-high phase) runs clean.
+  const core::SystemSpec spec = hot_spec();
+  const sim::Simulator sim(spec);
+  const TimeSeries power =
+      vehicle::Powertrain(spec.vehicle)
+          .power_trace(vehicle::generate(vehicle::CycleName::kWltp3));
+  core::OtemMethodology otem(spec, fast_mpc(), fast_solver());
+  const sim::RunResult r = sim.run(otem, power);
+  EXPECT_LT(r.max_t_battery_k, spec.thermal.max_battery_temp_k + 1.0);
+  EXPECT_LT(r.unserved_energy_j, 1.0);
+  EXPECT_GT(r.energy_hees_j, 1e6);
+}
+
+TEST(Integration, MilderCycleAgesLess) {
+  // Sanity across workloads: NYCC (gentle) ages the battery less than
+  // US06 (aggressive) under identical management.
+  const core::SystemSpec spec = hot_spec();
+  const sim::Simulator sim(spec);
+  const vehicle::Powertrain pt(spec.vehicle);
+  core::ParallelMethodology m1(spec), m2(spec);
+  const sim::RunResult nycc =
+      sim.run(m1, pt.power_trace(vehicle::generate(vehicle::CycleName::kNycc)));
+  const sim::RunResult us06 =
+      sim.run(m2, pt.power_trace(vehicle::generate(vehicle::CycleName::kUs06)));
+  EXPECT_LT(nycc.qloss_percent, us06.qloss_percent);
+}
+
+}  // namespace
+}  // namespace otem

@@ -1,0 +1,112 @@
+// Tests for the JSON emitter and the run-report serialisation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "core/parallel_methodology.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "vehicle/drive_cycle.h"
+#include "vehicle/powertrain.h"
+
+namespace otem {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json().dump(0), "null");
+  EXPECT_EQ(Json(true).dump(0), "true");
+  EXPECT_EQ(Json(false).dump(0), "false");
+  EXPECT_EQ(Json(3.5).dump(0), "3.5");
+  EXPECT_EQ(Json(42).dump(0), "42");
+  EXPECT_EQ(Json("hi").dump(0), "\"hi\"");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  EXPECT_EQ(Json(std::nan("")).dump(0), "null");
+  EXPECT_EQ(Json(1.0 / 0.0).dump(0), "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c\nd").dump(0), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(Json(std::string(1, '\x01')).dump(0), "\"\\u0001\"");
+}
+
+TEST(Json, CompactObjectAndArray) {
+  Json obj = Json::object();
+  obj.set("a", 1).set("b", Json::array().push(1).push("x"));
+  EXPECT_EQ(obj.dump(0), "{\"a\":1,\"b\":[1,\"x\"]}");
+  EXPECT_EQ(obj.size(), 2u);
+}
+
+TEST(Json, SetOverwritesExistingKey) {
+  Json obj = Json::object();
+  obj.set("k", 1);
+  obj.set("k", 2);
+  EXPECT_EQ(obj.dump(0), "{\"k\":2}");
+}
+
+TEST(Json, PrettyPrintIndents) {
+  Json obj = Json::object();
+  obj.set("a", 1);
+  EXPECT_EQ(obj.dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, TypeMisuseThrows) {
+  Json num(1.0);
+  EXPECT_THROW(num.set("k", 2), SimError);
+  EXPECT_THROW(num.push(2), SimError);
+}
+
+TEST(Json, NumbersHelper) {
+  EXPECT_EQ(Json::numbers({1.0, 2.5}).dump(0), "[1,2.5]");
+}
+
+TEST(JsonReport, RunReportRoundtripsToFile) {
+  const core::SystemSpec spec = core::SystemSpec::from_config(Config());
+  const TimeSeries power =
+      vehicle::Powertrain(spec.vehicle)
+          .power_trace(vehicle::generate(vehicle::CycleName::kNycc));
+  core::ParallelMethodology m(spec);
+  const sim::RunResult r = sim::Simulator(spec).run(m, power);
+
+  const std::string path = ::testing::TempDir() + "otem_report.json";
+  sim::write_run_report(path, spec, "parallel", r, true);
+
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string text = ss.str();
+  // Spot checks: keys and trace arrays present, syntax sane.
+  EXPECT_NE(text.find("\"methodology\": \"parallel\""), std::string::npos);
+  EXPECT_NE(text.find("\"qloss_percent\""), std::string::npos);
+  EXPECT_NE(text.find("\"t_battery_k\""), std::string::npos);
+  EXPECT_EQ(text.front(), '{');
+  std::remove(path.c_str());
+}
+
+TEST(JsonReport, SummaryMatchesResult) {
+  sim::RunResult r;
+  r.duration_s = 10.0;
+  r.qloss_percent = 0.5;
+  r.average_power_w = 1234.0;
+  const Json j = sim::run_result_to_json(r);
+  const std::string text = j.dump(0);
+  EXPECT_NE(text.find("\"qloss_percent\":0.5"), std::string::npos);
+  EXPECT_NE(text.find("\"average_power_w\":1234"), std::string::npos);
+}
+
+TEST(JsonReport, SpecProvenance) {
+  const core::SystemSpec spec = core::SystemSpec::from_config(Config());
+  const std::string text = sim::system_spec_to_json(spec).dump(0);
+  EXPECT_NE(text.find("\"series\":96"), std::string::npos);
+  EXPECT_NE(text.find("\"capacitance_f\":25000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace otem

@@ -1,0 +1,112 @@
+// Tests for the long-horizon lifetime projection.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.h"
+#include "core/parallel_methodology.h"
+#include "sim/lifetime.h"
+#include "vehicle/drive_cycle.h"
+#include "vehicle/powertrain.h"
+
+namespace otem::sim {
+namespace {
+
+core::SystemSpec default_spec() {
+  return core::SystemSpec::from_config(Config());
+}
+
+auto parallel_factory() {
+  return [](const core::SystemSpec& s) {
+    return std::make_unique<core::ParallelMethodology>(s);
+  };
+}
+
+TimeSeries mission_power(const core::SystemSpec& spec) {
+  return vehicle::Powertrain(spec.vehicle)
+      .power_trace(vehicle::generate(vehicle::CycleName::kUs06));
+}
+
+TEST(Lifetime, ReachesEndOfLife) {
+  const core::SystemSpec spec = default_spec();
+  const LifetimeResult r = project_lifetime(
+      spec, mission_power(spec), parallel_factory(), 12800.0);
+  EXPECT_TRUE(r.reached_eol);
+  EXPECT_GT(r.missions_to_eol, 100.0);
+  EXPECT_GT(r.km_to_eol, 1000.0);
+  EXPECT_NEAR(r.curve.back().capacity_loss_percent, 20.0, 1e-9);
+}
+
+TEST(Lifetime, CurveIsMonotone) {
+  const core::SystemSpec spec = default_spec();
+  const LifetimeResult r = project_lifetime(
+      spec, mission_power(spec), parallel_factory(), 12800.0);
+  for (size_t i = 1; i < r.curve.size(); ++i) {
+    EXPECT_GE(r.curve[i].missions, r.curve[i - 1].missions);
+    EXPECT_GE(r.curve[i].capacity_loss_percent,
+              r.curve[i - 1].capacity_loss_percent);
+    EXPECT_LE(r.curve[i].capacity_ah, r.curve[i - 1].capacity_ah);
+  }
+}
+
+TEST(Lifetime, DegradationFeedbackAccelerates) {
+  // A faded pack ages faster per mission (higher C-rates), so the
+  // per-mission loss in the LAST epoch exceeds the first's.
+  const core::SystemSpec spec = default_spec();
+  LifetimeOptions opt;
+  opt.missions_per_epoch = 100.0;
+  const LifetimeResult r = project_lifetime(
+      spec, mission_power(spec), parallel_factory(), 12800.0, opt);
+  ASSERT_GE(r.curve.size(), 3u);
+  const auto& c = r.curve;
+  const double first_rate =
+      (c[1].capacity_loss_percent - c[0].capacity_loss_percent) /
+      (c[1].missions - c[0].missions);
+  const size_t last = c.size() - 1;
+  const double last_rate =
+      (c[last].capacity_loss_percent - c[last - 1].capacity_loss_percent) /
+      std::max(c[last].missions - c[last - 1].missions, 1e-9);
+  EXPECT_GT(last_rate, first_rate);
+}
+
+TEST(Lifetime, NaiveExtrapolationIsOptimistic) {
+  // Because of the feedback, real lifetime is SHORTER than
+  // 20 % / first-mission-loss.
+  const core::SystemSpec spec = default_spec();
+  const TimeSeries power = mission_power(spec);
+  const LifetimeResult r =
+      project_lifetime(spec, power, parallel_factory(), 12800.0);
+
+  const Simulator sim(spec);
+  core::ParallelMethodology m(spec);
+  RunOptions ropt;
+  ropt.record_trace = false;
+  const RunResult fresh = sim.run(m, power, ropt);
+  const double naive = 20.0 / fresh.qloss_percent;
+  EXPECT_LT(r.missions_to_eol, naive);
+}
+
+TEST(Lifetime, AgelessMissionCapsEpochs) {
+  // A zero-length idle mission accumulates ~no loss; the projection
+  // must terminate at the epoch cap rather than loop forever.
+  const core::SystemSpec spec = default_spec();
+  const TimeSeries idle(1.0, std::vector<double>(10, 0.0));
+  LifetimeOptions opt;
+  opt.max_epochs = 5;
+  const LifetimeResult r =
+      project_lifetime(spec, idle, parallel_factory(), 100.0, opt);
+  EXPECT_FALSE(r.reached_eol);
+  EXPECT_LE(r.curve.size(), 6u);
+}
+
+TEST(Lifetime, InvalidOptionsThrow) {
+  const core::SystemSpec spec = default_spec();
+  LifetimeOptions opt;
+  opt.missions_per_epoch = 0.5;
+  EXPECT_THROW(project_lifetime(spec, mission_power(spec),
+                                parallel_factory(), 100.0, opt),
+               SimError);
+}
+
+}  // namespace
+}  // namespace otem::sim

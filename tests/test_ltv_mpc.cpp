@@ -1,0 +1,186 @@
+// Tests for the LTV-QP controller path: the per-step linearisation
+// against finite differences of the nonlinear rollout, and closed-loop
+// behaviour on par with the shooting controller.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/otem/ltv_controller.h"
+#include "core/otem/otem_controller.h"
+#include "core/otem/otem_methodology.h"
+#include "sim/simulator.h"
+
+namespace otem::core {
+namespace {
+
+SystemSpec default_spec() { return SystemSpec::from_config(Config()); }
+
+MpcOptions opts(size_t horizon) {
+  MpcOptions o;
+  o.horizon = horizon;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Linearisation accuracy: A_k and B_k from linearize() vs finite
+// differences of the full nonlinear rollout.
+
+class LinearizeSeed : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinearizeSeed, JacobiansMatchFiniteDifferences) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const size_t horizon = 6;
+  MpcProblem prob(default_spec(), opts(horizon));
+
+  PlantState x0;
+  x0.t_battery_k = rng.uniform(295.0, 310.0);
+  x0.t_coolant_k = x0.t_battery_k - rng.uniform(0.0, 3.0);
+  x0.soc_percent = rng.uniform(50.0, 90.0);
+  x0.soe_percent = rng.uniform(35.0, 90.0);
+  std::vector<double> load(horizon);
+  for (auto& p : load) p = rng.uniform(0.0, 40000.0);
+  prob.set_window(x0, load);
+
+  optim::Vector z(prob.dim());
+  for (auto& v : z) v = rng.uniform(0.55, 0.8);  // clear of the u=0 kink
+  optim::Vector c(prob.num_constraints());
+  prob.evaluate(z, c);
+  const auto jac = prob.linearize();
+  ASSERT_EQ(jac.size(), horizon);
+
+  // Finite-difference check of B_0 (control at step 0 -> state at 1):
+  // perturb z[0] and z[1], compare predicted state change.
+  auto states_for = [&](const optim::Vector& zz) {
+    optim::Vector cc(prob.num_constraints());
+    prob.evaluate(zz, cc);
+    return prob.predicted_states();
+  };
+
+  const auto base = states_for(z);
+  for (int var = 0; var < 2; ++var) {
+    // Normalised step -> physical control step.
+    const double dz = 1e-5;
+    const double du = var == 0
+                          ? dz * 2.0 * default_spec().ultracap.max_power_w
+                          : dz * default_spec().thermal.max_cooler_power_w;
+    optim::Vector zp = z;
+    zp[var] += dz;
+    const auto pert = states_for(zp);
+    const double fd[4] = {
+        (pert[1].t_battery_k - base[1].t_battery_k) / du,
+        (pert[1].t_coolant_k - base[1].t_coolant_k) / du,
+        (pert[1].soc_percent - base[1].soc_percent) / du,
+        (pert[1].soe_percent - base[1].soe_percent) / du};
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_NEAR(jac[0].b[r][var], fd[r],
+                  std::abs(fd[r]) * 1e-3 + 1e-10)
+          << "row " << r << " var " << var;
+    }
+  }
+
+  // Finite-difference check of A_0 via the initial state: perturb x0
+  // component-wise and compare state-1 changes.
+  const double dx[4] = {1e-4, 1e-4, 1e-4, 1e-4};
+  for (int m = 0; m < 4; ++m) {
+    PlantState xp = x0;
+    switch (m) {
+      case 0: xp.t_battery_k += dx[m]; break;
+      case 1: xp.t_coolant_k += dx[m]; break;
+      case 2: xp.soc_percent += dx[m]; break;
+      case 3: xp.soe_percent += dx[m]; break;
+    }
+    prob.set_window(xp, load);
+    const auto pert = states_for(z);
+    const double fd[4] = {
+        (pert[1].t_battery_k - base[1].t_battery_k) / dx[m],
+        (pert[1].t_coolant_k - base[1].t_coolant_k) / dx[m],
+        (pert[1].soc_percent - base[1].soc_percent) / dx[m],
+        (pert[1].soe_percent - base[1].soe_percent) / dx[m]};
+    prob.set_window(x0, load);  // restore
+    prob.evaluate(z, c);
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_NEAR(jac[0].a[r][m], fd[r], std::abs(fd[r]) * 2e-3 + 1e-8)
+          << "row " << r << " state " << m;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinearizeSeed, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Controller behaviour.
+
+TEST(LtvController, ProducesBoundedControls) {
+  const SystemSpec spec = default_spec();
+  LtvOtemController ctrl(spec, opts(15));
+  PlantState x;
+  const auto u = ctrl.solve(x, std::vector<double>(15, 25000.0));
+  EXPECT_LE(std::abs(u.p_cap_bus_w), spec.ultracap.max_power_w + 1e-6);
+  EXPECT_GE(u.p_cooler_w, -1e-9);
+  EXPECT_LE(u.p_cooler_w, spec.thermal.max_cooler_power_w + 1e-6);
+  EXPECT_TRUE(ctrl.last_solve().qp_converged);
+}
+
+TEST(LtvController, HotBatteryTriggersCooling) {
+  const SystemSpec spec = default_spec();
+  LtvOtemController ctrl(spec, opts(20));
+  PlantState hot;
+  hot.t_battery_k = spec.thermal.max_battery_temp_k + 1.0;
+  hot.t_coolant_k = hot.t_battery_k - 2.0;
+  const auto u = ctrl.solve(hot, std::vector<double>(20, 25000.0));
+  EXPECT_GT(u.p_cooler_w, 0.2 * spec.thermal.max_cooler_power_w);
+}
+
+TEST(LtvController, UsesBankForLargeLoad) {
+  const SystemSpec spec = default_spec();
+  LtvOtemController ctrl(spec, opts(15));
+  PlantState x;
+  const auto u = ctrl.solve(x, std::vector<double>(15, 60000.0));
+  EXPECT_GT(u.p_cap_bus_w, 1000.0);
+}
+
+TEST(LtvController, DeterministicAcrossInstances) {
+  PlantState x;
+  x.t_battery_k = 303.0;
+  const std::vector<double> load(15, 30000.0);
+  LtvOtemController a(default_spec(), opts(15));
+  LtvOtemController b(default_spec(), opts(15));
+  const auto ua = a.solve(x, load);
+  const auto ub = b.solve(x, load);
+  EXPECT_DOUBLE_EQ(ua.p_cap_bus_w, ub.p_cap_bus_w);
+  EXPECT_DOUBLE_EQ(ua.p_cooler_w, ub.p_cooler_w);
+}
+
+TEST(LtvController, ClosedLoopComparableToShooting) {
+  // On a moderate mission the two transcriptions should land in the
+  // same neighbourhood: within 25 % on energy and both within the
+  // thermal band.
+  const SystemSpec spec = default_spec();
+  const sim::Simulator sim(spec);
+  const TimeSeries load(1.0, std::vector<double>(400, 28000.0));
+
+  OtemMethodology shooting(spec, opts(15));
+  OtemMethodology ltv(spec,
+                      std::make_unique<LtvOtemController>(spec, opts(15)));
+  const sim::RunResult rs = sim.run(shooting, load);
+  const sim::RunResult rl = sim.run(ltv, load);
+
+  EXPECT_LT(rl.max_t_battery_k, spec.thermal.max_battery_temp_k + 1.0);
+  EXPECT_NEAR(rl.energy_hees_j, rs.energy_hees_j,
+              0.25 * rs.energy_hees_j);
+  EXPECT_LT(rl.qloss_percent, rs.qloss_percent * 2.5 + 1e-5);
+}
+
+TEST(LtvController, SoeFloorRespectedInClosedLoop) {
+  const SystemSpec spec = default_spec();
+  const sim::Simulator sim(spec);
+  OtemMethodology ltv(spec,
+                      std::make_unique<LtvOtemController>(spec, opts(15)));
+  const TimeSeries load(1.0, std::vector<double>(500, 45000.0));
+  const sim::RunResult r = sim.run(ltv, load);
+  EXPECT_GT(r.trace.soe_percent.min(), 15.0);
+}
+
+}  // namespace
+}  // namespace otem::core

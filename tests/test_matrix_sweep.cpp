@@ -1,0 +1,101 @@
+// Methodology x cycle matrix sweep: every strategy on (truncated)
+// versions of several cycles, checking the universal accounting and
+// safety invariants — the "does every cell of the comparison matrix
+// behave" test the figure benches rely on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "core/cooling_methodology.h"
+#include "core/dual_methodology.h"
+#include "core/otem/otem_methodology.h"
+#include "core/parallel_methodology.h"
+#include "sim/simulator.h"
+#include "vehicle/drive_cycle.h"
+#include "vehicle/powertrain.h"
+
+namespace otem {
+namespace {
+
+using Param = std::tuple<std::string, vehicle::CycleName>;
+
+class MatrixSweep : public ::testing::TestWithParam<Param> {
+ protected:
+  static std::unique_ptr<core::Methodology> make(
+      const std::string& name, const core::SystemSpec& spec) {
+    if (name == "parallel")
+      return std::make_unique<core::ParallelMethodology>(spec);
+    if (name == "cooling")
+      return std::make_unique<core::CoolingMethodology>(spec);
+    if (name == "dual")
+      return std::make_unique<core::DualMethodology>(spec);
+    // Fast OTEM settings for the sweep.
+    core::MpcOptions mpc;
+    mpc.horizon = 10;
+    core::OtemSolverOptions sopt;
+    sopt.al.adam.max_iterations = 40;
+    sopt.al.max_outer_iterations = 2;
+    sopt.al.polish_with_lbfgs = false;
+    return std::make_unique<core::OtemMethodology>(spec, mpc, sopt);
+  }
+
+  static TimeSeries truncated_power(const core::SystemSpec& spec,
+                                    vehicle::CycleName cycle) {
+    const TimeSeries full =
+        vehicle::Powertrain(spec.vehicle)
+            .power_trace(vehicle::generate(cycle));
+    std::vector<double> head;
+    const size_t n = std::min<size_t>(200, full.size());
+    for (size_t k = 0; k < n; ++k) head.push_back(full[k]);
+    return TimeSeries(full.dt(), std::move(head));
+  }
+};
+
+TEST_P(MatrixSweep, AccountingAndSafetyInvariants) {
+  const auto [name, cycle] = GetParam();
+  const core::SystemSpec spec = core::SystemSpec::from_config(Config());
+  const TimeSeries power = truncated_power(spec, cycle);
+  auto m = make(name, spec);
+  const sim::RunResult r = sim::Simulator(spec).run(*m, power);
+
+  // Universal accounting identities.
+  EXPECT_NEAR(r.energy_hees_j, r.energy_battery_j + r.energy_cap_j,
+              std::abs(r.energy_hees_j) * 1e-12 + 1e-9);
+  EXPECT_NEAR(r.average_power_w, r.energy_hees_j / r.duration_s,
+              std::abs(r.average_power_w) * 1e-12 + 1e-9);
+  EXPECT_GE(r.energy_loss_j, 0.0);
+  EXPECT_GE(r.qloss_percent, 0.0);
+  EXPECT_GE(r.unserved_energy_j, 0.0);
+
+  // Physical state bounds held throughout.
+  EXPECT_GE(r.trace.soc_percent.min(), 0.0);
+  EXPECT_LE(r.trace.soc_percent.max(), 100.0);
+  EXPECT_GE(r.trace.soe_percent.min(), 0.0);
+  EXPECT_LE(r.trace.soe_percent.max(), 100.0);
+  EXPECT_GT(r.trace.t_battery_k.min(), 250.0);
+  EXPECT_LT(r.trace.t_battery_k.max(), 370.0);
+
+  // Cumulative loss monotone; TEB within [0, 1].
+  for (size_t k = 1; k < r.trace.qloss_percent.size(); ++k)
+    ASSERT_GE(r.trace.qloss_percent[k], r.trace.qloss_percent[k - 1]);
+  EXPECT_GE(r.trace.teb.min(), 0.0);
+  EXPECT_LE(r.trace.teb.max(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cells, MatrixSweep,
+    ::testing::Combine(
+        ::testing::Values("parallel", "cooling", "dual", "otem"),
+        ::testing::Values(vehicle::CycleName::kUs06,
+                          vehicle::CycleName::kUdds,
+                          vehicle::CycleName::kWltp3,
+                          vehicle::CycleName::kArtemisUrban)),
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      return std::get<0>(param_info.param) + "_" +
+             vehicle::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace otem

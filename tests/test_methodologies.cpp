@@ -1,0 +1,213 @@
+// Behaviour tests for the four methodologies on short workloads.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/cooling_methodology.h"
+#include "core/dual_methodology.h"
+#include "core/otem/otem_methodology.h"
+#include "core/parallel_methodology.h"
+
+namespace otem::core {
+namespace {
+
+SystemSpec default_spec() { return SystemSpec::from_config(Config()); }
+
+TimeSeries constant_load(double p_w, size_t steps) {
+  return TimeSeries(1.0, std::vector<double>(steps, p_w));
+}
+
+/// Run a methodology manually for `steps` and return the final state.
+PlantState drive(Methodology& m, const TimeSeries& load) {
+  PlantState state;
+  m.reset(state, load);
+  for (size_t k = 0; k < load.size(); ++k) m.step(state, load[k], k, 1.0);
+  return state;
+}
+
+// --- parallel -----------------------------------------------------------
+
+TEST(ParallelMethodology, DischargesUnderLoad) {
+  const SystemSpec spec = default_spec();
+  ParallelMethodology m(spec);
+  const PlantState end = drive(m, constant_load(20000.0, 120));
+  EXPECT_LT(end.soc_percent, 100.0);
+  EXPECT_GT(end.t_battery_k, 298.0);  // heated by the load
+}
+
+TEST(ParallelMethodology, NoCoolingCost) {
+  const SystemSpec spec = default_spec();
+  ParallelMethodology m(spec);
+  PlantState state;
+  const TimeSeries load = constant_load(15000.0, 10);
+  m.reset(state, load);
+  for (size_t k = 0; k < 10; ++k) {
+    const StepRecord r = m.step(state, load[k], k, 1.0);
+    EXPECT_DOUBLE_EQ(r.e_cooling_j, 0.0);
+    EXPECT_DOUBLE_EQ(r.p_cooler_w, 0.0);
+  }
+}
+
+TEST(ParallelMethodology, StepRecordStateMatches) {
+  ParallelMethodology m(default_spec());
+  PlantState state;
+  m.reset(state, constant_load(10000.0, 1));
+  const StepRecord r = m.step(state, 10000.0, 0, 1.0);
+  EXPECT_DOUBLE_EQ(r.state_after.soc_percent, state.soc_percent);
+  EXPECT_DOUBLE_EQ(r.state_after.t_battery_k, state.t_battery_k);
+}
+
+// --- active cooling -------------------------------------------------------
+
+TEST(CoolingMethodology, EngagesAboveSetpointOnly) {
+  const SystemSpec spec = default_spec();
+  CoolingMethodology m(spec);
+  PlantState cold;
+  cold.t_battery_k = 295.0;
+  cold.t_coolant_k = 295.0;
+  m.reset(cold, constant_load(10000.0, 1));
+  const StepRecord r_cold = m.step(cold, 10000.0, 0, 1.0);
+  EXPECT_DOUBLE_EQ(r_cold.p_cooler_w, 0.0);
+
+  PlantState hot;
+  hot.t_battery_k = spec.thermal.max_battery_temp_k;
+  hot.t_coolant_k = hot.t_battery_k - 2.0;
+  CoolingMethodology m2(spec);
+  m2.reset(hot, constant_load(10000.0, 1));
+  const StepRecord r_hot = m2.step(hot, 10000.0, 0, 1.0);
+  EXPECT_GT(r_hot.p_cooler_w, 0.0);
+  EXPECT_GT(r_hot.p_pump_w, 0.0);
+}
+
+TEST(CoolingMethodology, HoldsTemperatureNearSetpointUnderSustainedLoad) {
+  const SystemSpec spec = default_spec();
+  CoolingMethodology m(spec);
+  // 20 kW for 900 s uses ~30 % of the pack — sustained but survivable.
+  const PlantState end = drive(m, constant_load(20000.0, 900));
+  EXPECT_LT(end.t_battery_k, spec.thermal.max_battery_temp_k + 2.0);
+  EXPECT_GT(end.soc_percent, 50.0);
+}
+
+TEST(CoolingMethodology, CoolerEnergyDrawnFromBattery) {
+  const SystemSpec spec = default_spec();
+  CoolingMethodology m(spec);
+  PlantState hot;
+  hot.t_battery_k = spec.thermal.max_battery_temp_k + 1.0;
+  hot.t_coolant_k = hot.t_battery_k - 1.0;
+  m.reset(hot, constant_load(0.0, 1));
+  const StepRecord r = m.step(hot, 0.0, 0, 1.0);
+  // Even at zero traction load, the cooler discharges the battery.
+  EXPECT_GT(r.i_bat_a, 0.0);
+  EXPECT_GT(r.e_cooling_j, 0.0);
+}
+
+TEST(CoolingMethodology, UltracapNeverUsed) {
+  CoolingMethodology m(default_spec());
+  PlantState state;
+  m.reset(state, constant_load(30000.0, 60));
+  for (size_t k = 0; k < 60; ++k) m.step(state, 30000.0, k, 1.0);
+  EXPECT_DOUBLE_EQ(state.soe_percent, 100.0);
+}
+
+// --- dual -------------------------------------------------------------------
+
+TEST(DualMethodology, SwitchesToUltracapWhenHot) {
+  const SystemSpec spec = default_spec();
+  DualMethodology m(spec);
+  PlantState hot;
+  hot.t_battery_k = spec.thermal.max_battery_temp_k - 1.0;  // above threshold
+  hot.t_coolant_k = hot.t_battery_k - 2.0;
+  m.reset(hot, constant_load(20000.0, 1));
+  m.step(hot, 20000.0, 0, 1.0);
+  EXPECT_EQ(m.last_mode(), hees::DualMode::kUltracapOnly);
+}
+
+TEST(DualMethodology, RechargesBankWhenCool) {
+  const SystemSpec spec = default_spec();
+  DualMethodology m(spec);
+  PlantState state;
+  state.soe_percent = 30.0;  // depleted bank, cool battery
+  m.reset(state, constant_load(5000.0, 1));
+  const StepRecord r = m.step(state, 5000.0, 0, 1.0);
+  EXPECT_EQ(m.last_mode(), hees::DualMode::kRecharge);
+  EXPECT_GT(state.soe_percent, 30.0);
+  EXPECT_LT(r.e_cap_j, 0.0);  // energy flowed INTO the bank
+}
+
+TEST(DualMethodology, StaysOnBatteryWhenCoolAndBankFull) {
+  DualMethodology m(default_spec());
+  PlantState state;  // cool, bank full
+  m.reset(state, constant_load(5000.0, 1));
+  m.step(state, 5000.0, 0, 1.0);
+  EXPECT_EQ(m.last_mode(), hees::DualMode::kBatteryOnly);
+}
+
+TEST(DualMethodology, VentingReducesHeatInput) {
+  const SystemSpec spec = default_spec();
+  DualMethodology m(spec);
+  PlantState hot;
+  hot.t_battery_k = spec.thermal.max_battery_temp_k - 1.0;
+  hot.t_coolant_k = hot.t_battery_k - 2.0;
+  m.reset(hot, constant_load(20000.0, 1));
+  const StepRecord r = m.step(hot, 20000.0, 0, 1.0);
+  EXPECT_DOUBLE_EQ(r.q_bat_w, 0.0);  // battery rests during the vent
+}
+
+// --- otem --------------------------------------------------------------------
+
+MpcOptions fast_mpc() {
+  MpcOptions o;
+  o.horizon = 10;
+  return o;
+}
+
+OtemSolverOptions fast_solver() {
+  OtemSolverOptions s;
+  s.al.adam.max_iterations = 60;
+  s.al.lbfgs.max_iterations = 10;
+  s.al.max_outer_iterations = 2;
+  return s;
+}
+
+TEST(OtemMethodology, RunsAndDischarges) {
+  OtemMethodology m(default_spec(), fast_mpc(), fast_solver());
+  // Long enough that the ~12 MJ bank cannot carry the whole mission:
+  // the battery must discharge too.
+  const PlantState end = drive(m, constant_load(25000.0, 700));
+  EXPECT_LT(end.soc_percent, 100.0);
+  EXPECT_LT(end.soe_percent, 100.0);
+}
+
+TEST(OtemMethodology, PumpAlwaysOn) {
+  const SystemSpec spec = default_spec();
+  OtemMethodology m(spec, fast_mpc(), fast_solver());
+  PlantState state;
+  m.reset(state, constant_load(10000.0, 1));
+  const StepRecord r = m.step(state, 10000.0, 0, 1.0);
+  EXPECT_DOUBLE_EQ(r.p_pump_w, spec.thermal.pump_power_w);
+}
+
+TEST(OtemMethodology, KeepsBatteryInSafeBandUnderSustainedLoad) {
+  const SystemSpec spec = default_spec();
+  OtemMethodology m(spec, fast_mpc(), fast_solver());
+  const PlantState end = drive(m, constant_load(35000.0, 900));
+  EXPECT_LT(end.t_battery_k, spec.thermal.max_battery_temp_k + 1.0);
+}
+
+TEST(OtemMethodology, RespectsSoeFloorApproximately) {
+  const SystemSpec spec = default_spec();
+  OtemMethodology m(spec, fast_mpc(), fast_solver());
+  PlantState state;
+  const TimeSeries load = constant_load(50000.0, 300);
+  m.reset(state, load);
+  double min_soe = 100.0;
+  for (size_t k = 0; k < load.size(); ++k) {
+    m.step(state, load[k], k, 1.0);
+    min_soe = std::min(min_soe, state.soe_percent);
+  }
+  // C5: the MPC should hold SoE near/above 20 % (small transients OK).
+  EXPECT_GT(min_soe, 15.0);
+}
+
+}  // namespace
+}  // namespace otem::core

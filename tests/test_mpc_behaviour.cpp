@@ -1,0 +1,213 @@
+// Behavioural tests of the OTEM controller in closed loop: the control
+// POLICIES the paper claims (TEB preparation, constraint compliance,
+// weight response), beyond the numerical correctness covered by
+// test_mpc_problem.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/forecast.h"
+#include "core/otem/otem_methodology.h"
+#include "sim/simulator.h"
+
+namespace otem::core {
+namespace {
+
+SystemSpec default_spec() { return SystemSpec::from_config(Config()); }
+
+MpcOptions fast_mpc(size_t horizon = 15) {
+  MpcOptions o;
+  o.horizon = horizon;
+  return o;
+}
+
+OtemSolverOptions fast_solver() {
+  OtemSolverOptions s;
+  s.al.adam.max_iterations = 80;
+  s.al.lbfgs.max_iterations = 12;
+  s.al.max_outer_iterations = 3;
+  return s;
+}
+
+/// Load trace: quiet, one big sustained peak, quiet.
+TimeSeries peak_trace(size_t quiet, size_t peak_len, double peak_w) {
+  std::vector<double> v;
+  v.insert(v.end(), quiet, 2000.0);
+  v.insert(v.end(), peak_len, peak_w);
+  v.insert(v.end(), quiet, 2000.0);
+  return TimeSeries(1.0, std::move(v));
+}
+
+TEST(OtemBehaviour, PreChargesBankBeforeKnownPeak) {
+  // The sharpest TEB test: a peak the battery CANNOT serve alone (C6
+  // caps it at 50 kW) arrives with the bank nearly at the C5 floor.
+  // Serving the peak feasibly REQUIRES charging the bank during the
+  // quiet lead-in — exactly the paper's "pre-charge the ultracapacitor
+  // ... before utilizing the HEES".
+  // Preparation needs ~0.8 MJ of charge at <= ~48 kW of battery
+  // authority, i.e. ~18 s of lead time — the horizon must cover it
+  // (with a 15-step window the task is infeasible BY CONSTRUCTION; see
+  // bench/ablation_horizon for that trade-off).
+  SystemSpec spec = default_spec();
+  spec.hybrid.max_battery_power_w = 50000.0;
+  const sim::Simulator sim(spec);
+  OtemMethodology otem(spec, fast_mpc(30), OtemSolverOptions());
+  const TimeSeries load = peak_trace(60, 25, 80000.0);
+
+  sim::RunOptions opt;
+  opt.initial.soe_percent = 23.0;  // barely above the 20 % floor
+  const sim::RunResult r = sim.run(otem, load, opt);
+
+  // The bank was charged ahead of the peak and spent across it.
+  const double soe_at_peak_start = r.trace.soe_percent[59];
+  const double soe_at_peak_end = r.trace.soe_percent[84];
+  EXPECT_GT(soe_at_peak_start, 25.5);
+  EXPECT_LT(soe_at_peak_end, soe_at_peak_start - 1.0);
+  // The bank carries the share the battery cannot.
+  double cap_peak = 0.0;
+  for (size_t k = 60; k < 85; ++k) cap_peak += r.trace.p_cap_w[k];
+  EXPECT_GT(cap_peak / 25.0, 20000.0);
+
+  // Preparation is what makes the peak (nearly) servable: an otherwise
+  // identical controller WITHOUT route knowledge cannot pre-charge and
+  // suffers at least as many physical clamps.
+  OtemMethodology blind(spec, fast_mpc(30), OtemSolverOptions(),
+                        std::make_unique<PersistenceForecast>());
+  const sim::RunResult rb = sim.run(blind, load, opt);
+  EXPECT_LT(r.unserved_energy_j, 0.5 * rb.unserved_energy_j);
+  EXPECT_GT(soe_at_peak_start, rb.trace.soe_percent[59] + 1.5);
+}
+
+TEST(OtemBehaviour, BankCarriesLargeShareOfPeak) {
+  const SystemSpec spec = default_spec();
+  const sim::Simulator sim(spec);
+  OtemMethodology otem(spec, fast_mpc(), fast_solver());
+  const TimeSeries load = peak_trace(40, 20, 60000.0);
+  const sim::RunResult r = sim.run(otem, load);
+  double cap_peak = 0.0;
+  for (size_t k = 40; k < 60; ++k) cap_peak += r.trace.p_cap_w[k];
+  cap_peak /= 20.0;
+  EXPECT_GT(cap_peak, 20000.0);  // at least a third of the peak
+}
+
+TEST(OtemBehaviour, HotPackGetsCooledTowardsSafeBand) {
+  const SystemSpec spec = default_spec();
+  const sim::Simulator sim(spec);
+  OtemMethodology otem(spec, fast_mpc(), fast_solver());
+  sim::RunOptions opt;
+  opt.initial.t_battery_k = spec.thermal.max_battery_temp_k + 2.0;
+  opt.initial.t_coolant_k = opt.initial.t_battery_k - 1.0;
+  const TimeSeries load(1.0, std::vector<double>(240, 15000.0));
+  const sim::RunResult r = sim.run(otem, load, opt);
+  // Over four minutes the violation must be resolved.
+  EXPECT_LT(r.final_state.t_battery_k, spec.thermal.max_battery_temp_k);
+}
+
+TEST(OtemBehaviour, LargerLifetimeWeightCoolsMore) {
+  const SystemSpec spec = default_spec();
+  const sim::Simulator sim(spec);
+  const TimeSeries load(1.0, std::vector<double>(300, 30000.0));
+
+  auto run_with_w2 = [&](double w2) {
+    MpcOptions mpc = fast_mpc();
+    mpc.weights.w2 = w2;
+    OtemMethodology otem(spec, mpc, fast_solver());
+    sim::RunOptions opt;
+    opt.initial.t_battery_k = 308.0;
+    opt.initial.t_coolant_k = 307.0;
+    return sim.run(otem, load, opt);
+  };
+
+  const sim::RunResult light = run_with_w2(1e8);
+  const sim::RunResult heavy = run_with_w2(1e10);
+  EXPECT_GT(heavy.energy_cooling_j, light.energy_cooling_j);
+  EXPECT_LE(heavy.qloss_percent, light.qloss_percent);
+}
+
+TEST(OtemBehaviour, ZeroLifetimeWeightStillHonoursC1) {
+  SystemSpec spec = default_spec();
+  const sim::Simulator sim(spec);
+  MpcOptions mpc = fast_mpc();
+  mpc.weights.w2 = 0.0;
+  mpc.terminal_aging_tail_s = 0.0;
+  OtemMethodology otem(spec, mpc, fast_solver());
+  const TimeSeries load(1.0, std::vector<double>(600, 35000.0));
+  const sim::RunResult r = sim.run(otem, load);
+  // Pure energy minimisation must still respect the safety constraint.
+  EXPECT_LT(r.max_t_battery_k, spec.thermal.max_battery_temp_k + 0.5);
+}
+
+TEST(OtemBehaviour, PersistenceForecastDegradesGracefully) {
+  const SystemSpec spec = default_spec();
+  const sim::Simulator sim(spec);
+  const TimeSeries load = peak_trace(50, 25, 55000.0);
+
+  OtemMethodology informed(spec, fast_mpc(), fast_solver());
+  OtemMethodology blind(spec, fast_mpc(), fast_solver(),
+                        std::make_unique<PersistenceForecast>());
+  const sim::RunResult ri = sim.run(informed, load);
+  const sim::RunResult rb = sim.run(blind, load);
+
+  // The blind controller still works (no thermal violations, load
+  // served) — it just cannot prepare, so it does no better.
+  EXPECT_LT(rb.max_t_battery_k, spec.thermal.max_battery_temp_k + 0.5);
+  EXPECT_LE(ri.qloss_percent, rb.qloss_percent * 1.05);
+}
+
+TEST(OtemBehaviour, NoisyForecastCloseToPerfect) {
+  const SystemSpec spec = default_spec();
+  const sim::Simulator sim(spec);
+  const TimeSeries load = peak_trace(50, 25, 55000.0);
+
+  OtemMethodology perfect(spec, fast_mpc(), fast_solver());
+  OtemMethodology noisy(spec, fast_mpc(), fast_solver(),
+                        std::make_unique<NoisyForecast>(5, 0.10, 1000.0));
+  const sim::RunResult rp = sim.run(perfect, load);
+  const sim::RunResult rn = sim.run(noisy, load);
+  // 10 % forecast noise costs only a little. Capacity loss on this
+  // short mission is near zero for both (the bank carries most of it),
+  // so compare with an absolute allowance rather than a ratio.
+  EXPECT_LT(rn.qloss_percent, rp.qloss_percent + 5e-5);
+  EXPECT_LT(rn.energy_hees_j, rp.energy_hees_j * 1.15);
+  EXPECT_LT(rn.max_t_battery_k, spec.thermal.max_battery_temp_k + 0.5);
+}
+
+TEST(OtemBehaviour, RegenChargesTheBank) {
+  const SystemSpec spec = default_spec();
+  const sim::Simulator sim(spec);
+  OtemMethodology otem(spec, fast_mpc(), fast_solver());
+  // Alternating drive/brake pattern.
+  std::vector<double> v;
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    v.insert(v.end(), 10, 30000.0);
+    v.insert(v.end(), 5, -25000.0);
+  }
+  sim::RunOptions opt;
+  opt.initial.soe_percent = 40.0;
+  const sim::RunResult r = sim.run(otem, TimeSeries(1.0, v), opt);
+  // During braking samples the bank charges at least some of the time.
+  double regen_into_cap = 0.0;
+  for (size_t k = 0; k < r.trace.p_load_w.size(); ++k) {
+    if (r.trace.p_load_w[k] < 0.0 && r.trace.p_cap_w[k] < 0.0)
+      regen_into_cap -= r.trace.p_cap_w[k];
+  }
+  EXPECT_GT(regen_into_cap, 10000.0);
+}
+
+TEST(OtemBehaviour, SocFloorRespected) {
+  const SystemSpec spec = default_spec();
+  const sim::Simulator sim(spec);
+  OtemMethodology otem(spec, fast_mpc(), fast_solver());
+  sim::RunOptions opt;
+  opt.initial.soc_percent = 23.0;  // near the C4 floor
+  opt.initial.soe_percent = 30.0;
+  const TimeSeries load(1.0, std::vector<double>(120, 25000.0));
+  const sim::RunResult r = sim.run(otem, load, opt);
+  // The MPC cannot create energy — SoC falls — but it must lean on the
+  // bank hard rather than punching through the floor fast.
+  EXPECT_GT(r.final_state.soc_percent, 18.0);
+}
+
+}  // namespace
+}  // namespace otem::core

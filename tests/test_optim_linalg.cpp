@@ -1,0 +1,188 @@
+// Tests for the dense linear-algebra layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "optim/decomposition.h"
+#include "optim/matrix.h"
+#include "optim/vector_ops.h"
+
+namespace otem::optim {
+namespace {
+
+Matrix random_spd(size_t n, Rng& rng) {
+  Matrix a(n, n);
+  for (size_t r = 0; r < n; ++r)
+    for (size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+  Matrix spd = a.transposed() * a;
+  for (size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+TEST(Matrix, InitializerListAndAccess) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), SimError);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix i = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+  const Matrix d = Matrix::diagonal({2.0, 5.0});
+  EXPECT_DOUBLE_EQ(d(1, 1), 5.0);
+}
+
+TEST(Matrix, ProductAgainstHandComputed) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a * b, SimError);
+  const Vector v{1.0, 2.0};
+  EXPECT_THROW(a * v, SimError);
+}
+
+TEST(Matrix, TransposeRoundtrip) {
+  Rng rng(3);
+  Matrix a(4, 6);
+  for (size_t r = 0; r < 4; ++r)
+    for (size_t c = 0; c < 6; ++c) a(r, c) = rng.uniform(-2.0, 2.0);
+  const Matrix att = a.transposed().transposed();
+  EXPECT_NEAR((a - att).max_abs(), 0.0, 0.0);
+}
+
+TEST(Matrix, TransposeMultiplyAddMatchesExplicit) {
+  Rng rng(11);
+  Matrix a(3, 5);
+  for (size_t r = 0; r < 3; ++r)
+    for (size_t c = 0; c < 5; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+  Vector x{1.0, -2.0, 0.5};
+  Vector y(5, 1.0);
+  Vector expected = y;
+  const Vector atx = a.transposed() * x;
+  for (size_t i = 0; i < 5; ++i) expected[i] += 2.0 * atx[i];
+  a.transpose_multiply_add(x, 2.0, y);
+  for (size_t i = 0; i < 5; ++i) EXPECT_NEAR(y[i], expected[i], 1e-14);
+}
+
+TEST(Matrix, SymmetryCheck) {
+  Matrix s{{1.0, 2.0}, {2.0, 5.0}};
+  EXPECT_TRUE(s.is_symmetric());
+  s(0, 1) = 2.1;
+  EXPECT_FALSE(s.is_symmetric(1e-6));
+}
+
+class CholeskySizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskySizes, SolveRecoversKnownSolution) {
+  const size_t n = static_cast<size_t>(GetParam());
+  Rng rng(100 + n);
+  const Matrix a = random_spd(n, rng);
+  Vector x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-3.0, 3.0);
+  const Vector b = a * x_true;
+  const Vector x = Cholesky(a).solve(b);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizes,
+                         ::testing::Values(1, 2, 3, 5, 10, 25, 60));
+
+TEST(Cholesky, RejectsIndefinite) {
+  const Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_THROW(Cholesky{a}, SimError);
+}
+
+TEST(Cholesky, LogDetMatchesKnown) {
+  const Matrix a{{4.0, 0.0}, {0.0, 9.0}};
+  EXPECT_NEAR(Cholesky(a).log_det(), std::log(36.0), 1e-12);
+}
+
+class LuSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuSizes, SolveRecoversKnownSolution) {
+  const size_t n = static_cast<size_t>(GetParam());
+  Rng rng(200 + n);
+  Matrix a(n, n);
+  for (size_t r = 0; r < n; ++r)
+    for (size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-2.0, 2.0);
+  for (size_t i = 0; i < n; ++i) a(i, i) += 0.5;  // keep well-conditioned
+  Vector x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-3.0, 3.0);
+  const Vector b = a * x_true;
+  const Vector x = Lu(a).solve(b);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuSizes,
+                         ::testing::Values(1, 2, 3, 5, 10, 25, 60));
+
+TEST(Lu, DeterminantOfKnownMatrix) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  EXPECT_NEAR(Lu(a).det(), 5.0, 1e-12);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const Vector x = Lu(a).solve({2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, SingularThrows) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(Lu{a}, SimError);
+}
+
+TEST(VectorOps, DotNormAxpy) {
+  const Vector a{1.0, 2.0, 3.0};
+  const Vector b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 12.0);
+  EXPECT_DOUBLE_EQ(norm_inf(b), 6.0);
+  EXPECT_NEAR(norm2(a), std::sqrt(14.0), 1e-14);
+  Vector y = b;
+  axpy(2.0, a, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(VectorOps, ProjectBoxClamps) {
+  Vector x{-1.0, 0.5, 3.0};
+  project_box({0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}, x);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.5);
+  EXPECT_DOUBLE_EQ(x[2], 1.0);
+}
+
+TEST(VectorOps, BoxViolationMeasuresWorstSide) {
+  EXPECT_DOUBLE_EQ(
+      box_violation({0.0, 0.0}, {1.0, 1.0}, {-0.5, 1.2}), 0.5);
+  EXPECT_DOUBLE_EQ(box_violation({0.0}, {1.0}, {0.3}), 0.0);
+}
+
+TEST(VectorOps, ProjectedGradientNormZeroAtBoundMinimum) {
+  // Minimum at the lower bound with positive gradient: stationary.
+  const Vector lo{0.0}, hi{1.0}, x{0.0}, g{5.0};
+  EXPECT_DOUBLE_EQ(projected_gradient_norm(lo, hi, x, g), 0.0);
+  // Same gradient in the interior: not stationary.
+  EXPECT_GT(projected_gradient_norm(lo, hi, {0.5}, g), 0.0);
+}
+
+}  // namespace
+}  // namespace otem::optim

@@ -1,0 +1,169 @@
+// Decision-table tests for the baseline control POLICIES (the mode
+// logic itself, as opposed to the plant consequences covered in
+// test_methodologies.cpp).
+#include <gtest/gtest.h>
+
+#include "core/cooling_methodology.h"
+#include "core/dual_methodology.h"
+
+namespace otem::core {
+namespace {
+
+SystemSpec default_spec() { return SystemSpec::from_config(Config()); }
+
+TimeSeries one_step(double p) { return TimeSeries(1.0, {p}); }
+
+/// Run one step and return the dual mode chosen for the given state.
+hees::DualMode dual_mode_for(const SystemSpec& spec, double tb_k,
+                             double soe, double p_e,
+                             DualPolicyParams policy = {}) {
+  DualMethodology m(spec, policy);
+  PlantState s;
+  s.t_battery_k = tb_k;
+  s.t_coolant_k = tb_k - 1.0;
+  s.soe_percent = soe;
+  m.reset(s, one_step(p_e));
+  m.step(s, p_e, 0, 1.0);
+  return m.last_mode();
+}
+
+// --- dual policy decision table -----------------------------------------
+
+TEST(DualPolicy, CoolBatteryFullBankHighLoad) {
+  EXPECT_EQ(dual_mode_for(default_spec(), 298.0, 100.0, 20000.0),
+            hees::DualMode::kBatteryOnly);
+}
+
+TEST(DualPolicy, HotAndChargedVentsOnHeavyLoad) {
+  const DualPolicyParams p;
+  EXPECT_EQ(dual_mode_for(default_spec(), p.hot_threshold_k + 1.0, 90.0,
+                          20000.0),
+            hees::DualMode::kUltracapOnly);
+}
+
+TEST(DualPolicy, HotButLightLoadStaysOnBattery) {
+  // Venting saves its charge for loads above the vent threshold.
+  const DualPolicyParams p;
+  EXPECT_EQ(dual_mode_for(default_spec(), p.hot_threshold_k + 1.0, 90.0,
+                          p.vent_load_min_w - 2000.0),
+            hees::DualMode::kBatteryOnly);
+}
+
+TEST(DualPolicy, HotAndEmptyCannotVent) {
+  const DualPolicyParams p;
+  EXPECT_EQ(dual_mode_for(default_spec(), p.hot_threshold_k + 1.0,
+                          p.min_soe_percent - 1.0, 20000.0),
+            hees::DualMode::kBatteryOnly);
+}
+
+TEST(DualPolicy, CoolAndLowBankRechargesOnLightLoad) {
+  const DualPolicyParams p;
+  EXPECT_EQ(dual_mode_for(default_spec(), 298.0, 50.0,
+                          p.recharge_load_max_w - 3000.0),
+            hees::DualMode::kRecharge);
+}
+
+TEST(DualPolicy, CoolAndLowBankWaitsThroughHeavyLoad) {
+  const DualPolicyParams p;
+  EXPECT_EQ(dual_mode_for(default_spec(), 298.0, 50.0,
+                          p.recharge_load_max_w + 10000.0),
+            hees::DualMode::kBatteryOnly);
+}
+
+TEST(DualPolicy, RegenAlwaysFillsALowBank) {
+  EXPECT_EQ(dual_mode_for(default_spec(), 298.0, 50.0, -15000.0),
+            hees::DualMode::kUltracapOnly);
+}
+
+TEST(DualPolicy, RegenGoesToBatteryWhenBankFull) {
+  EXPECT_EQ(dual_mode_for(default_spec(), 298.0, 95.0, -15000.0),
+            hees::DualMode::kBatteryOnly);
+}
+
+TEST(DualPolicy, VentingHasHysteresis) {
+  // Once venting, the controller stays on the bank until the battery
+  // has cooled BELOW threshold - band, not merely below threshold.
+  const SystemSpec spec = default_spec();
+  DualPolicyParams p;
+  DualMethodology m(spec, p);
+  PlantState s;
+  s.t_battery_k = p.hot_threshold_k + 1.0;
+  s.t_coolant_k = s.t_battery_k - 1.0;
+  s.soe_percent = 95.0;
+  const TimeSeries load(1.0, std::vector<double>(3, 20000.0));
+  m.reset(s, load);
+  m.step(s, 20000.0, 0, 1.0);
+  ASSERT_EQ(m.last_mode(), hees::DualMode::kUltracapOnly);
+  // Force the temperature just below the ON threshold (inside the
+  // hysteresis band): still venting.
+  s.t_battery_k = p.hot_threshold_k - 0.5 * p.cool_band_k;
+  m.step(s, 20000.0, 1, 1.0);
+  EXPECT_EQ(m.last_mode(), hees::DualMode::kUltracapOnly);
+  // Below the band: back to battery.
+  s.t_battery_k = p.hot_threshold_k - p.cool_band_k - 0.5;
+  m.step(s, 20000.0, 2, 1.0);
+  EXPECT_EQ(m.last_mode(), hees::DualMode::kBatteryOnly);
+}
+
+TEST(DualPolicy, ConfigOverrides) {
+  Config cfg;
+  cfg.set_pair("dual.hot_threshold_k=310");
+  cfg.set_pair("dual.recharge_power=5000");
+  const DualPolicyParams p = DualPolicyParams::from_config(cfg);
+  EXPECT_DOUBLE_EQ(p.hot_threshold_k, 310.0);
+  EXPECT_DOUBLE_EQ(p.recharge_power_w, 5000.0);
+}
+
+// --- cooling policy -------------------------------------------------------
+
+TEST(CoolingPolicy, IdlesBelowEngageTemperature) {
+  const SystemSpec spec = default_spec();
+  CoolingPolicyParams p;
+  CoolingMethodology m(spec, p);
+  PlantState s;
+  s.t_battery_k = p.engage_above_k - 1.0;
+  s.t_coolant_k = s.t_battery_k;
+  m.reset(s, one_step(5000.0));
+  const StepRecord r = m.step(s, 5000.0, 0, 1.0);
+  EXPECT_DOUBLE_EQ(r.p_cooler_w, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_pump_w, 0.0);
+}
+
+TEST(CoolingPolicy, HoldsInletTargetWhenEngaged) {
+  const SystemSpec spec = default_spec();
+  CoolingPolicyParams p;
+  CoolingMethodology m(spec, p);
+  PlantState s;
+  s.t_battery_k = p.engage_above_k + 8.0;
+  s.t_coolant_k = s.t_battery_k - 2.0;
+  m.reset(s, one_step(5000.0));
+  const StepRecord r = m.step(s, 5000.0, 0, 1.0);
+  EXPECT_GT(r.p_cooler_w, 0.0);
+  EXPECT_NEAR(r.t_inlet_k, p.inlet_target_k, 0.5);
+}
+
+TEST(CoolingPolicy, PowerCapBindsOnExtremeHeat) {
+  const SystemSpec spec = default_spec();
+  CoolingPolicyParams p;
+  CoolingMethodology m(spec, p);
+  PlantState s;
+  s.t_battery_k = 340.0;  // absurdly hot
+  s.t_coolant_k = 338.0;
+  m.reset(s, one_step(5000.0));
+  const StepRecord r = m.step(s, 5000.0, 0, 1.0);
+  EXPECT_DOUBLE_EQ(r.p_cooler_w, spec.thermal.max_cooler_power_w);
+  // Cap binding means the achieved inlet sits above the target.
+  EXPECT_GT(r.t_inlet_k, p.inlet_target_k);
+}
+
+TEST(CoolingPolicy, ConfigOverrides) {
+  Config cfg;
+  cfg.set_pair("cooling.inlet_target_k=290");
+  cfg.set_pair("cooling.engage_above_k=300");
+  const CoolingPolicyParams p = CoolingPolicyParams::from_config(cfg);
+  EXPECT_DOUBLE_EQ(p.inlet_target_k, 290.0);
+  EXPECT_DOUBLE_EQ(p.engage_above_k, 300.0);
+}
+
+}  // namespace
+}  // namespace otem::core

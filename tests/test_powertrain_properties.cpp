@@ -1,0 +1,178 @@
+// Property-based sweeps over the powertrain and drive-cycle layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "vehicle/drive_cycle.h"
+#include "vehicle/hvac.h"
+#include "vehicle/powertrain.h"
+
+namespace otem::vehicle {
+namespace {
+
+Powertrain default_pt() { return Powertrain(VehicleParams{}); }
+
+// ---------------------------------------------------------------------------
+// Road-load physics.
+
+TEST(PowertrainProperty, ForceDecomposesAdditively) {
+  // wheel_force is the sum of inertial, rolling, aero and grade terms;
+  // check the decomposition against independently computed pieces.
+  const VehicleParams p;
+  const Powertrain pt(p);
+  const double v = 22.0, a = 1.3, g = 0.03;
+  const double inertial = p.mass_kg * p.rotating_mass_factor * a;
+  const double aero = 0.5 * 1.2041 * p.drag_coefficient *
+                      p.frontal_area_m2 * v * v;
+  const double rolling =
+      p.mass_kg * 9.80665 * p.rolling_resistance * std::cos(g);
+  const double grade = p.mass_kg * 9.80665 * std::sin(g);
+  EXPECT_NEAR(pt.wheel_force(v, a, g), inertial + aero + rolling + grade,
+              1e-9);
+}
+
+TEST(PowertrainProperty, CoastDownForceMatchesNoAccelComponents) {
+  const Powertrain pt = default_pt();
+  // At constant speed the force is speed-monotone (aero quadratic).
+  double prev = 0.0;
+  for (double v = 1.0; v < 40.0; v += 2.0) {
+    const double f = pt.wheel_force(v, 0.0);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(PowertrainProperty, TractionPathNeverBeatsWheelPower) {
+  // Discharging: electric power >= wheel power (efficiency < 1).
+  const Powertrain pt = default_pt();
+  Rng rng(4);
+  for (int k = 0; k < 500; ++k) {
+    const double v = rng.uniform(1.0, 35.0);
+    const double a = rng.uniform(0.0, 2.5);
+    const double wheel = pt.wheel_force(v, a) * v;
+    // Skip regen samples and requests beyond the motor cap (clipped).
+    if (wheel <= 0.0 || wheel >= pt.params().max_motor_power_w) continue;
+    const double elec =
+        pt.power_request(v, a) - pt.params().accessory_power_w;
+    EXPECT_GE(elec, wheel - 1e-9);
+  }
+}
+
+TEST(PowertrainProperty, RegenPathNeverBeatsBrakingPower) {
+  // Charging: recovered power <= |wheel power| (efficiency < 1).
+  const Powertrain pt = default_pt();
+  Rng rng(5);
+  for (int k = 0; k < 500; ++k) {
+    const double v = rng.uniform(3.0, 35.0);
+    const double a = rng.uniform(-4.0, -0.5);
+    const double wheel = pt.wheel_force(v, a) * v;
+    if (wheel >= 0.0) continue;
+    const double elec =
+        pt.power_request(v, a) - pt.params().accessory_power_w;
+    EXPECT_LE(std::abs(elec), std::abs(wheel) + 1e-9);
+    EXPECT_LE(elec, 0.0);
+  }
+}
+
+TEST(PowertrainProperty, TripEnergyMatchesTraceIntegral) {
+  const Powertrain pt = default_pt();
+  const TimeSeries speed = generate(CycleName::kSc03);
+  EXPECT_NEAR(pt.trip_energy_j(speed),
+              pt.power_trace(speed).integral(), 1e-6);
+}
+
+TEST(PowertrainProperty, HeavierVehicleConsumesMore) {
+  VehicleParams heavy;
+  heavy.mass_kg = 2200.0;
+  const Powertrain pt_light = default_pt();
+  const Powertrain pt_heavy((heavy));
+  const TimeSeries speed = generate(CycleName::kUdds);
+  EXPECT_GT(pt_heavy.consumption_wh_per_km(speed),
+            pt_light.consumption_wh_per_km(speed));
+}
+
+TEST(PowertrainProperty, BetterAeroHelpsAtHighwaySpeedsMost) {
+  VehicleParams sleek;
+  sleek.drag_coefficient = 0.20;
+  const Powertrain base = default_pt();
+  const Powertrain aero((sleek));
+  const double city_gain =
+      base.consumption_wh_per_km(generate(CycleName::kNycc)) -
+      aero.consumption_wh_per_km(generate(CycleName::kNycc));
+  const double hwy_gain =
+      base.consumption_wh_per_km(generate(CycleName::kHwfet)) -
+      aero.consumption_wh_per_km(generate(CycleName::kHwfet));
+  EXPECT_GT(hwy_gain, city_gain);
+}
+
+// ---------------------------------------------------------------------------
+// Cycle-family properties across the full registry.
+
+class AllCycleSweep : public ::testing::TestWithParam<CycleName> {};
+
+TEST_P(AllCycleSweep, PowerTraceIsServableByDefaultSystem) {
+  // The default HEES (battery max power) must be able to carry every
+  // registry cycle's peak through the hybrid architecture.
+  const Powertrain pt = default_pt();
+  const TimeSeries power = pt.power_trace(generate(GetParam()));
+  // The bus-side ceiling is the motor cap through the traction path
+  // plus accessories; regen is bounded by the regen cap.
+  const double ceiling = pt.params().max_motor_power_w /
+                             pt.params().traction_efficiency +
+                         pt.params().accessory_power_w;
+  EXPECT_LE(power.max(), ceiling + 1e-6) << to_string(GetParam());
+  EXPECT_GT(power.min(), -45000.0);
+}
+
+TEST_P(AllCycleSweep, RegenFractionIsPlausible) {
+  const Powertrain pt = default_pt();
+  const TimeSeries power = pt.power_trace(generate(GetParam()));
+  double pos = 0.0, neg = 0.0;
+  for (size_t k = 0; k < power.size(); ++k) {
+    if (power[k] > 0) pos += power[k];
+    else neg -= power[k];
+  }
+  // Recovered energy is a real but minority share of traction energy.
+  EXPECT_GT(neg, 0.0) << to_string(GetParam());
+  EXPECT_LT(neg, 0.6 * pos) << to_string(GetParam());
+}
+
+TEST_P(AllCycleSweep, AccelerationWithinTestTrackLimits) {
+  const CycleStats s = stats_of(generate(GetParam()));
+  EXPECT_LT(s.max_accel_mps2, 4.5) << to_string(GetParam());
+  EXPECT_LT(s.max_decel_mps2, 5.0) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, AllCycleSweep, ::testing::ValuesIn(extended_cycles()),
+    [](const ::testing::TestParamInfo<CycleName>& param_info) {
+      return std::string(to_string(param_info.param));
+    });
+
+TEST(CycleRegistryExtended, RoundtripNamesIncludingInternational) {
+  for (CycleName c : extended_cycles()) {
+    EXPECT_EQ(cycle_from_string(to_string(c)), c);
+  }
+}
+
+TEST(CycleRegistryExtended, WltpIsTheLongRange) {
+  const CycleStats wltp = stats_of(generate(CycleName::kWltp3));
+  for (CycleName c : extended_cycles()) {
+    if (c == CycleName::kWltp3) continue;
+    EXPECT_GE(wltp.distance_m, stats_of(generate(c)).distance_m)
+        << to_string(c);
+  }
+}
+
+// HVAC coupling sanity: summer and winter both raise consumption.
+TEST(PowertrainProperty, HvacRaisesAccessoryLoadBothSeasons) {
+  const CabinHvac hvac((HvacParams()));
+  const double mild = hvac.steady_load_w(289.0);  // ~16 C balance point
+  EXPECT_DOUBLE_EQ(mild, 0.0);
+  EXPECT_GT(hvac.steady_load_w(309.0), 100.0);
+  EXPECT_GT(hvac.steady_load_w(268.0), 100.0);
+}
+
+}  // namespace
+}  // namespace otem::vehicle

@@ -1,0 +1,123 @@
+// Tests for the second-order (Thevenin) transient battery model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "battery/rc_model.h"
+#include "common/error.h"
+
+namespace otem::battery {
+namespace {
+
+TransientPackModel default_model() {
+  return TransientPackModel(PackParams{}, RcParams{});
+}
+
+constexpr double kRoom = 298.15;
+
+TEST(RcModel, PackLevelScaling) {
+  PackParams p;
+  p.series = 10;
+  p.parallel = 5;
+  RcParams rc;
+  const TransientPackModel m(p, rc);
+  EXPECT_DOUBLE_EQ(m.r1_pack(), rc.r1_cell * 2.0);
+  EXPECT_DOUBLE_EQ(m.c1_pack(), rc.c1_cell / 2.0);
+  // The pack time constant equals the cell time constant.
+  EXPECT_NEAR(m.r1_pack() * m.c1_pack(), rc.tau_s(), 1e-12);
+}
+
+TEST(RcModel, V1ConvergesToSteadyState) {
+  const TransientPackModel m = default_model();
+  double v1 = 0.0;
+  const double i = 60.0;
+  // 20 time constants: the exponential tail is ~2e-9 of the target.
+  for (int k = 0; k < 600; ++k) v1 = m.step_v1(v1, i, 1.0);
+  EXPECT_NEAR(v1, m.v1_steady(i), 1e-6);
+}
+
+TEST(RcModel, ExactExponentialUpdate) {
+  const TransientPackModel m = default_model();
+  // One 10 s step equals ten 1 s steps exactly (exponential update).
+  const double i = 45.0;
+  double v_small = 0.2;
+  for (int k = 0; k < 10; ++k) v_small = m.step_v1(v_small, i, 1.0);
+  const double v_big = m.step_v1(0.2, i, 10.0);
+  EXPECT_NEAR(v_small, v_big, 1e-12);
+}
+
+TEST(RcModel, RelaxationDecaysToZero) {
+  const TransientPackModel m = default_model();
+  double v1 = 2.0;
+  v1 = m.step_v1(v1, 0.0, m.rc().tau_s());  // one time constant
+  EXPECT_NEAR(v1, 2.0 * std::exp(-1.0), 1e-9);
+  v1 = m.step_v1(v1, 0.0, 100.0 * m.rc().tau_s());
+  EXPECT_NEAR(v1, 0.0, 1e-9);
+}
+
+TEST(RcModel, VoltageSagsDeeperThanQuasiStatic) {
+  // Under a sustained load the transient model's terminal voltage ends
+  // lower than the quasi-static prediction by exactly v1.
+  const TransientPackModel m = default_model();
+  const double i = 80.0;
+  double v1 = 0.0;
+  for (int k = 0; k < 120; ++k) v1 = m.step_v1(v1, i, 1.0);
+  const double v_rc = m.terminal_voltage(70.0, kRoom, i, v1);
+  const double v_qs = m.quasi_static().terminal_voltage(70.0, kRoom, i);
+  EXPECT_NEAR(v_qs - v_rc, v1, 1e-9);
+  EXPECT_GT(v1, 1.0);  // the sag is material at this current
+}
+
+TEST(RcModel, PowerSolveRoundtrips) {
+  const TransientPackModel m = default_model();
+  const double v1 = 3.0;
+  for (double p : {5000.0, 20000.0, -15000.0}) {
+    const PowerSolve s = m.current_for_power(70.0, kRoom, v1, p);
+    ASSERT_TRUE(s.feasible);
+    const double v = m.terminal_voltage(70.0, kRoom, s.current_a, v1);
+    EXPECT_NEAR(v * s.current_a, p, std::abs(p) * 1e-9 + 1e-6);
+  }
+}
+
+TEST(RcModel, PolarisationReducesDeliverablePower) {
+  const TransientPackModel m = default_model();
+  // With a built-up overpotential the same request needs more current.
+  const PowerSolve fresh = m.current_for_power(70.0, kRoom, 0.0, 30000.0);
+  const PowerSolve tired = m.current_for_power(70.0, kRoom, 8.0, 30000.0);
+  EXPECT_GT(tired.current_a, fresh.current_a);
+}
+
+TEST(RcModel, HeatIncludesPolarisationLoss) {
+  const TransientPackModel m = default_model();
+  const double i = 60.0;
+  const double v1 = m.v1_steady(i);
+  const double q_rc = m.heat_generation(70.0, kRoom, i, v1);
+  const double q_qs = m.quasi_static().heat_generation(70.0, kRoom, i);
+  // At steady state the extra heat is exactly V1^2/R1 = I^2 R1.
+  EXPECT_NEAR(q_rc - q_qs, i * i * m.r1_pack(), 1e-6);
+}
+
+TEST(RcModel, ZeroStateMatchesQuasiStatic) {
+  const TransientPackModel m = default_model();
+  EXPECT_NEAR(m.terminal_voltage(60.0, kRoom, 50.0, 0.0),
+              m.quasi_static().terminal_voltage(60.0, kRoom, 50.0), 1e-12);
+  const PowerSolve a = m.current_for_power(60.0, kRoom, 0.0, 20000.0);
+  const PowerSolve b =
+      m.quasi_static().current_for_power(60.0, kRoom, 20000.0);
+  EXPECT_NEAR(a.current_a, b.current_a, 1e-9);
+}
+
+TEST(RcModel, ConfigOverrides) {
+  Config cfg;
+  cfg.set_pair("battery.rc.r1=0.04");
+  cfg.set_pair("battery.rc.c1=900");
+  const RcParams p = RcParams::from_config(cfg);
+  EXPECT_DOUBLE_EQ(p.r1_cell, 0.04);
+  EXPECT_DOUBLE_EQ(p.c1_cell, 900.0);
+  Config bad;
+  bad.set_pair("battery.rc.r1=0");
+  EXPECT_THROW(RcParams::from_config(bad), SimError);
+}
+
+}  // namespace
+}  // namespace otem::battery

@@ -1,0 +1,114 @@
+// Tests for routes with elevation/grade profiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "vehicle/drive_cycle.h"
+#include "vehicle/route.h"
+
+namespace otem::vehicle {
+namespace {
+
+TimeSeries constant_speed(double v, size_t n) {
+  return TimeSeries(1.0, std::vector<double>(n, v));
+}
+
+TEST(Route, GradeFromLinearClimb) {
+  // 10 m/s for 100 s = 1000 m; 50 m of rise over those 1000 m.
+  const TimeSeries speed = constant_speed(10.0, 100);
+  const TimeSeries grade =
+      grade_from_elevation(speed, {{0.0, 0.0}, {1000.0, 50.0}});
+  for (size_t k = 0; k < grade.size(); ++k)
+    EXPECT_NEAR(grade[k], std::atan(0.05), 1e-12);
+}
+
+TEST(Route, GradeFollowsPiecewiseProfile) {
+  // Climb for the first 500 m, flat after.
+  const TimeSeries speed = constant_speed(10.0, 100);
+  const TimeSeries grade = grade_from_elevation(
+      speed, {{0.0, 0.0}, {500.0, 25.0}, {2000.0, 25.0}});
+  EXPECT_NEAR(grade[10], std::atan(0.05), 1e-12);  // at 100 m: climbing
+  EXPECT_NEAR(grade[80], 0.0, 1e-12);              // at 800 m: flat
+}
+
+TEST(Route, ElevationGainMatchesProfile) {
+  const TimeSeries speed = constant_speed(10.0, 100);
+  Route route;
+  route.speed_mps = speed;
+  route.grade_rad =
+      grade_from_elevation(speed, {{0.0, 0.0}, {1000.0, 50.0}});
+  // sin(atan(g)) ~ g for 5 %: gain ~ 50 m.
+  EXPECT_NEAR(elevation_gain_m(route), 50.0, 0.2);
+}
+
+TEST(Route, FlatRouteGainIsZero) {
+  Route route;
+  route.speed_mps = constant_speed(15.0, 50);
+  EXPECT_DOUBLE_EQ(elevation_gain_m(route), 0.0);
+}
+
+TEST(Route, ClimbCostsDescentPays) {
+  const Powertrain pt((VehicleParams()));
+  const TimeSeries speed = constant_speed(20.0, 200);
+
+  Route climb;
+  climb.speed_mps = speed;
+  climb.grade_rad = grade_from_elevation(speed, {{0.0, 0.0}, {4000.0, 200.0}});
+  Route descent;
+  descent.speed_mps = speed;
+  descent.grade_rad =
+      grade_from_elevation(speed, {{0.0, 200.0}, {4000.0, 0.0}});
+  Route flat;
+  flat.speed_mps = speed;
+
+  const double e_climb = route_power_trace(pt, climb).integral();
+  const double e_flat = route_power_trace(pt, flat).integral();
+  const double e_desc = route_power_trace(pt, descent).integral();
+  EXPECT_GT(e_climb, e_flat + 1e6);  // climbing is expensive
+  EXPECT_LT(e_desc, 0.0);            // a 5 % descent at speed regens net
+}
+
+TEST(Route, GravityEnergyApproximatelyRecovered) {
+  // Climb potential energy: m g h; the extra electric energy of the
+  // climb exceeds it by the traction-efficiency factor.
+  const VehicleParams p;
+  const Powertrain pt(p);
+  const TimeSeries speed = constant_speed(15.0, 200);
+  Route climb;
+  climb.speed_mps = speed;
+  climb.grade_rad = grade_from_elevation(speed, {{0.0, 0.0}, {3000.0, 90.0}});
+  Route flat;
+  flat.speed_mps = speed;
+  const double extra = route_power_trace(pt, climb).integral() -
+                       route_power_trace(pt, flat).integral();
+  const double potential = p.mass_kg * 9.80665 * 90.0;
+  EXPECT_NEAR(extra, potential / p.traction_efficiency,
+              0.05 * potential);
+}
+
+TEST(Route, FlatGradeTraceMatchesPlainPowertrain) {
+  const Powertrain pt((VehicleParams()));
+  const TimeSeries speed = generate(CycleName::kSc03);
+  Route flat;
+  flat.speed_mps = speed;
+  const TimeSeries a = route_power_trace(pt, flat);
+  const TimeSeries b = pt.power_trace(speed);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t k = 0; k < a.size(); ++k) EXPECT_DOUBLE_EQ(a[k], b[k]);
+}
+
+TEST(Route, Validation) {
+  const TimeSeries speed = constant_speed(10.0, 10);
+  EXPECT_THROW(grade_from_elevation(speed, {{0.0, 0.0}}), SimError);
+  EXPECT_THROW(grade_from_elevation(speed, {{5.0, 0.0}, {100.0, 1.0}}),
+               SimError);
+  Route bad;
+  bad.speed_mps = speed;
+  bad.grade_rad = constant_speed(0.0, 5);  // wrong length
+  const Powertrain pt((VehicleParams()));
+  EXPECT_THROW(route_power_trace(pt, bad), SimError);
+}
+
+}  // namespace
+}  // namespace otem::vehicle

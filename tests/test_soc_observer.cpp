@@ -1,0 +1,116 @@
+// Tests for the BMS SoC observer: convergence from wrong initial
+// estimates, rejection of current-sensor bias, noise tolerance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "battery/soc_observer.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace otem::battery {
+namespace {
+
+constexpr double kRoom = 298.15;
+
+PackModel default_pack() { return PackModel(PackParams{}); }
+
+/// Ground-truth plant: exact coulomb counting + exact terminal voltage.
+struct TruthPlant {
+  PackModel model = default_pack();
+  double soc;
+
+  explicit TruthPlant(double soc0) : soc(soc0) {}
+
+  /// Advance by dt at pack current i; returns the true terminal voltage.
+  double step(double i, double dt) {
+    soc = model.step_soc(soc, i, dt);
+    return model.terminal_voltage(soc, kRoom, i);
+  }
+};
+
+TEST(SocObserver, TracksExactlyWithPerfectSensorsAndInit) {
+  TruthPlant plant(80.0);
+  SocObserver obs(default_pack(), SocObserverParams{}, 80.0);
+  for (int k = 0; k < 600; ++k) {
+    const double i = (k % 20 < 10) ? 60.0 : -20.0;
+    const double v = plant.step(i, 1.0);
+    obs.update(i, v, kRoom, 1.0);
+  }
+  EXPECT_NEAR(obs.soc_percent(), plant.soc, 0.05);
+}
+
+TEST(SocObserver, ConvergesFromWrongInitialEstimate) {
+  TruthPlant plant(75.0);
+  SocObserver obs(default_pack(), SocObserverParams{}, 45.0);  // 30 % off
+  for (int k = 0; k < 900; ++k) {
+    const double i = 30.0 + 20.0 * std::sin(k / 15.0);
+    const double v = plant.step(i, 1.0);
+    obs.update(i, v, kRoom, 1.0);
+  }
+  EXPECT_NEAR(obs.soc_percent(), plant.soc, 1.5);
+}
+
+TEST(SocObserver, CorrectsCurrentSensorBias) {
+  // A +5 A sensor bias makes a pure coulomb counter drift ~10 % per
+  // hour on this pack; the voltage correction pins the estimate.
+  TruthPlant plant(90.0);
+  SocObserver corrected(default_pack(), SocObserverParams{}, 90.0);
+  SocObserverParams open_loop;
+  open_loop.correction_rate = 0.0;  // pure coulomb counting
+  SocObserver drifting(default_pack(), open_loop, 90.0);
+
+  const double bias = 5.0;
+  for (int k = 0; k < 3600; ++k) {
+    const double i = 25.0 + 15.0 * std::sin(k / 40.0);
+    const double v = plant.step(i, 1.0);
+    corrected.update(i + bias, v, kRoom, 1.0);
+    drifting.update(i + bias, v, kRoom, 1.0);
+  }
+  const double err_corrected = std::abs(corrected.soc_percent() - plant.soc);
+  const double err_drifting = std::abs(drifting.soc_percent() - plant.soc);
+  EXPECT_GT(err_drifting, 8.0);       // the drift is real
+  EXPECT_LT(err_corrected, 2.0);      // and the observer defeats it
+}
+
+TEST(SocObserver, StableUnderVoltageNoise) {
+  TruthPlant plant(70.0);
+  SocObserver obs(default_pack(), SocObserverParams{}, 70.0);
+  Rng rng(17);
+  for (int k = 0; k < 1800; ++k) {
+    const double i = 40.0 + 30.0 * std::sin(k / 25.0);
+    const double v = plant.step(i, 1.0) + rng.normal(0.0, 1.0);  // 1 V rms
+    obs.update(i, v, kRoom, 1.0);
+  }
+  EXPECT_NEAR(obs.soc_percent(), plant.soc, 2.0);
+}
+
+TEST(SocObserver, InnovationReportedAndSmallAtConvergence) {
+  TruthPlant plant(60.0);
+  SocObserver obs(default_pack(), SocObserverParams{}, 60.0);
+  double v = 0.0;
+  for (int k = 0; k < 120; ++k) {
+    v = plant.step(20.0, 1.0);
+    obs.update(20.0, v, kRoom, 1.0);
+  }
+  EXPECT_LT(std::abs(obs.last_innovation_v()), 0.5);
+}
+
+TEST(SocObserver, ClampsToPhysicalRange) {
+  SocObserver obs(default_pack(), SocObserverParams{}, 1.0);
+  // Massive discharge claim: estimate must not go below 0.
+  for (int k = 0; k < 50; ++k) obs.update(500.0, 250.0, kRoom, 1.0);
+  EXPECT_GE(obs.soc_percent(), 0.0);
+}
+
+TEST(SocObserver, ConfigValidation) {
+  Config cfg;
+  cfg.set_pair("bms.correction_rate=-1");
+  EXPECT_THROW(SocObserverParams::from_config(cfg), SimError);
+  Config ok;
+  ok.set_pair("bms.correction_rate=0.1");
+  EXPECT_DOUBLE_EQ(SocObserverParams::from_config(ok).correction_rate, 0.1);
+}
+
+}  // namespace
+}  // namespace otem::battery

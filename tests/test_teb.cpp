@@ -1,0 +1,97 @@
+// Tests for the paper's Thermal and Energy Budget (TEB) metric.
+#include <gtest/gtest.h>
+
+#include "core/teb.h"
+
+namespace otem::core {
+namespace {
+
+SystemSpec default_spec() { return SystemSpec::from_config(Config()); }
+
+TEST(Teb, FullBudgetsAtColdFullState) {
+  const SystemSpec spec = default_spec();
+  const TebMetric teb(spec);
+  PlantState s;
+  s.t_battery_k = spec.thermal.min_battery_temp_k;
+  s.soe_percent = 100.0;
+  const TebValue v = teb.evaluate(s);
+  EXPECT_DOUBLE_EQ(v.thermal_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(v.energy_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(v.combined(), 1.0);
+}
+
+TEST(Teb, EmptyBudgetsAtHotDrainedState) {
+  const SystemSpec spec = default_spec();
+  const TebMetric teb(spec);
+  PlantState s;
+  s.t_battery_k = spec.thermal.max_battery_temp_k;
+  s.soe_percent = spec.ultracap.min_soe_percent;
+  const TebValue v = teb.evaluate(s);
+  EXPECT_DOUBLE_EQ(v.thermal_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(v.energy_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(v.thermal_budget_j, 0.0);
+  EXPECT_DOUBLE_EQ(v.energy_budget_j, 0.0);
+}
+
+TEST(Teb, ThermalBudgetIsHeatCapacityTimesHeadroom) {
+  const SystemSpec spec = default_spec();
+  const TebMetric teb(spec);
+  PlantState s;
+  s.t_battery_k = spec.thermal.max_battery_temp_k - 5.0;
+  const TebValue v = teb.evaluate(s);
+  EXPECT_NEAR(v.thermal_budget_j, 5.0 * spec.thermal.battery_heat_capacity,
+              1e-9);
+}
+
+TEST(Teb, EnergyBudgetIsUsableBankEnergy) {
+  const SystemSpec spec = default_spec();
+  const TebMetric teb(spec);
+  PlantState s;
+  s.soe_percent = 60.0;
+  const TebValue v = teb.evaluate(s);
+  EXPECT_NEAR(v.energy_budget_j,
+              (60.0 - spec.ultracap.min_soe_percent) / 100.0 *
+                  spec.ultracap.energy_capacity_j(),
+              1e-6);
+}
+
+TEST(Teb, ClampsOutsideBands) {
+  const SystemSpec spec = default_spec();
+  const TebMetric teb(spec);
+  PlantState over;
+  over.t_battery_k = spec.thermal.max_battery_temp_k + 10.0;  // violated
+  over.soe_percent = 5.0;  // below the floor
+  const TebValue v = teb.evaluate(over);
+  EXPECT_DOUBLE_EQ(v.thermal_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(v.energy_fraction, 0.0);
+  EXPECT_GE(v.thermal_budget_j, 0.0);
+  EXPECT_GE(v.energy_budget_j, 0.0);
+}
+
+TEST(Teb, MonotoneInBothCoordinates) {
+  const SystemSpec spec = default_spec();
+  const TebMetric teb(spec);
+  PlantState a, b;
+  a.t_battery_k = 300.0;
+  b.t_battery_k = 305.0;  // hotter
+  a.soe_percent = b.soe_percent = 70.0;
+  EXPECT_GT(teb.evaluate(a).combined(), teb.evaluate(b).combined());
+  b.t_battery_k = 300.0;
+  b.soe_percent = 50.0;  // emptier
+  EXPECT_GT(teb.evaluate(a).combined(), teb.evaluate(b).combined());
+}
+
+TEST(Teb, ScalesWithBankSize) {
+  const SystemSpec big = default_spec();
+  const SystemSpec small = big.with_ultracap_size(5000.0);
+  PlantState s;
+  s.soe_percent = 80.0;
+  EXPECT_GT(TebMetric(big).evaluate(s).energy_budget_j,
+            TebMetric(small).evaluate(s).energy_budget_j);
+  // Fractions are size-relative and identical.
+  EXPECT_DOUBLE_EQ(TebMetric(big).evaluate(s).energy_fraction,
+                   TebMetric(small).evaluate(s).energy_fraction);
+}
+
+}  // namespace
+}  // namespace otem::core

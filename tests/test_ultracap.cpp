@@ -1,0 +1,177 @@
+// Tests for the ultracapacitor model (Eqs. 6-9).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/error.h"
+#include "ultracap/ultracap_model.h"
+
+namespace otem::ultracap {
+namespace {
+
+BankModel default_bank() { return BankModel(BankParams{}); }
+
+TEST(Ultracap, EnergyCapacityIsHalfCV2) {
+  BankParams p;
+  p.capacitance_f = 25000.0;
+  p.rated_voltage = 16.0;
+  EXPECT_DOUBLE_EQ(p.energy_capacity_j(), 0.5 * 25000.0 * 256.0);
+}
+
+TEST(Ultracap, VoltageFollowsSqrtLaw) {
+  const BankModel bank = default_bank();
+  const double vr = bank.params().rated_voltage;
+  EXPECT_DOUBLE_EQ(bank.voltage(100.0), vr);
+  EXPECT_DOUBLE_EQ(bank.voltage(25.0), vr * 0.5);
+  EXPECT_DOUBLE_EQ(bank.voltage(0.0), 0.0);
+}
+
+TEST(Ultracap, VoltageSoeRoundtrip) {
+  const BankModel bank = default_bank();
+  for (double soe : {10.0, 36.0, 64.0, 100.0}) {
+    EXPECT_NEAR(bank.soe_for_voltage(bank.voltage(soe)), soe, 1e-9);
+  }
+}
+
+TEST(Ultracap, StoredEnergyLinearInSoe) {
+  const BankModel bank = default_bank();
+  EXPECT_NEAR(bank.stored_energy_j(50.0),
+              0.5 * bank.energy_capacity_j(), 1e-9);
+}
+
+TEST(Ultracap, SoeRateMatchesPowerOverCapacity) {
+  const BankModel bank = default_bank();
+  const double e = bank.energy_capacity_j();
+  // Discharging at E/100 W drains 1 %/s.
+  EXPECT_NEAR(bank.soe_rate(e / 100.0), -1.0, 1e-12);
+  EXPECT_NEAR(bank.soe_rate(-e / 100.0), 1.0, 1e-12);
+}
+
+TEST(Ultracap, StepSoeClampsAtBounds) {
+  const BankModel bank = default_bank();
+  EXPECT_DOUBLE_EQ(bank.step_soe(0.5, 1e9, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(bank.step_soe(99.9, -1e9, 10.0), 100.0);
+}
+
+TEST(Ultracap, EnergyConservationOverManySteps) {
+  const BankModel bank = default_bank();
+  double soe = 100.0;
+  const double p = 5000.0;
+  const double dt = 1.0;
+  double drawn = 0.0;
+  for (int k = 0; k < 60; ++k) {
+    soe = bank.step_soe(soe, p, dt);
+    drawn += p * dt;
+  }
+  const double delta_stored =
+      bank.stored_energy_j(100.0) - bank.stored_energy_j(soe);
+  EXPECT_NEAR(delta_stored, drawn, 1e-6);
+}
+
+TEST(Ultracap, CurrentForPowerUsesTerminalVoltage) {
+  const BankModel bank = default_bank();
+  const double p = 8000.0;
+  const double soe = 49.0;
+  EXPECT_NEAR(bank.current_for_power(soe, p), p / bank.voltage(soe), 1e-12);
+}
+
+TEST(Ultracap, DepletedBankCannotDeliverPower) {
+  const BankModel bank = default_bank();
+  EXPECT_THROW(bank.current_for_power(0.0, 1000.0), SimError);
+  EXPECT_DOUBLE_EQ(bank.current_for_power(0.0, 0.0), 0.0);
+}
+
+TEST(Ultracap, DischargeLimitRespectsFloorAndRating) {
+  const BankModel bank = default_bank();
+  // At the SoE floor, nothing may be drawn.
+  EXPECT_DOUBLE_EQ(
+      bank.max_discharge_power(bank.params().min_soe_percent, 1.0), 0.0);
+  // With a full bank over a short step, the power rating binds.
+  EXPECT_DOUBLE_EQ(bank.max_discharge_power(100.0, 0.001),
+                   bank.params().max_power_w);
+  // Over a long step the energy headroom binds.
+  const double headroom_j = (100.0 - bank.params().min_soe_percent) / 100.0 *
+                            bank.energy_capacity_j();
+  EXPECT_NEAR(bank.max_discharge_power(100.0, 1e6), headroom_j / 1e6, 1e-9);
+}
+
+TEST(Ultracap, ChargeLimitRespectsCeiling) {
+  const BankModel bank = default_bank();
+  EXPECT_DOUBLE_EQ(bank.max_charge_power(100.0, 1.0), 0.0);
+  EXPECT_GT(bank.max_charge_power(50.0, 1.0), 0.0);
+}
+
+TEST(Ultracap, TableOneSizesScaleEnergy) {
+  // The paper's Table I sweep: energy scales linearly in capacitance.
+  BankParams p;
+  p.capacitance_f = 5000.0;
+  const double e5k = p.energy_capacity_j();
+  p.capacitance_f = 20000.0;
+  EXPECT_NEAR(p.energy_capacity_j(), 4.0 * e5k, 1e-9);
+}
+
+// Grid sweep: the electrical identities must hold for every bank size
+// and state the Table I experiments touch.
+class BankGrid
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(BankGrid, VoltageEnergyIdentity) {
+  const auto [capacitance, soe] = GetParam();
+  BankParams p;
+  p.capacitance_f = capacitance;
+  const BankModel bank(p);
+  // Stored energy == 1/2 C V^2 at the SoE-implied voltage.
+  const double v = bank.voltage(soe);
+  EXPECT_NEAR(bank.stored_energy_j(soe), 0.5 * capacitance * v * v,
+              1e-6 * bank.energy_capacity_j() + 1e-9);
+}
+
+TEST_P(BankGrid, PowerCurrentVoltageConsistency) {
+  const auto [capacitance, soe] = GetParam();
+  if (soe < 1.0) return;  // no meaningful terminal at ~0 V
+  BankParams p;
+  p.capacitance_f = capacitance;
+  const BankModel bank(p);
+  const double power = 4000.0;
+  EXPECT_NEAR(bank.current_for_power(soe, power) * bank.voltage(soe),
+              power, 1e-9);
+}
+
+TEST_P(BankGrid, StepEnergyBookkeeping) {
+  const auto [capacitance, soe] = GetParam();
+  BankParams p;
+  p.capacitance_f = capacitance;
+  const BankModel bank(p);
+  const double power = 2000.0;
+  const double next = bank.step_soe(soe, power, 1.0);
+  if (next > 0.0 && next < 100.0) {
+    EXPECT_NEAR(bank.stored_energy_j(soe) - bank.stored_energy_j(next),
+                power, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndStates, BankGrid,
+    ::testing::Combine(::testing::Values(2000.0, 5000.0, 10000.0, 25000.0,
+                                         50000.0),
+                       ::testing::Values(0.0, 10.0, 35.0, 60.0, 85.0,
+                                         100.0)));
+
+TEST(Ultracap, ConfigOverrides) {
+  Config cfg;
+  cfg.set_pair("ultracap.capacitance_f=10000");
+  cfg.set_pair("ultracap.rated_voltage=20");
+  const BankParams p = BankParams::from_config(cfg);
+  EXPECT_DOUBLE_EQ(p.capacitance_f, 10000.0);
+  EXPECT_DOUBLE_EQ(p.rated_voltage, 20.0);
+}
+
+TEST(Ultracap, InvalidConfigThrows) {
+  Config cfg;
+  cfg.set_pair("ultracap.capacitance_f=-5");
+  EXPECT_THROW(BankParams::from_config(cfg), SimError);
+}
+
+}  // namespace
+}  // namespace otem::ultracap
