@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_battery_fidelity.dir/ablation_battery_fidelity.cpp.o"
+  "CMakeFiles/ablation_battery_fidelity.dir/ablation_battery_fidelity.cpp.o.d"
+  "ablation_battery_fidelity"
+  "ablation_battery_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_battery_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

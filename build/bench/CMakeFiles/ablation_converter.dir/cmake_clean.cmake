@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_converter.dir/ablation_converter.cpp.o"
+  "CMakeFiles/ablation_converter.dir/ablation_converter.cpp.o.d"
+  "ablation_converter"
+  "ablation_converter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_converter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_horizon.dir/ablation_horizon.cpp.o"
+  "CMakeFiles/ablation_horizon.dir/ablation_horizon.cpp.o.d"
+  "ablation_horizon"
+  "ablation_horizon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

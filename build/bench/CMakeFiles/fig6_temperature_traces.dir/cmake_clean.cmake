@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_temperature_traces.dir/fig6_temperature_traces.cpp.o"
+  "CMakeFiles/fig6_temperature_traces.dir/fig6_temperature_traces.cpp.o.d"
+  "fig6_temperature_traces"
+  "fig6_temperature_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_temperature_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_teb_preparation.dir/fig7_teb_preparation.cpp.o"
+  "CMakeFiles/fig7_teb_preparation.dir/fig7_teb_preparation.cpp.o.d"
+  "fig7_teb_preparation"
+  "fig7_teb_preparation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_teb_preparation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_battery_lifetime.dir/fig8_battery_lifetime.cpp.o"
+  "CMakeFiles/fig8_battery_lifetime.dir/fig8_battery_lifetime.cpp.o.d"
+  "fig8_battery_lifetime"
+  "fig8_battery_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_battery_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_power_consumption.dir/fig9_power_consumption.cpp.o"
+  "CMakeFiles/fig9_power_consumption.dir/fig9_power_consumption.cpp.o.d"
+  "fig9_power_consumption"
+  "fig9_power_consumption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_power_consumption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libotem_bench_common.a"
+  "../lib/libotem_bench_common.pdb"
+  "CMakeFiles/otem_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/otem_bench_common.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otem_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

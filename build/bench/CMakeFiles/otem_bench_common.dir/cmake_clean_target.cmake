@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libotem_bench_common.a"
+)

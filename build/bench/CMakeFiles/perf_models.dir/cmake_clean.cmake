@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_models.dir/perf_models.cpp.o"
+  "CMakeFiles/perf_models.dir/perf_models.cpp.o.d"
+  "perf_models"
+  "perf_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_ambient.dir/sweep_ambient.cpp.o"
+  "CMakeFiles/sweep_ambient.dir/sweep_ambient.cpp.o.d"
+  "sweep_ambient"
+  "sweep_ambient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_ambient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_fleet.dir/sweep_fleet.cpp.o"
+  "CMakeFiles/sweep_fleet.dir/sweep_fleet.cpp.o.d"
+  "sweep_fleet"
+  "sweep_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

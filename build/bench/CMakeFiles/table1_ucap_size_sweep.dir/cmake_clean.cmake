@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_ucap_size_sweep.dir/table1_ucap_size_sweep.cpp.o"
+  "CMakeFiles/table1_ucap_size_sweep.dir/table1_ucap_size_sweep.cpp.o.d"
+  "table1_ucap_size_sweep"
+  "table1_ucap_size_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ucap_size_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

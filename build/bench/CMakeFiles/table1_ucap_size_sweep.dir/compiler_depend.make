@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_ucap_size_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggressive_highway.dir/aggressive_highway.cpp.o"
+  "CMakeFiles/aggressive_highway.dir/aggressive_highway.cpp.o.d"
+  "aggressive_highway"
+  "aggressive_highway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggressive_highway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commuter_route.dir/commuter_route.cpp.o"
+  "CMakeFiles/commuter_route.dir/commuter_route.cpp.o.d"
+  "commuter_route"
+  "commuter_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commuter_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifetime_projection.dir/lifetime_projection.cpp.o"
+  "CMakeFiles/lifetime_projection.dir/lifetime_projection.cpp.o.d"
+  "lifetime_projection"
+  "lifetime_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetime_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mountain_pass.dir/mountain_pass.cpp.o"
+  "CMakeFiles/mountain_pass.dir/mountain_pass.cpp.o.d"
+  "mountain_pass"
+  "mountain_pass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mountain_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

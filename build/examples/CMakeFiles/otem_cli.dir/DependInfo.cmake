@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/otem_cli.cpp" "examples/CMakeFiles/otem_cli.dir/otem_cli.cpp.o" "gcc" "examples/CMakeFiles/otem_cli.dir/otem_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/otem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/otem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hees/CMakeFiles/otem_hees.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/otem_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/ultracap/CMakeFiles/otem_ultracap.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/otem_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/vehicle/CMakeFiles/otem_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/otem_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/otem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otem_cli.dir/otem_cli.cpp.o"
+  "CMakeFiles/otem_cli.dir/otem_cli.cpp.o.d"
+  "otem_cli"
+  "otem_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otem_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pretrip_conditioning.dir/pretrip_conditioning.cpp.o"
+  "CMakeFiles/pretrip_conditioning.dir/pretrip_conditioning.cpp.o.d"
+  "pretrip_conditioning"
+  "pretrip_conditioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pretrip_conditioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

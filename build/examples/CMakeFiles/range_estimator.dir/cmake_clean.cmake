@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_estimator.dir/range_estimator.cpp.o"
+  "CMakeFiles/range_estimator.dir/range_estimator.cpp.o.d"
+  "range_estimator"
+  "range_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uc_sizing_study.dir/uc_sizing_study.cpp.o"
+  "CMakeFiles/uc_sizing_study.dir/uc_sizing_study.cpp.o.d"
+  "uc_sizing_study"
+  "uc_sizing_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uc_sizing_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

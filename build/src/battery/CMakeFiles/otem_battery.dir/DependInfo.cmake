@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/battery/aging.cpp" "src/battery/CMakeFiles/otem_battery.dir/aging.cpp.o" "gcc" "src/battery/CMakeFiles/otem_battery.dir/aging.cpp.o.d"
+  "/root/repo/src/battery/battery_model.cpp" "src/battery/CMakeFiles/otem_battery.dir/battery_model.cpp.o" "gcc" "src/battery/CMakeFiles/otem_battery.dir/battery_model.cpp.o.d"
+  "/root/repo/src/battery/params.cpp" "src/battery/CMakeFiles/otem_battery.dir/params.cpp.o" "gcc" "src/battery/CMakeFiles/otem_battery.dir/params.cpp.o.d"
+  "/root/repo/src/battery/rc_model.cpp" "src/battery/CMakeFiles/otem_battery.dir/rc_model.cpp.o" "gcc" "src/battery/CMakeFiles/otem_battery.dir/rc_model.cpp.o.d"
+  "/root/repo/src/battery/soc_observer.cpp" "src/battery/CMakeFiles/otem_battery.dir/soc_observer.cpp.o" "gcc" "src/battery/CMakeFiles/otem_battery.dir/soc_observer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/otem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

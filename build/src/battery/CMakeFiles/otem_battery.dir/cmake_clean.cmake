@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otem_battery.dir/aging.cpp.o"
+  "CMakeFiles/otem_battery.dir/aging.cpp.o.d"
+  "CMakeFiles/otem_battery.dir/battery_model.cpp.o"
+  "CMakeFiles/otem_battery.dir/battery_model.cpp.o.d"
+  "CMakeFiles/otem_battery.dir/params.cpp.o"
+  "CMakeFiles/otem_battery.dir/params.cpp.o.d"
+  "CMakeFiles/otem_battery.dir/rc_model.cpp.o"
+  "CMakeFiles/otem_battery.dir/rc_model.cpp.o.d"
+  "CMakeFiles/otem_battery.dir/soc_observer.cpp.o"
+  "CMakeFiles/otem_battery.dir/soc_observer.cpp.o.d"
+  "libotem_battery.a"
+  "libotem_battery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otem_battery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

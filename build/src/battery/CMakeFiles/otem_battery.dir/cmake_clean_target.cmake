@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libotem_battery.a"
+)

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otem_common.dir/config.cpp.o"
+  "CMakeFiles/otem_common.dir/config.cpp.o.d"
+  "CMakeFiles/otem_common.dir/csv.cpp.o"
+  "CMakeFiles/otem_common.dir/csv.cpp.o.d"
+  "CMakeFiles/otem_common.dir/interp.cpp.o"
+  "CMakeFiles/otem_common.dir/interp.cpp.o.d"
+  "CMakeFiles/otem_common.dir/json.cpp.o"
+  "CMakeFiles/otem_common.dir/json.cpp.o.d"
+  "CMakeFiles/otem_common.dir/logging.cpp.o"
+  "CMakeFiles/otem_common.dir/logging.cpp.o.d"
+  "CMakeFiles/otem_common.dir/rng.cpp.o"
+  "CMakeFiles/otem_common.dir/rng.cpp.o.d"
+  "CMakeFiles/otem_common.dir/strings.cpp.o"
+  "CMakeFiles/otem_common.dir/strings.cpp.o.d"
+  "CMakeFiles/otem_common.dir/timeseries.cpp.o"
+  "CMakeFiles/otem_common.dir/timeseries.cpp.o.d"
+  "libotem_common.a"
+  "libotem_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otem_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

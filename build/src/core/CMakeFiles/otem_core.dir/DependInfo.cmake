@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cooling_methodology.cpp" "src/core/CMakeFiles/otem_core.dir/cooling_methodology.cpp.o" "gcc" "src/core/CMakeFiles/otem_core.dir/cooling_methodology.cpp.o.d"
+  "/root/repo/src/core/dual_methodology.cpp" "src/core/CMakeFiles/otem_core.dir/dual_methodology.cpp.o" "gcc" "src/core/CMakeFiles/otem_core.dir/dual_methodology.cpp.o.d"
+  "/root/repo/src/core/forecast.cpp" "src/core/CMakeFiles/otem_core.dir/forecast.cpp.o" "gcc" "src/core/CMakeFiles/otem_core.dir/forecast.cpp.o.d"
+  "/root/repo/src/core/otem/ltv_controller.cpp" "src/core/CMakeFiles/otem_core.dir/otem/ltv_controller.cpp.o" "gcc" "src/core/CMakeFiles/otem_core.dir/otem/ltv_controller.cpp.o.d"
+  "/root/repo/src/core/otem/mpc_problem.cpp" "src/core/CMakeFiles/otem_core.dir/otem/mpc_problem.cpp.o" "gcc" "src/core/CMakeFiles/otem_core.dir/otem/mpc_problem.cpp.o.d"
+  "/root/repo/src/core/otem/otem_controller.cpp" "src/core/CMakeFiles/otem_core.dir/otem/otem_controller.cpp.o" "gcc" "src/core/CMakeFiles/otem_core.dir/otem/otem_controller.cpp.o.d"
+  "/root/repo/src/core/otem/otem_methodology.cpp" "src/core/CMakeFiles/otem_core.dir/otem/otem_methodology.cpp.o" "gcc" "src/core/CMakeFiles/otem_core.dir/otem/otem_methodology.cpp.o.d"
+  "/root/repo/src/core/parallel_methodology.cpp" "src/core/CMakeFiles/otem_core.dir/parallel_methodology.cpp.o" "gcc" "src/core/CMakeFiles/otem_core.dir/parallel_methodology.cpp.o.d"
+  "/root/repo/src/core/system_spec.cpp" "src/core/CMakeFiles/otem_core.dir/system_spec.cpp.o" "gcc" "src/core/CMakeFiles/otem_core.dir/system_spec.cpp.o.d"
+  "/root/repo/src/core/teb.cpp" "src/core/CMakeFiles/otem_core.dir/teb.cpp.o" "gcc" "src/core/CMakeFiles/otem_core.dir/teb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/otem_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/otem_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/otem_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/ultracap/CMakeFiles/otem_ultracap.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/otem_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/hees/CMakeFiles/otem_hees.dir/DependInfo.cmake"
+  "/root/repo/build/src/vehicle/CMakeFiles/otem_vehicle.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otem_core.dir/cooling_methodology.cpp.o"
+  "CMakeFiles/otem_core.dir/cooling_methodology.cpp.o.d"
+  "CMakeFiles/otem_core.dir/dual_methodology.cpp.o"
+  "CMakeFiles/otem_core.dir/dual_methodology.cpp.o.d"
+  "CMakeFiles/otem_core.dir/forecast.cpp.o"
+  "CMakeFiles/otem_core.dir/forecast.cpp.o.d"
+  "CMakeFiles/otem_core.dir/otem/ltv_controller.cpp.o"
+  "CMakeFiles/otem_core.dir/otem/ltv_controller.cpp.o.d"
+  "CMakeFiles/otem_core.dir/otem/mpc_problem.cpp.o"
+  "CMakeFiles/otem_core.dir/otem/mpc_problem.cpp.o.d"
+  "CMakeFiles/otem_core.dir/otem/otem_controller.cpp.o"
+  "CMakeFiles/otem_core.dir/otem/otem_controller.cpp.o.d"
+  "CMakeFiles/otem_core.dir/otem/otem_methodology.cpp.o"
+  "CMakeFiles/otem_core.dir/otem/otem_methodology.cpp.o.d"
+  "CMakeFiles/otem_core.dir/parallel_methodology.cpp.o"
+  "CMakeFiles/otem_core.dir/parallel_methodology.cpp.o.d"
+  "CMakeFiles/otem_core.dir/system_spec.cpp.o"
+  "CMakeFiles/otem_core.dir/system_spec.cpp.o.d"
+  "CMakeFiles/otem_core.dir/teb.cpp.o"
+  "CMakeFiles/otem_core.dir/teb.cpp.o.d"
+  "libotem_core.a"
+  "libotem_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otem_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

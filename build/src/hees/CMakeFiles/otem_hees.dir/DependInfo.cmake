@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hees/charge_planner.cpp" "src/hees/CMakeFiles/otem_hees.dir/charge_planner.cpp.o" "gcc" "src/hees/CMakeFiles/otem_hees.dir/charge_planner.cpp.o.d"
+  "/root/repo/src/hees/converter.cpp" "src/hees/CMakeFiles/otem_hees.dir/converter.cpp.o" "gcc" "src/hees/CMakeFiles/otem_hees.dir/converter.cpp.o.d"
+  "/root/repo/src/hees/dual_arch.cpp" "src/hees/CMakeFiles/otem_hees.dir/dual_arch.cpp.o" "gcc" "src/hees/CMakeFiles/otem_hees.dir/dual_arch.cpp.o.d"
+  "/root/repo/src/hees/hybrid_arch.cpp" "src/hees/CMakeFiles/otem_hees.dir/hybrid_arch.cpp.o" "gcc" "src/hees/CMakeFiles/otem_hees.dir/hybrid_arch.cpp.o.d"
+  "/root/repo/src/hees/parallel_arch.cpp" "src/hees/CMakeFiles/otem_hees.dir/parallel_arch.cpp.o" "gcc" "src/hees/CMakeFiles/otem_hees.dir/parallel_arch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/otem_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/otem_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/ultracap/CMakeFiles/otem_ultracap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

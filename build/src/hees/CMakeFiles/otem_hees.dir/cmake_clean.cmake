@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otem_hees.dir/charge_planner.cpp.o"
+  "CMakeFiles/otem_hees.dir/charge_planner.cpp.o.d"
+  "CMakeFiles/otem_hees.dir/converter.cpp.o"
+  "CMakeFiles/otem_hees.dir/converter.cpp.o.d"
+  "CMakeFiles/otem_hees.dir/dual_arch.cpp.o"
+  "CMakeFiles/otem_hees.dir/dual_arch.cpp.o.d"
+  "CMakeFiles/otem_hees.dir/hybrid_arch.cpp.o"
+  "CMakeFiles/otem_hees.dir/hybrid_arch.cpp.o.d"
+  "CMakeFiles/otem_hees.dir/parallel_arch.cpp.o"
+  "CMakeFiles/otem_hees.dir/parallel_arch.cpp.o.d"
+  "libotem_hees.a"
+  "libotem_hees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otem_hees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for otem_hees.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optim/adam.cpp" "src/optim/CMakeFiles/otem_optim.dir/adam.cpp.o" "gcc" "src/optim/CMakeFiles/otem_optim.dir/adam.cpp.o.d"
+  "/root/repo/src/optim/augmented_lagrangian.cpp" "src/optim/CMakeFiles/otem_optim.dir/augmented_lagrangian.cpp.o" "gcc" "src/optim/CMakeFiles/otem_optim.dir/augmented_lagrangian.cpp.o.d"
+  "/root/repo/src/optim/decomposition.cpp" "src/optim/CMakeFiles/otem_optim.dir/decomposition.cpp.o" "gcc" "src/optim/CMakeFiles/otem_optim.dir/decomposition.cpp.o.d"
+  "/root/repo/src/optim/finite_diff.cpp" "src/optim/CMakeFiles/otem_optim.dir/finite_diff.cpp.o" "gcc" "src/optim/CMakeFiles/otem_optim.dir/finite_diff.cpp.o.d"
+  "/root/repo/src/optim/lbfgs.cpp" "src/optim/CMakeFiles/otem_optim.dir/lbfgs.cpp.o" "gcc" "src/optim/CMakeFiles/otem_optim.dir/lbfgs.cpp.o.d"
+  "/root/repo/src/optim/matrix.cpp" "src/optim/CMakeFiles/otem_optim.dir/matrix.cpp.o" "gcc" "src/optim/CMakeFiles/otem_optim.dir/matrix.cpp.o.d"
+  "/root/repo/src/optim/qp.cpp" "src/optim/CMakeFiles/otem_optim.dir/qp.cpp.o" "gcc" "src/optim/CMakeFiles/otem_optim.dir/qp.cpp.o.d"
+  "/root/repo/src/optim/vector_ops.cpp" "src/optim/CMakeFiles/otem_optim.dir/vector_ops.cpp.o" "gcc" "src/optim/CMakeFiles/otem_optim.dir/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/otem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

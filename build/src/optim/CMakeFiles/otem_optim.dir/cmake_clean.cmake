@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otem_optim.dir/adam.cpp.o"
+  "CMakeFiles/otem_optim.dir/adam.cpp.o.d"
+  "CMakeFiles/otem_optim.dir/augmented_lagrangian.cpp.o"
+  "CMakeFiles/otem_optim.dir/augmented_lagrangian.cpp.o.d"
+  "CMakeFiles/otem_optim.dir/decomposition.cpp.o"
+  "CMakeFiles/otem_optim.dir/decomposition.cpp.o.d"
+  "CMakeFiles/otem_optim.dir/finite_diff.cpp.o"
+  "CMakeFiles/otem_optim.dir/finite_diff.cpp.o.d"
+  "CMakeFiles/otem_optim.dir/lbfgs.cpp.o"
+  "CMakeFiles/otem_optim.dir/lbfgs.cpp.o.d"
+  "CMakeFiles/otem_optim.dir/matrix.cpp.o"
+  "CMakeFiles/otem_optim.dir/matrix.cpp.o.d"
+  "CMakeFiles/otem_optim.dir/qp.cpp.o"
+  "CMakeFiles/otem_optim.dir/qp.cpp.o.d"
+  "CMakeFiles/otem_optim.dir/vector_ops.cpp.o"
+  "CMakeFiles/otem_optim.dir/vector_ops.cpp.o.d"
+  "libotem_optim.a"
+  "libotem_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otem_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otem_sim.dir/fleet.cpp.o"
+  "CMakeFiles/otem_sim.dir/fleet.cpp.o.d"
+  "CMakeFiles/otem_sim.dir/lifetime.cpp.o"
+  "CMakeFiles/otem_sim.dir/lifetime.cpp.o.d"
+  "CMakeFiles/otem_sim.dir/metrics.cpp.o"
+  "CMakeFiles/otem_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/otem_sim.dir/report.cpp.o"
+  "CMakeFiles/otem_sim.dir/report.cpp.o.d"
+  "CMakeFiles/otem_sim.dir/simulator.cpp.o"
+  "CMakeFiles/otem_sim.dir/simulator.cpp.o.d"
+  "libotem_sim.a"
+  "libotem_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otem_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

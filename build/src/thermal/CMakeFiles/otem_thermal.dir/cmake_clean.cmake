@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otem_thermal.dir/cooling_system.cpp.o"
+  "CMakeFiles/otem_thermal.dir/cooling_system.cpp.o.d"
+  "CMakeFiles/otem_thermal.dir/pack_thermal.cpp.o"
+  "CMakeFiles/otem_thermal.dir/pack_thermal.cpp.o.d"
+  "libotem_thermal.a"
+  "libotem_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otem_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

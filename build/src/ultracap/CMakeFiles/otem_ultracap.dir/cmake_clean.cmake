@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otem_ultracap.dir/ultracap_model.cpp.o"
+  "CMakeFiles/otem_ultracap.dir/ultracap_model.cpp.o.d"
+  "libotem_ultracap.a"
+  "libotem_ultracap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otem_ultracap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

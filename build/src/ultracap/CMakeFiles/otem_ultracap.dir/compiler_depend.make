@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for otem_ultracap.
+# This may be replaced when dependencies are built.

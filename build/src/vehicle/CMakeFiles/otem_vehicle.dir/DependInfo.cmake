@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vehicle/drive_cycle.cpp" "src/vehicle/CMakeFiles/otem_vehicle.dir/drive_cycle.cpp.o" "gcc" "src/vehicle/CMakeFiles/otem_vehicle.dir/drive_cycle.cpp.o.d"
+  "/root/repo/src/vehicle/hvac.cpp" "src/vehicle/CMakeFiles/otem_vehicle.dir/hvac.cpp.o" "gcc" "src/vehicle/CMakeFiles/otem_vehicle.dir/hvac.cpp.o.d"
+  "/root/repo/src/vehicle/powertrain.cpp" "src/vehicle/CMakeFiles/otem_vehicle.dir/powertrain.cpp.o" "gcc" "src/vehicle/CMakeFiles/otem_vehicle.dir/powertrain.cpp.o.d"
+  "/root/repo/src/vehicle/route.cpp" "src/vehicle/CMakeFiles/otem_vehicle.dir/route.cpp.o" "gcc" "src/vehicle/CMakeFiles/otem_vehicle.dir/route.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/otem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

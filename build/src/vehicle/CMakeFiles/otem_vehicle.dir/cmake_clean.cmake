@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otem_vehicle.dir/drive_cycle.cpp.o"
+  "CMakeFiles/otem_vehicle.dir/drive_cycle.cpp.o.d"
+  "CMakeFiles/otem_vehicle.dir/hvac.cpp.o"
+  "CMakeFiles/otem_vehicle.dir/hvac.cpp.o.d"
+  "CMakeFiles/otem_vehicle.dir/powertrain.cpp.o"
+  "CMakeFiles/otem_vehicle.dir/powertrain.cpp.o.d"
+  "CMakeFiles/otem_vehicle.dir/route.cpp.o"
+  "CMakeFiles/otem_vehicle.dir/route.cpp.o.d"
+  "libotem_vehicle.a"
+  "libotem_vehicle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otem_vehicle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_battery_properties.dir/test_battery_properties.cpp.o"
+  "CMakeFiles/test_battery_properties.dir/test_battery_properties.cpp.o.d"
+  "test_battery_properties"
+  "test_battery_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_battery_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

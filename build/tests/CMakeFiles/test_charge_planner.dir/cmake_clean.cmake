@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_charge_planner.dir/test_charge_planner.cpp.o"
+  "CMakeFiles/test_charge_planner.dir/test_charge_planner.cpp.o.d"
+  "test_charge_planner"
+  "test_charge_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_charge_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

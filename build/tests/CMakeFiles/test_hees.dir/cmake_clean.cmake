@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hees.dir/test_hees.cpp.o"
+  "CMakeFiles/test_hees.dir/test_hees.cpp.o.d"
+  "test_hees"
+  "test_hees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hees_properties.dir/test_hees_properties.cpp.o"
+  "CMakeFiles/test_hees_properties.dir/test_hees_properties.cpp.o.d"
+  "test_hees_properties"
+  "test_hees_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hees_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

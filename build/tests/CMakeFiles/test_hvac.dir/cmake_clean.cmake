@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hvac.dir/test_hvac.cpp.o"
+  "CMakeFiles/test_hvac.dir/test_hvac.cpp.o.d"
+  "test_hvac"
+  "test_hvac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hvac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_hvac.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_json_report.dir/test_json_report.cpp.o"
+  "CMakeFiles/test_json_report.dir/test_json_report.cpp.o.d"
+  "test_json_report"
+  "test_json_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_json_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ltv_mpc.dir/test_ltv_mpc.cpp.o"
+  "CMakeFiles/test_ltv_mpc.dir/test_ltv_mpc.cpp.o.d"
+  "test_ltv_mpc"
+  "test_ltv_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ltv_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_sweep.dir/test_matrix_sweep.cpp.o"
+  "CMakeFiles/test_matrix_sweep.dir/test_matrix_sweep.cpp.o.d"
+  "test_matrix_sweep"
+  "test_matrix_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

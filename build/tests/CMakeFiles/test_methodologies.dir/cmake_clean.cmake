@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_methodologies.dir/test_methodologies.cpp.o"
+  "CMakeFiles/test_methodologies.dir/test_methodologies.cpp.o.d"
+  "test_methodologies"
+  "test_methodologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_methodologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpc_behaviour.dir/test_mpc_behaviour.cpp.o"
+  "CMakeFiles/test_mpc_behaviour.dir/test_mpc_behaviour.cpp.o.d"
+  "test_mpc_behaviour"
+  "test_mpc_behaviour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpc_behaviour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpc_problem.dir/test_mpc_problem.cpp.o"
+  "CMakeFiles/test_mpc_problem.dir/test_mpc_problem.cpp.o.d"
+  "test_mpc_problem"
+  "test_mpc_problem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpc_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optim_linalg.dir/test_optim_linalg.cpp.o"
+  "CMakeFiles/test_optim_linalg.dir/test_optim_linalg.cpp.o.d"
+  "test_optim_linalg"
+  "test_optim_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optim_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

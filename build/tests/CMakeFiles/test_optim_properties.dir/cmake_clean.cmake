@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optim_properties.dir/test_optim_properties.cpp.o"
+  "CMakeFiles/test_optim_properties.dir/test_optim_properties.cpp.o.d"
+  "test_optim_properties"
+  "test_optim_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optim_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optim_solvers.dir/test_optim_solvers.cpp.o"
+  "CMakeFiles/test_optim_solvers.dir/test_optim_solvers.cpp.o.d"
+  "test_optim_solvers"
+  "test_optim_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optim_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_otem_controller.dir/test_otem_controller.cpp.o"
+  "CMakeFiles/test_otem_controller.dir/test_otem_controller.cpp.o.d"
+  "test_otem_controller"
+  "test_otem_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_otem_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pack_thermal.dir/test_pack_thermal.cpp.o"
+  "CMakeFiles/test_pack_thermal.dir/test_pack_thermal.cpp.o.d"
+  "test_pack_thermal"
+  "test_pack_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pack_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

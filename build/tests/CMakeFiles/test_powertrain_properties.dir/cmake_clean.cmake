@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_powertrain_properties.dir/test_powertrain_properties.cpp.o"
+  "CMakeFiles/test_powertrain_properties.dir/test_powertrain_properties.cpp.o.d"
+  "test_powertrain_properties"
+  "test_powertrain_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_powertrain_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rc_model.dir/test_rc_model.cpp.o"
+  "CMakeFiles/test_rc_model.dir/test_rc_model.cpp.o.d"
+  "test_rc_model"
+  "test_rc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soc_observer.dir/test_soc_observer.cpp.o"
+  "CMakeFiles/test_soc_observer.dir/test_soc_observer.cpp.o.d"
+  "test_soc_observer"
+  "test_soc_observer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soc_observer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

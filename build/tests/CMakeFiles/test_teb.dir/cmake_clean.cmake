@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_teb.dir/test_teb.cpp.o"
+  "CMakeFiles/test_teb.dir/test_teb.cpp.o.d"
+  "test_teb"
+  "test_teb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_teb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

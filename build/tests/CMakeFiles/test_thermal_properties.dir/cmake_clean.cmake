@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thermal_properties.dir/test_thermal_properties.cpp.o"
+  "CMakeFiles/test_thermal_properties.dir/test_thermal_properties.cpp.o.d"
+  "test_thermal_properties"
+  "test_thermal_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thermal_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

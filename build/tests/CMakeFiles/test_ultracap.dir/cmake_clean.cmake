@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ultracap.dir/test_ultracap.cpp.o"
+  "CMakeFiles/test_ultracap.dir/test_ultracap.cpp.o.d"
+  "test_ultracap"
+  "test_ultracap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ultracap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
