@@ -1,0 +1,140 @@
+// perf_fleet — google-benchmark timings for the execution subsystem:
+// fleet evaluation wall-clock at increasing thread counts (serial
+// baseline at threads=1) and the ADMM QP hot path (cold one-shot vs a
+// warm persistent QpSolver workspace), reported as ns per ADMM
+// iteration. bench/run_benchmarks.sh wraps this binary and emits
+// BENCH_fleet.json so successive PRs have a perf trajectory to regress
+// against.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "core/parallel_methodology.h"
+#include "exec/thread_pool.h"
+#include "optim/qp.h"
+#include "sim/fleet.h"
+
+namespace {
+
+using namespace otem;
+
+core::SystemSpec spec() { return core::SystemSpec::from_config(Config()); }
+
+sim::FleetOptions fleet_options(size_t threads) {
+  sim::FleetOptions f;  // default 16-mission fleet
+  f.seed = 7;
+  f.threads = threads;
+  // Shorter missions than the deployment default keep one benchmark
+  // iteration in the hundreds-of-ms range; the per-mission work is
+  // still a full closed-loop thermal/electrical simulation.
+  f.min_duration_s = 200.0;
+  f.max_duration_s = 500.0;
+  return f;
+}
+
+auto parallel_factory() {
+  return [](const core::SystemSpec& s) {
+    return std::make_unique<core::ParallelMethodology>(s);
+  };
+}
+
+/// evaluate_fleet at a given execution width. threads=1 is the serial
+/// fallback path (no pool, no locks); results are bit-identical across
+/// widths by construction (pre-drawn mission conditions).
+void BM_FleetEvaluate(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const core::SystemSpec base = spec();
+  const sim::FleetOptions options = fleet_options(threads);
+  for (auto _ : state) {
+    const sim::FleetResult r =
+        sim::evaluate_fleet(base, parallel_factory(), options);
+    benchmark::DoNotOptimize(r.qloss_percent.mean);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_FleetEvaluate)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// A QP shaped like the LTV-MPC subproblem at the given horizon:
+/// nu = 2h decision variables, nu box rows plus 4h banded state rows.
+optim::QpProblem mpc_shaped_qp(size_t horizon) {
+  const size_t nu = 2 * horizon;
+  const size_t rows = nu + 4 * horizon;
+  optim::QpProblem p;
+  p.p = optim::Matrix(nu, nu);
+  p.q.assign(nu, 0.0);
+  for (size_t i = 0; i < nu; ++i) {
+    p.p(i, i) = 0.05 + 0.01 * static_cast<double>(i % 7);
+    p.q[i] = (i % 2 == 0) ? -0.02 : 0.015;
+  }
+  p.a = optim::Matrix(rows, nu);
+  p.l.assign(rows, 0.0);
+  p.u.assign(rows, 0.0);
+  for (size_t i = 0; i < nu; ++i) {
+    p.a(i, i) = 1.0;
+    p.l[i] = -1.0;
+    p.u[i] = 1.0;
+  }
+  // State rows: causal (lower-banded) sensitivity pattern with decaying
+  // influence of older controls, equilibrated to unit row norm.
+  for (size_t k = 0; k < horizon; ++k) {
+    for (size_t j = 0; j < 4; ++j) {
+      const size_t r = nu + 4 * k + j;
+      for (size_t col = 0; col <= 2 * k + 1; ++col) {
+        const double age = static_cast<double>(2 * k + 1 - col);
+        p.a(r, col) = ((col + j) % 3 == 0 ? 1.0 : -0.4) /
+                      (1.0 + 0.35 * age);
+      }
+      p.l[r] = -0.8 - 0.05 * static_cast<double>(j);
+      p.u[r] = 0.9;
+    }
+  }
+  return p;
+}
+
+/// One-shot solve_qp: pays the full workspace allocation every call.
+void BM_QpSolveCold(benchmark::State& state) {
+  const optim::QpProblem p =
+      mpc_shaped_qp(static_cast<size_t>(state.range(0)));
+  optim::QpOptions opt;
+  opt.eps_abs = 1e-4;
+  opt.eps_rel = 1e-4;
+  std::int64_t total_iters = 0;
+  for (auto _ : state) {
+    const optim::QpResult r = optim::solve_qp(p, opt);
+    total_iters += static_cast<std::int64_t>(r.iterations);
+    benchmark::DoNotOptimize(r.primal_residual);
+  }
+  state.SetItemsProcessed(total_iters);  // items/s = ADMM iterations/s
+}
+BENCHMARK(BM_QpSolveCold)->Arg(10)->Arg(30)->Arg(60);
+
+/// Persistent QpSolver: the workspace (KKT matrix, factorisation,
+/// iterate buffers) is reused across solves, the steady state of an MPC
+/// controller calling the solver every step.
+void BM_QpSolveWarm(benchmark::State& state) {
+  const optim::QpProblem p =
+      mpc_shaped_qp(static_cast<size_t>(state.range(0)));
+  optim::QpOptions opt;
+  opt.eps_abs = 1e-4;
+  opt.eps_rel = 1e-4;
+  optim::QpSolver solver;
+  std::int64_t total_iters = 0;
+  for (auto _ : state) {
+    const optim::QpResult r = solver.solve(p, opt);
+    total_iters += static_cast<std::int64_t>(r.iterations);
+    benchmark::DoNotOptimize(r.primal_residual);
+  }
+  state.SetItemsProcessed(total_iters);
+}
+BENCHMARK(BM_QpSolveWarm)->Arg(10)->Arg(30)->Arg(60);
+
+}  // namespace
+
+BENCHMARK_MAIN();

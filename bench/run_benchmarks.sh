@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# run_benchmarks.sh — regenerate BENCH_fleet.json, the perf trajectory
+# later PRs regress against.
+#
+# Usage: bench/run_benchmarks.sh [build-dir] [output.json]
+#
+# The JSON is google-benchmark's standard format and contains:
+#   - BM_FleetEvaluate/N       fleet wall-clock at N threads (N=1 serial)
+#   - BM_QpSolveCold/h         one-shot QP solves, items/s = ADMM iter/s
+#   - BM_QpSolveWarm/h         persistent-workspace QP solves
+# Derive the headline numbers as
+#   fleet speedup  = real_time(threads=1) / real_time(threads=8)
+#   QP ns per iter = 1e9 / items_per_second
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_fleet.json}"
+BIN="$BUILD_DIR/bench/perf_fleet"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+# min_time keeps the fleet benches to a few iterations each; raise it
+# for publication-quality numbers.
+"$BIN" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.5
+
+echo "wrote $OUT"

@@ -8,10 +8,15 @@
 // hot packs age exponentially faster (Eq. 5), so management matters
 // most in summer, while in the cold everything behaves similarly (and
 // the cold pack's HIGHER internal resistance raises everyone's losses).
+//
+// The (ambient x methodology) grid cells are independent, so they run
+// on the exec thread pool ("threads=N" override, 0 = auto); rows are
+// printed in grid order afterwards, so output is identical at any width.
 #include <iostream>
 #include <vector>
 
 #include "bench_common.h"
+#include "exec/thread_pool.h"
 #include "vehicle/hvac.h"
 
 using namespace otem;
@@ -19,6 +24,7 @@ using namespace otem;
 int main(int argc, char** argv) {
   const Config cfg = bench::bench_defaults(argc, argv);
   const size_t repeats = static_cast<size_t>(cfg.get_long("repeats", 2));
+  const size_t threads = static_cast<size_t>(cfg.get_long("threads", 0));
 
   bench::print_header("Extension: ambient-temperature sweep (US06 x" +
                       std::to_string(repeats) + ")");
@@ -29,41 +35,68 @@ int main(int argc, char** argv) {
   CsvTable csv({"ambient_c", "methodology", "qloss_percent", "avg_power_w",
                 "max_tb_c", "violation_s"});
 
+  // Per-ambient context, prepared serially (the power trace is shared
+  // by every methodology at that ambient).
+  struct AmbientCase {
+    double ambient_c = 0.0;
+    Config acfg;
+    core::SystemSpec spec;
+    TimeSeries power;
+  };
   const vehicle::CabinHvac hvac(vehicle::HvacParams::from_config(cfg));
+  std::vector<AmbientCase> cases;
   for (double ambient_c : {-10.0, 5.0, 20.0, 30.0, 40.0}) {
-    Config acfg = cfg;
-    acfg.set("ambient_k", ambient_c + 273.15);
+    AmbientCase ac;
+    ac.ambient_c = ambient_c;
+    ac.acfg = cfg;
+    ac.acfg.set("ambient_k", ambient_c + 273.15);
     // The cabin HVAC makes the accessory load ambient-dependent [2]:
     // heating in the cold, A/C in the heat.
     if (!cfg.has("vehicle.accessory_power")) {
-      acfg.set("vehicle.accessory_power",
-               vehicle::VehicleParams{}.accessory_power_w +
-                   hvac.steady_load_w(ambient_c + 273.15));
+      ac.acfg.set("vehicle.accessory_power",
+                  vehicle::VehicleParams{}.accessory_power_w +
+                      hvac.steady_load_w(ambient_c + 273.15));
     }
-    const core::SystemSpec spec = core::SystemSpec::from_config(acfg);
-    const TimeSeries power =
-        bench::cycle_power(spec, vehicle::CycleName::kUs06, repeats);
-    const sim::Simulator sim(spec);
-    for (const auto& name : bench::methodology_names()) {
-      auto m = bench::make_methodology(name, spec, acfg);
-      sim::RunOptions opt;
-      opt.record_trace = false;
-      // A parked car soaks to ambient before the mission.
-      opt.initial.t_battery_k = spec.ambient_k;
-      opt.initial.t_coolant_k = spec.ambient_k;
-      const sim::RunResult r = sim.run(*m, power, opt);
-      bench::print_row({bench::fmt(ambient_c, 0), name,
-                        bench::fmt(r.qloss_percent, 5),
-                        bench::fmt(r.average_power_w, 0),
-                        bench::fmt(r.max_t_battery_k - 273.15, 1),
-                        bench::fmt(r.thermal_violation_s, 0)},
-                       w);
-      csv.add_row({bench::fmt(ambient_c, 1), name,
-                   bench::fmt(r.qloss_percent, 6),
-                   bench::fmt(r.average_power_w, 1),
-                   bench::fmt(r.max_t_battery_k - 273.15, 2),
-                   bench::fmt(r.thermal_violation_s, 1)});
-    }
+    ac.spec = core::SystemSpec::from_config(ac.acfg);
+    ac.power = bench::cycle_power(ac.spec, vehicle::CycleName::kUs06,
+                                  repeats);
+    cases.push_back(std::move(ac));
+  }
+
+  const auto& names = bench::methodology_names();
+  const size_t cells = cases.size() * names.size();
+  std::vector<sim::RunResult> results(cells);
+  exec::parallel_for(
+      cells,
+      [&](size_t i) {
+        const AmbientCase& ac = cases[i / names.size()];
+        const std::string& name = names[i % names.size()];
+        const sim::Simulator sim(ac.spec);
+        auto m = bench::make_methodology(name, ac.spec, ac.acfg);
+        sim::RunOptions opt;
+        opt.record_trace = false;
+        // A parked car soaks to ambient before the mission.
+        opt.initial.t_battery_k = ac.spec.ambient_k;
+        opt.initial.t_coolant_k = ac.spec.ambient_k;
+        results[i] = sim.run(*m, ac.power, opt);
+      },
+      threads);
+
+  for (size_t i = 0; i < cells; ++i) {
+    const AmbientCase& ac = cases[i / names.size()];
+    const std::string& name = names[i % names.size()];
+    const sim::RunResult& r = results[i];
+    bench::print_row({bench::fmt(ac.ambient_c, 0), name,
+                      bench::fmt(r.qloss_percent, 5),
+                      bench::fmt(r.average_power_w, 0),
+                      bench::fmt(r.max_t_battery_k - 273.15, 1),
+                      bench::fmt(r.thermal_violation_s, 0)},
+                     w);
+    csv.add_row({bench::fmt(ac.ambient_c, 1), name,
+                 bench::fmt(r.qloss_percent, 6),
+                 bench::fmt(r.average_power_w, 1),
+                 bench::fmt(r.max_t_battery_k - 273.15, 2),
+                 bench::fmt(r.thermal_violation_s, 1)});
   }
   bench::maybe_write_csv(cfg, "sweep_ambient", csv);
   return 0;

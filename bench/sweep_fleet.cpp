@@ -18,6 +18,9 @@ int main(int argc, char** argv) {
   sim::FleetOptions fleet;
   fleet.missions = static_cast<size_t>(cfg.get_long("missions", 12));
   fleet.seed = static_cast<std::uint64_t>(cfg.get_long("seed", 2026));
+  // Missions run on the exec thread pool; results are bit-identical at
+  // any width ("threads=1" forces the serial path, 0 = auto).
+  fleet.threads = static_cast<size_t>(cfg.get_long("threads", 0));
 
   bench::print_header(
       "Extension: Monte-Carlo fleet (" + std::to_string(fleet.missions) +

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "exec/thread_pool.h"
 #include "sim/metrics.h"
 
 using namespace otem;
@@ -50,27 +51,42 @@ int main(int argc, char** argv) {
   CsvTable csv({"size_f", "methodology", "avg_power_w", "qloss_rel_percent",
                 "qloss_abs_percent", "max_tb_c", "violation_s"});
 
-  for (double size : sizes) {
-    const core::SystemSpec spec = base.with_ultracap_size(size);
-    const sim::Simulator sim(spec);
-    for (const auto& name : methods) {
-      auto m = bench::make_methodology(name, spec, cfg);
-      sim::RunOptions opt;
-      opt.record_trace = false;
-      const sim::RunResult r = sim.run(*m, power, opt);
-      const double rel = sim::relative_capacity_loss_percent(r, baseline);
-      bench::print_row(
-          {bench::fmt(size, 0), name, bench::fmt(r.average_power_w, 0),
-           bench::fmt(rel, 2), bench::fmt(r.max_t_battery_k - 273.15, 2),
-           bench::fmt(r.thermal_violation_s, 0),
-           std::to_string(r.infeasible_steps)},
-          w);
-      csv.add_row({bench::fmt(size, 0), name,
-                   bench::fmt(r.average_power_w, 1), bench::fmt(rel, 3),
-                   bench::fmt(r.qloss_percent, 6),
-                   bench::fmt(r.max_t_battery_k - 273.15, 3),
-                   bench::fmt(r.thermal_violation_s, 1)});
-    }
+  // The (size x methodology) grid is embarrassingly parallel once the
+  // serial baseline above is fixed; run the cells on the exec pool and
+  // print in grid order so output is identical at any width.
+  const size_t threads = static_cast<size_t>(cfg.get_long("threads", 0));
+  const size_t cells = sizes.size() * methods.size();
+  std::vector<sim::RunResult> results(cells);
+  exec::parallel_for(
+      cells,
+      [&](size_t i) {
+        const core::SystemSpec spec =
+            base.with_ultracap_size(sizes[i / methods.size()]);
+        const sim::Simulator sim(spec);
+        auto m = bench::make_methodology(methods[i % methods.size()],
+                                         spec, cfg);
+        sim::RunOptions opt;
+        opt.record_trace = false;
+        results[i] = sim.run(*m, power, opt);
+      },
+      threads);
+
+  for (size_t i = 0; i < cells; ++i) {
+    const double size = sizes[i / methods.size()];
+    const std::string& name = methods[i % methods.size()];
+    const sim::RunResult& r = results[i];
+    const double rel = sim::relative_capacity_loss_percent(r, baseline);
+    bench::print_row(
+        {bench::fmt(size, 0), name, bench::fmt(r.average_power_w, 0),
+         bench::fmt(rel, 2), bench::fmt(r.max_t_battery_k - 273.15, 2),
+         bench::fmt(r.thermal_violation_s, 0),
+         std::to_string(r.infeasible_steps)},
+        w);
+    csv.add_row({bench::fmt(size, 0), name,
+                 bench::fmt(r.average_power_w, 1), bench::fmt(rel, 3),
+                 bench::fmt(r.qloss_percent, 6),
+                 bench::fmt(r.max_t_battery_k - 273.15, 3),
+                 bench::fmt(r.thermal_violation_s, 1)});
   }
   bench::maybe_write_csv(cfg, "table1", csv);
   return 0;

@@ -43,39 +43,44 @@ MpcProblem::Controls LtvOtemController::solve(
     }
   }
 
-  optim::Vector c(problem_.num_constraints());
-  const optim::Vector w0(problem_.num_constraints(), 0.0);
-  optim::Vector g_z(nu);
+  c_.assign(problem_.num_constraints(), 0.0);
+  w0_.assign(problem_.num_constraints(), 0.0);
+  g_z_.assign(nu, 0.0);
+
+  // Size the persistent sensitivity stack once per horizon/width.
+  if (sens_.size() != n + 1 || sens_[0].rows() != 4 ||
+      sens_[0].cols() != nu) {
+    sens_.assign(n + 1, optim::Matrix(4, nu));
+  }
 
   for (size_t round = 0; round < options_.sqp_iterations; ++round) {
-    info_.cost = problem_.evaluate(z, c);
-    problem_.gradient(z, w0, g_z);
+    info_.cost = problem_.evaluate(z, c_);
+    problem_.gradient(z, w0_, g_z_);
     const auto jac = problem_.linearize();
     const auto& xs = problem_.predicted_states();
 
     // Physical incumbent controls and cost gradient w.r.t. them.
-    optim::Vector u(nu), g_u(nu);
+    u_.assign(nu, 0.0);
+    g_u_.assign(nu, 0.0);
     for (size_t k = 0; k < n; ++k) {
       const auto uk = problem_.decode(z, k);
-      u[2 * k] = uk.p_cap_bus_w;
-      u[2 * k + 1] = uk.p_cooler_w;
-      g_u[2 * k] = g_z[2 * k] / (2.0 * cap_power_max_);
-      g_u[2 * k + 1] = g_z[2 * k + 1] / pc_max_;
+      u_[2 * k] = uk.p_cap_bus_w;
+      u_[2 * k + 1] = uk.p_cooler_w;
+      g_u_[2 * k] = g_z_[2 * k] / (2.0 * cap_power_max_);
+      g_u_[2 * k + 1] = g_z_[2 * k + 1] / pc_max_;
     }
 
-    // Control-to-state sensitivities S_k (4 x nu), built forward.
+    // Control-to-state sensitivities S_k (4 x nu), built forward:
     // S_{k+1} = A_k S_k + B_k at columns (2k, 2k+1).
-    std::vector<optim::Matrix> sens(n + 1, optim::Matrix(4, nu));
+    sens_[0].reshape(4, nu);  // zero the base; later stages are overwritten
     for (size_t k = 0; k < n; ++k) {
       const auto& jk = jac[k];
-      optim::Matrix& next = sens[k + 1];
-      const optim::Matrix& cur = sens[k];
+      a_step_.reshape(4, 4);
+      for (size_t r = 0; r < 4; ++r)
+        for (size_t m = 0; m < 4; ++m) a_step_(r, m) = jk.a[r][m];
+      optim::Matrix& next = sens_[k + 1];
+      a_step_.multiply_into(sens_[k], next);
       for (size_t r = 0; r < 4; ++r) {
-        for (size_t col = 0; col < nu; ++col) {
-          double v = 0.0;
-          for (size_t m = 0; m < 4; ++m) v += jk.a[r][m] * cur(m, col);
-          next(r, col) = v;
-        }
         next(r, 2 * k) += jk.b[r][0];
         next(r, 2 * k + 1) += jk.b[r][1];
       }
@@ -86,15 +91,15 @@ MpcProblem::Controls LtvOtemController::solve(
     // variable lives in [-1, 1] and ADMM sees a well-scaled problem.
     const double T = options_.trust_region_w;
     const size_t rows = nu + 4 * n;  // boxes + (tb, soc, soe, p_bs) / step
-    optim::QpProblem qp;
-    qp.q.resize(nu);
-    qp.p = optim::Matrix(nu, nu);
+    optim::QpProblem& qp = qp_;
+    qp.q.assign(nu, 0.0);
+    qp.p.reshape(nu, nu);
     for (size_t i = 0; i < nu; ++i) {
-      qp.q[i] = g_u[i] * T;
-      qp.p(i, i) = std::max(std::abs(g_u[i]) * T,
+      qp.q[i] = g_u_[i] * T;
+      qp.p(i, i) = std::max(std::abs(g_u_[i]) * T,
                             options_.regularisation_floor * T * T);
     }
-    qp.a = optim::Matrix(rows, nu);
+    qp.a.reshape(rows, nu);
     qp.l.assign(rows, 0.0);
     qp.u.assign(rows, 0.0);
 
@@ -104,15 +109,15 @@ MpcProblem::Controls LtvOtemController::solve(
       const bool is_cap = (i % 2 == 0);
       const double lo = is_cap ? -cap_power_max_ : 0.0;
       const double hi = is_cap ? cap_power_max_ : pc_max_;
-      qp.l[i] = std::max((lo - u[i]) / T, -1.0);
-      qp.u[i] = std::min((hi - u[i]) / T, 1.0);
+      qp.l[i] = std::max((lo - u_[i]) / T, -1.0);
+      qp.u[i] = std::min((hi - u_[i]) / T, 1.0);
       if (qp.l[i] > qp.u[i]) qp.l[i] = qp.u[i];  // u outside box: pull in
     }
 
     // Linearised state and battery-power rows.
     for (size_t k = 0; k < n; ++k) {
       const size_t base = nu + 4 * k;
-      const optim::Matrix& s1 = sens[k + 1];
+      const optim::Matrix& s1 = sens_[k + 1];
       // T_b
       for (size_t col = 0; col < nu; ++col) qp.a(base, col) = s1(0, col);
       qp.l[base] = t_min_k_ - xs[k + 1].t_battery_k;
@@ -131,7 +136,7 @@ MpcProblem::Controls LtvOtemController::solve(
       qp.u[base + 2] = 100.0 - xs[k + 1].soe_percent;
       // Battery power (C6): p_bs + dpbs_du du_k + dpbs_dx (x_k - x*_k).
       const auto& jk = jac[k];
-      const optim::Matrix& s0 = sens[k];
+      const optim::Matrix& s0 = sens_[k];
       for (size_t col = 0; col < nu; ++col) {
         double v = 0.0;
         for (size_t m = 0; m < 4; ++m) v += jk.dpbs_dx[m] * s0(m, col);
@@ -184,23 +189,23 @@ MpcProblem::Controls LtvOtemController::solve(
       if (qp.l[r] > qp.u[r]) qp.l[r] = qp.u[r];
     }
 
-    const optim::QpResult sol = optim::solve_qp(qp, options_.qp);
+    const optim::QpResult sol = qp_solver_.solve(qp, options_.qp);
     info_.qp_iterations = sol.iterations;
     info_.qp_converged = sol.converged;
 
     // Apply the correction (de-normalise).
     for (size_t k = 0; k < n; ++k) {
       MpcProblem::Controls uk;
-      uk.p_cap_bus_w = std::clamp(u[2 * k] + T * sol.x[2 * k],
+      uk.p_cap_bus_w = std::clamp(u_[2 * k] + T * sol.x[2 * k],
                                   -cap_power_max_, cap_power_max_);
       uk.p_cooler_w =
-          std::clamp(u[2 * k + 1] + T * sol.x[2 * k + 1], 0.0, pc_max_);
+          std::clamp(u_[2 * k + 1] + T * sol.x[2 * k + 1], 0.0, pc_max_);
       problem_.encode(k, uk, z);
     }
   }
 
   // Refresh diagnostics at the final point.
-  info_.cost = problem_.evaluate(z, c);
+  info_.cost = problem_.evaluate(z, c_);
   warm_z_ = z;
   have_warm_ = true;
   return problem_.decode(z, 0);

@@ -77,6 +77,16 @@ class LtvOtemController final : public ControllerIface {
   optim::Vector warm_z_;
   bool have_warm_ = false;
   SolveInfo info_;
+
+  // Persistent solver + per-solve workspace: the controller runs every
+  // simulated second, so the QP matrices, sensitivity stack and scratch
+  // vectors are sized once and reused across steps (no steady-state
+  // heap traffic).
+  optim::QpSolver qp_solver_;
+  optim::QpProblem qp_;
+  std::vector<optim::Matrix> sens_;  ///< control-to-state sensitivities
+  optim::Matrix a_step_;             ///< 4x4 dynamics Jacobian of one step
+  optim::Vector c_, g_z_, u_, g_u_, w0_;
 };
 
 }  // namespace otem::core

@@ -6,9 +6,10 @@
 
 namespace otem::optim {
 
-Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
+void Cholesky::factor(const Matrix& a) {
   OTEM_REQUIRE(a.rows() == a.cols(), "Cholesky requires a square matrix");
   const size_t n = a.rows();
+  l_.reshape(n, n);  // reuses the allocation on refactorisation
   for (size_t j = 0; j < n; ++j) {
     double d = a(j, j);
     for (size_t k = 0; k < j; ++k) d -= l_(j, k) * l_(j, k);
@@ -24,23 +25,27 @@ Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
 }
 
 Vector Cholesky::solve(const Vector& b) const {
+  Vector x = b;
+  solve_in_place(x);
+  return x;
+}
+
+void Cholesky::solve_in_place(Vector& b) const {
   const size_t n = l_.rows();
   OTEM_REQUIRE(b.size() == n, "Cholesky solve size mismatch");
-  Vector y(n);
-  // Forward: L y = b
+  // Forward: L y = b, overwriting b with y (b[i] is read before it is
+  // written and only already-solved entries are read back).
   for (size_t i = 0; i < n; ++i) {
     double s = b[i];
-    for (size_t k = 0; k < i; ++k) s -= l_(i, k) * y[k];
-    y[i] = s / l_(i, i);
+    for (size_t k = 0; k < i; ++k) s -= l_(i, k) * b[k];
+    b[i] = s / l_(i, i);
   }
-  // Backward: L^T x = y
-  Vector x(n);
+  // Backward: L^T x = y, again in place (entries above ii are final).
   for (size_t ii = n; ii-- > 0;) {
-    double s = y[ii];
-    for (size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
-    x[ii] = s / l_(ii, ii);
+    double s = b[ii];
+    for (size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * b[k];
+    b[ii] = s / l_(ii, ii);
   }
-  return x;
 }
 
 double Cholesky::log_det() const {

@@ -15,10 +15,20 @@ namespace otem::optim {
 /// matrix. Throws if A is not SPD (within a pivot tolerance).
 class Cholesky {
  public:
-  explicit Cholesky(const Matrix& a);
+  /// Empty factorisation; call factor() before solving.
+  Cholesky() = default;
+  explicit Cholesky(const Matrix& a) { factor(a); }
+
+  /// (Re)factorise, reusing the existing storage when the size matches —
+  /// the adaptive-rho path of the QP solver refactorises in place.
+  void factor(const Matrix& a);
 
   /// Solve A x = b.
   Vector solve(const Vector& b) const;
+
+  /// Solve A x = b overwriting b with x — no allocation; the QP solver
+  /// hot loop uses this against its persistent workspace.
+  void solve_in_place(Vector& b) const;
 
   /// log(det A) — useful for conditioning diagnostics.
   double log_det() const;

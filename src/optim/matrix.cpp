@@ -1,5 +1,6 @@
 #include "optim/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
@@ -29,6 +30,16 @@ Matrix Matrix::diagonal(const Vector& d) {
   Matrix m(d.size(), d.size());
   for (size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
   return m;
+}
+
+void Matrix::reshape(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+void Matrix::set_zero() {
+  std::fill(data_.begin(), data_.end(), 0.0);
 }
 
 Matrix Matrix::transposed() const {
@@ -87,14 +98,87 @@ Vector Matrix::operator*(const Vector& v) const {
   return out;
 }
 
+void Matrix::multiply_into(const Matrix& other, Matrix& out) const {
+  OTEM_REQUIRE(cols_ == other.rows_, "matrix product shape mismatch");
+  OTEM_REQUIRE(&out != this && &out != &other,
+               "multiply_into output must not alias an operand");
+  out.reshape(rows_, other.cols_);
+  // Raw restrict pointers let the axpy inner loop vectorise; the k-ascending
+  // accumulation order is unchanged, so results stay bit-identical to
+  // operator*.
+  const size_t oc = other.cols_;
+  const double* __restrict ap = data_.data();
+  const double* __restrict bp = other.data_.data();
+  double* __restrict op = out.data_.data();
+  for (size_t r = 0; r < rows_; ++r) {
+    double* __restrict orow = op + r * oc;
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = ap[r * cols_ + k];
+      if (a == 0.0) continue;
+      const double* __restrict brow = bp + k * oc;
+      for (size_t c = 0; c < oc; ++c) orow[c] += a * brow[c];
+    }
+  }
+}
+
+void Matrix::multiply_vector_into(const Vector& v, Vector& out) const {
+  OTEM_REQUIRE(cols_ == v.size(), "matrix-vector shape mismatch");
+  OTEM_REQUIRE(&out != &v, "multiply_vector_into output must not alias v");
+  out.assign(rows_, 0.0);
+  // The dot-product reduction keeps c-ascending order (bit-identical to
+  // operator*); hoisted row pointers just cheapen the addressing.
+  const double* __restrict ap = data_.data();
+  const double* __restrict vp = v.data();
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* __restrict arow = ap + r * cols_;
+    double s = 0.0;
+    for (size_t c = 0; c < cols_; ++c) s += arow[c] * vp[c];
+    out[r] = s;
+  }
+}
+
+void Matrix::gram_into(Matrix& out) const {
+  OTEM_REQUIRE(&out != this, "gram_into output must not alias the input");
+  out.reshape(cols_, cols_);
+  // Accumulate row r's outer contribution a_r a_r^T; summing over rows
+  // in the outer loop keeps the accumulation order identical to
+  // transposed() * (*this). Restrict pointers let the inner axpy
+  // vectorise without reordering the sums.
+  const double* __restrict ap = data_.data();
+  double* __restrict op = out.data_.data();
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* __restrict arow = ap + r * cols_;
+    for (size_t i = 0; i < cols_; ++i) {
+      const double a = arow[i];
+      if (a == 0.0) continue;
+      double* __restrict orow = op + i * cols_;
+      for (size_t j = 0; j < cols_; ++j) orow[j] += a * arow[j];
+    }
+  }
+}
+
+void Matrix::add_scaled(const Matrix& other, double alpha) {
+  OTEM_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+               "add_scaled shape mismatch");
+  double* __restrict dp = data_.data();
+  const double* __restrict op = other.data_.data();
+  const size_t size = data_.size();
+  for (size_t i = 0; i < size; ++i) dp[i] += alpha * op[i];
+}
+
 void Matrix::transpose_multiply_add(const Vector& x, double alpha,
                                     Vector& y) const {
   OTEM_REQUIRE(rows_ == x.size() && cols_ == y.size(),
                "transpose_multiply_add shape mismatch");
+  // y must not alias this matrix's storage. The restrict-qualified axpy
+  // vectorises; accumulation order (r ascending) is unchanged.
+  const double* __restrict ap = data_.data();
+  double* __restrict yp = y.data();
   for (size_t r = 0; r < rows_; ++r) {
     const double xr = alpha * x[r];
     if (xr == 0.0) continue;
-    for (size_t c = 0; c < cols_; ++c) y[c] += (*this)(r, c) * xr;
+    const double* __restrict arow = ap + r * cols_;
+    for (size_t c = 0; c < cols_; ++c) yp[c] += arow[c] * xr;
   }
 }
 

@@ -33,6 +33,14 @@ class Matrix {
 
   const double* data() const { return data_.data(); }
 
+  /// Resize to rows x cols and zero-fill, reusing the existing
+  /// allocation when capacity allows. The workhorse for workspaces that
+  /// persist across solver iterations / MPC steps.
+  void reshape(size_t rows, size_t cols);
+
+  /// Zero every element in place.
+  void set_zero();
+
   Matrix transposed() const;
 
   Matrix operator+(const Matrix& other) const;
@@ -41,6 +49,22 @@ class Matrix {
   Matrix operator*(double s) const;
 
   Vector operator*(const Vector& v) const;
+
+  /// out = (*this) * other without allocating when `out` already has the
+  /// right shape (ikj loop order, row-major cache-friendly). `out` must
+  /// not alias either operand. Same accumulation order as operator*, so
+  /// results are bit-identical.
+  void multiply_into(const Matrix& other, Matrix& out) const;
+
+  /// out = (*this) * v, reusing out's capacity. `out` must not alias v.
+  void multiply_vector_into(const Vector& v, Vector& out) const;
+
+  /// out = (*this)^T * (*this) — the Gram matrix A^T A — computed
+  /// without materialising the transpose. Reuses out's storage.
+  void gram_into(Matrix& out) const;
+
+  /// (*this) += alpha * other, elementwise (same shape).
+  void add_scaled(const Matrix& other, double alpha);
 
   /// y += alpha * A^T x (used by adjoint code and CG-style iterations).
   void transpose_multiply_add(const Vector& x, double alpha, Vector& y) const;

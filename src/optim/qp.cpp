@@ -4,86 +4,111 @@
 #include <cmath>
 
 #include "common/error.h"
-#include "optim/decomposition.h"
 #include "optim/vector_ops.h"
 
 namespace otem::optim {
 
-QpResult solve_qp(const QpProblem& problem, const QpOptions& options) {
+QpResult QpSolver::solve(const QpProblem& problem,
+                         const QpOptions& options) {
   const size_t n = problem.q.size();
   const size_t m = problem.l.size();
+  // Cheap O(1) dimension-consistency checks come first; everything
+  // below indexes by these shapes.
   OTEM_REQUIRE(problem.p.rows() == n && problem.p.cols() == n,
-               "QP: P must be n x n");
+               "QP: P must be n x n with n = q.size()");
   OTEM_REQUIRE(problem.a.rows() == m && problem.a.cols() == n,
                "QP: A must be m x n");
   OTEM_REQUIRE(problem.u.size() == m, "QP: l/u size mismatch");
-  OTEM_REQUIRE(problem.p.is_symmetric(1e-9), "QP: P must be symmetric");
   for (size_t i = 0; i < m; ++i)
     OTEM_REQUIRE(problem.l[i] <= problem.u[i], "QP: l > u in some row");
+#ifndef NDEBUG
+  // O(n^2) scan — debug-only contract check. solve() runs on every MPC
+  // step and in-tree callers build P symmetric by construction, so the
+  // release build skips it.
+  OTEM_REQUIRE(problem.p.is_symmetric(1e-9), "QP: P must be symmetric");
+#endif
 
-  // KKT matrix K = P + sigma I + rho A^T A, re-factored when rho adapts.
-  const Matrix ata = problem.a.transposed() * problem.a;
+  // KKT matrix K = P + sigma I + rho A^T A. A^T A is cached so an
+  // adaptive-rho update is a scaled in-place add, not a rebuild.
+  problem.a.gram_into(ata_);
   double rho = options.rho;
-  auto factor = [&](double rho_now) {
-    Matrix k = problem.p;
-    for (size_t i = 0; i < n; ++i) k(i, i) += options.sigma;
-    for (size_t r = 0; r < n; ++r)
-      for (size_t c = 0; c < n; ++c) k(r, c) += rho_now * ata(r, c);
-    return Cholesky(k);
-  };
-  Cholesky chol = factor(rho);
+  kkt_ = problem.p;
+  for (size_t i = 0; i < n; ++i) kkt_(i, i) += options.sigma;
+  kkt_.add_scaled(ata_, rho);
+  chol_.factor(kkt_);
 
-  Vector x(n, 0.0);
-  Vector z(m, 0.0);
-  Vector y(m, 0.0);
+  x_.assign(n, 0.0);
+  z_.assign(m, 0.0);
+  y_.assign(m, 0.0);
 
   QpResult result;
   for (size_t it = 0; it < options.max_iterations; ++it) {
-    // x-update: solve K x = sigma x - q + A^T (rho z - y)
-    Vector rhs(n, 0.0);
-    for (size_t i = 0; i < n; ++i) rhs[i] = options.sigma * x[i] - problem.q[i];
-    Vector t(m);
-    for (size_t i = 0; i < m; ++i) t[i] = rho * z[i] - y[i];
-    problem.a.transpose_multiply_add(t, 1.0, rhs);
-    const Vector x_new = chol.solve(rhs);
+    // x-update: solve K x = sigma x - q + A^T (rho z - y), in place in
+    // rhs_ (which therefore holds x_new after the solve).
+    rhs_.resize(n);
+    for (size_t i = 0; i < n; ++i)
+      rhs_[i] = options.sigma * x_[i] - problem.q[i];
+    t_.resize(m);
+    for (size_t i = 0; i < m; ++i) t_[i] = rho * z_[i] - y_[i];
+    problem.a.transpose_multiply_add(t_, 1.0, rhs_);
+    chol_.solve_in_place(rhs_);
+    const Vector& x_new = rhs_;
 
     // Over-relaxed z-update with projection onto [l, u].
-    const Vector ax = problem.a * x_new;
-    Vector z_new(m);
+    problem.a.multiply_vector_into(x_new, ax_);
+    z_new_.resize(m);
     for (size_t i = 0; i < m; ++i) {
-      const double axr = options.alpha * ax[i] + (1.0 - options.alpha) * z[i];
-      z_new[i] = std::clamp(axr + y[i] / rho, problem.l[i],
-                            problem.u[i]);
-      y[i] += rho * (axr - z_new[i]);
+      const double axr =
+          options.alpha * ax_[i] + (1.0 - options.alpha) * z_[i];
+      z_new_[i] = std::clamp(axr + y_[i] / rho, problem.l[i],
+                             problem.u[i]);
+      y_[i] += rho * (axr - z_new_[i]);
     }
 
     // Residuals (unscaled OSQP-style).
     double r_prim = 0.0;
     for (size_t i = 0; i < m; ++i)
-      r_prim = std::max(r_prim, std::abs(ax[i] - z_new[i]));
+      r_prim = std::max(r_prim, std::abs(ax_[i] - z_new_[i]));
 
-    // dual residual: || P x + q + A^T y ||_inf, with the OSQP-style
-    // relative scale max(||P x||, ||q||, ||A^T y||).
-    const Vector px = problem.p * x_new;
-    Vector aty(n, 0.0);
-    problem.a.transpose_multiply_add(y, 1.0, aty);
-    Vector dres(n);
-    for (size_t i = 0; i < n; ++i)
-      dres[i] = px[i] + problem.q[i] + aty[i];
-    const double r_dual = norm_inf(dres);
-    const double dual_scale = std::max(
-        {norm_inf(px), norm_inf(problem.q), norm_inf(aty)});
-
-    x = x_new;
-    z = z_new;
+    // Promote the new iterates; rhs_/z_new_ are fully rewritten next
+    // iteration, so swapping moves no data.
+    std::swap(x_, rhs_);
+    std::swap(z_, z_new_);
     result.iterations = it + 1;
     result.primal_residual = r_prim;
-    result.dual_residual = r_dual;
 
     const double eps_p =
         options.eps_abs +
-        options.eps_rel * std::max(norm_inf(ax), norm_inf(z));
-    const double eps_d = options.eps_abs + options.eps_rel * dual_scale;
+        options.eps_rel * std::max(norm_inf(ax_), norm_inf(z_));
+
+    // The dual residual || P x + q + A^T y ||_inf costs two extra
+    // matvecs, but nothing in the update uses it: it only gates
+    // termination (which also requires the primal test to pass), feeds
+    // the adaptive-rho rebalance, and is reported on the final
+    // iteration. Computing it lazily on exactly those iterations leaves
+    // the iterate trajectory, termination decisions and reported
+    // residuals bit-identical while skipping ~1/3 of the per-iteration
+    // work whenever the primal residual is still large.
+    const bool rho_due = options.rho_update_interval != 0 &&
+                         (it + 1) % options.rho_update_interval == 0;
+    const bool need_dual =
+        r_prim <= eps_p || rho_due || it + 1 == options.max_iterations;
+    double r_dual = result.dual_residual;
+    double eps_d = 0.0;
+    if (need_dual) {
+      problem.p.multiply_vector_into(x_, px_);
+      aty_.assign(n, 0.0);
+      problem.a.transpose_multiply_add(y_, 1.0, aty_);
+      dres_.resize(n);
+      for (size_t i = 0; i < n; ++i)
+        dres_[i] = px_[i] + problem.q[i] + aty_[i];
+      r_dual = norm_inf(dres_);
+      const double dual_scale = std::max(
+          {norm_inf(px_), norm_inf(problem.q), norm_inf(aty_)});
+      eps_d = options.eps_abs + options.eps_rel * dual_scale;
+      result.dual_residual = r_dual;
+    }
+
     if (r_prim <= eps_p && r_dual <= eps_d) {
       result.converged = true;
       break;
@@ -91,8 +116,7 @@ QpResult solve_qp(const QpProblem& problem, const QpOptions& options) {
 
     // Adaptive rho: rebalance when the (relative) primal and dual
     // residuals diverge by more than one order of magnitude.
-    if (options.rho_update_interval != 0 &&
-        (it + 1) % options.rho_update_interval == 0) {
+    if (rho_due) {
       const double rel_p = r_prim / std::max(eps_p, 1e-30);
       const double rel_d = r_dual / std::max(eps_d, 1e-30);
       const double ratio = std::sqrt(rel_p / std::max(rel_d, 1e-30));
@@ -100,16 +124,24 @@ QpResult solve_qp(const QpProblem& problem, const QpOptions& options) {
         const double rho_new =
             std::clamp(rho * ratio, 1e-6, 1e6);
         if (rho_new != rho) {
+          // K(rho') = K(rho) + (rho' - rho) A^T A: update the cached
+          // KKT matrix in place and refactorise into existing storage.
+          kkt_.add_scaled(ata_, rho_new - rho);
           rho = rho_new;
-          chol = factor(rho);
+          chol_.factor(kkt_);
         }
       }
     }
   }
 
-  result.x = std::move(x);
-  result.y = std::move(y);
+  result.x = x_;
+  result.y = y_;
   return result;
+}
+
+QpResult solve_qp(const QpProblem& problem, const QpOptions& options) {
+  QpSolver solver;
+  return solver.solve(problem, options);
 }
 
 }  // namespace otem::optim

@@ -11,8 +11,16 @@
 // solves the cached KKT-regularised system
 //     (P + sigma I + rho A^T A) x = sigma x_prev - q + A^T (rho z - y)
 // via a Cholesky factorisation computed once.
+//
+// The hot path is allocation-free: QpSolver owns a workspace (iterate,
+// residual and KKT buffers) that is sized on first use and reused across
+// iterations AND across solve() calls, so an MPC controller that keeps a
+// QpSolver alive pays no heap traffic per step once warm. A^T A is
+// cached, and the adaptive-rho refactorisation updates the stored KKT
+// matrix in place (K += (rho' - rho) A^T A) instead of rebuilding it.
 #pragma once
 
+#include "optim/decomposition.h"
 #include "optim/matrix.h"
 
 namespace otem::optim {
@@ -47,7 +55,26 @@ struct QpResult {
   double dual_residual = 0.0;
 };
 
-/// Solve the QP; throws otem::SimError on malformed shapes.
+/// Reusable ADMM solver. Keep one alive per controller: the workspace
+/// (KKT matrix, factorisation, iterates) persists across solve() calls
+/// and is only reallocated when the problem dimensions change.
+class QpSolver {
+ public:
+  /// Solve the QP; throws otem::SimError on malformed shapes.
+  QpResult solve(const QpProblem& problem, const QpOptions& options = {});
+
+ private:
+  // Workspace — see solve() for roles. Sized lazily, reused forever.
+  Matrix ata_;   ///< cached A^T A
+  Matrix kkt_;   ///< P + sigma I + rho A^T A, updated in place on rho changes
+  Cholesky chol_;
+  Vector x_, z_, y_;          ///< ADMM iterates
+  Vector rhs_, t_, ax_, z_new_;
+  Vector px_, aty_, dres_;    ///< dual-residual scratch
+};
+
+/// One-shot convenience wrapper around QpSolver (fresh workspace per
+/// call); prefer a persistent QpSolver on hot paths.
 QpResult solve_qp(const QpProblem& problem, const QpOptions& options = {});
 
 }  // namespace otem::optim

@@ -5,27 +5,53 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "exec/thread_pool.h"
 #include "vehicle/drive_cycle.h"
 #include "vehicle/powertrain.h"
 
 namespace otem::sim {
 
 namespace {
+// One-pass Welford mean/variance: numerically stable against the
+// catastrophic cancellation a naive sum-of-squares suffers when the
+// spread is small relative to the mean (qloss values cluster tightly),
+// and a single sweep over the data.
 FleetStats stats_of(const std::vector<double>& values) {
-  FleetStats s;
   OTEM_ENSURE(!values.empty(), "fleet stats over empty sample");
+  FleetStats s;
   s.min = values.front();
   s.max = values.front();
+  double mean = 0.0;
+  double m2 = 0.0;
+  size_t count = 0;
   for (double v : values) {
-    s.mean += v;
+    ++count;
+    const double delta = v - mean;
+    mean += delta / static_cast<double>(count);
+    m2 += delta * (v - mean);
     s.min = std::min(s.min, v);
     s.max = std::max(s.max, v);
   }
-  s.mean /= static_cast<double>(values.size());
-  for (double v : values) s.stddev += (v - s.mean) * (v - s.mean);
-  s.stddev = std::sqrt(s.stddev / static_cast<double>(values.size()));
+  s.mean = mean;
+  // Population stddev, matching the previous two-pass definition; a
+  // single sample has zero spread by construction.
+  s.stddev = count > 1
+                 ? std::sqrt(m2 / static_cast<double>(count))
+                 : 0.0;
   return s;
 }
+
+/// Per-mission conditions, drawn serially before dispatch so the draw
+/// sequence (and therefore every result) is independent of the
+/// execution width. The draw ORDER here must stay exactly route_seed,
+/// ambient, duration, soe0 per mission — it defines the fleet for a
+/// given seed and existing results depend on it.
+struct MissionDraw {
+  std::uint64_t route_seed = 0;
+  double ambient_k = 0.0;
+  double duration_s = 0.0;
+  double soe0 = 0.0;
+};
 }  // namespace
 
 FleetResult evaluate_fleet(
@@ -38,43 +64,60 @@ FleetResult evaluate_fleet(
                "fleet ambient range is inverted");
 
   Rng rng(options.seed);
+  std::vector<MissionDraw> draws(options.missions);
+  for (MissionDraw& d : draws) {
+    d.route_seed = rng.next_u64();
+    d.ambient_k = rng.uniform(options.ambient_min_k, options.ambient_max_k);
+    d.duration_s = rng.uniform(options.min_duration_s, options.max_duration_s);
+    d.soe0 = rng.uniform(options.soe0_min, options.soe0_max);
+  }
+
   FleetResult out;
+  out.missions.resize(options.missions);
+
+  // Missions are independent given their draw: each builds its own
+  // spec, methodology and simulator, and writes only its own slot.
+  exec::parallel_for(
+      options.missions,
+      [&](size_t m) {
+        const MissionDraw& d = draws[m];
+        MissionOutcome& mission = out.missions[m];
+        mission.route_seed = d.route_seed;
+        mission.ambient_k = d.ambient_k;
+
+        core::SystemSpec spec = base_spec;
+        spec.ambient_k = d.ambient_k;
+
+        const TimeSeries speed = vehicle::generate_synthetic(
+            d.route_seed, d.duration_s, options.max_speed_mps);
+        const TimeSeries load =
+            vehicle::Powertrain(spec.vehicle).power_trace(speed);
+        mission.duration_s = load.duration();
+        mission.distance_m = vehicle::stats_of(speed).distance_m;
+
+        RunOptions ropt;
+        ropt.record_trace = false;
+        ropt.initial.t_battery_k = d.ambient_k;  // soaked
+        ropt.initial.t_coolant_k = d.ambient_k;
+        ropt.initial.soe_percent = d.soe0;
+
+        auto methodology = factory(spec);
+        mission.result = Simulator(spec).run(*methodology, load, ropt);
+      },
+      options.threads);
+
+  // Reduce serially in mission order so accumulation is bit-identical
+  // regardless of which thread finished first.
   std::vector<double> qloss, power, tb;
-
-  for (size_t m = 0; m < options.missions; ++m) {
-    MissionOutcome mission;
-    mission.route_seed = rng.next_u64();
-    mission.ambient_k =
-        rng.uniform(options.ambient_min_k, options.ambient_max_k);
-    const double duration =
-        rng.uniform(options.min_duration_s, options.max_duration_s);
-    const double soe0 = rng.uniform(options.soe0_min, options.soe0_max);
-
-    core::SystemSpec spec = base_spec;
-    spec.ambient_k = mission.ambient_k;
-
-    const TimeSeries speed = vehicle::generate_synthetic(
-        mission.route_seed, duration, options.max_speed_mps);
-    const TimeSeries load =
-        vehicle::Powertrain(spec.vehicle).power_trace(speed);
-    mission.duration_s = load.duration();
-    mission.distance_m = vehicle::stats_of(speed).distance_m;
-
-    RunOptions ropt;
-    ropt.record_trace = false;
-    ropt.initial.t_battery_k = mission.ambient_k;  // soaked
-    ropt.initial.t_coolant_k = mission.ambient_k;
-    ropt.initial.soe_percent = soe0;
-
-    auto methodology = factory(spec);
-    mission.result = Simulator(spec).run(*methodology, load, ropt);
-
+  qloss.reserve(options.missions);
+  power.reserve(options.missions);
+  tb.reserve(options.missions);
+  for (const MissionOutcome& mission : out.missions) {
     qloss.push_back(mission.result.qloss_percent);
     power.push_back(mission.result.average_power_w);
     tb.push_back(mission.result.max_t_battery_k);
     out.total_violation_s += mission.result.thermal_violation_s;
     out.total_unserved_j += mission.result.unserved_energy_j;
-    out.missions.push_back(std::move(mission));
   }
 
   out.qloss_percent = stats_of(qloss);

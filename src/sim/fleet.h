@@ -22,6 +22,12 @@ struct FleetOptions {
   size_t missions = 16;
   std::uint64_t seed = 1;
 
+  /// Execution width: 0 = exec::default_concurrency() (honours the
+  /// OTEM_THREADS environment variable), 1 = serial, N = a pool of N.
+  /// Mission conditions are pre-drawn serially from the seed before any
+  /// work is dispatched, so every width produces bit-identical results.
+  size_t threads = 0;
+
   /// Synthetic route envelope.
   double min_duration_s = 600.0;
   double max_duration_s = 1500.0;

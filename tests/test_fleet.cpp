@@ -45,6 +45,48 @@ TEST(Fleet, DeterministicPerSeed) {
   }
 }
 
+TEST(Fleet, ThreadedIsBitIdenticalToSerial) {
+  // Mission conditions are pre-drawn serially and reductions happen in
+  // mission order, so execution width must not change a single bit.
+  const core::SystemSpec spec = default_spec();
+  FleetOptions serial = small_fleet(6);
+  serial.threads = 1;
+  FleetOptions threaded = small_fleet(6);
+  threaded.threads = 4;
+  const FleetResult a = evaluate_fleet(spec, parallel_factory(), serial);
+  const FleetResult b =
+      evaluate_fleet(spec, parallel_factory(), threaded);
+  EXPECT_EQ(a.qloss_percent.mean, b.qloss_percent.mean);
+  EXPECT_EQ(a.qloss_percent.stddev, b.qloss_percent.stddev);
+  EXPECT_EQ(a.average_power_w.mean, b.average_power_w.mean);
+  EXPECT_EQ(a.average_power_w.stddev, b.average_power_w.stddev);
+  EXPECT_EQ(a.max_t_battery_k.min, b.max_t_battery_k.min);
+  EXPECT_EQ(a.max_t_battery_k.max, b.max_t_battery_k.max);
+  EXPECT_EQ(a.total_violation_s, b.total_violation_s);
+  EXPECT_EQ(a.total_unserved_j, b.total_unserved_j);
+  ASSERT_EQ(a.missions.size(), b.missions.size());
+  for (size_t i = 0; i < a.missions.size(); ++i) {
+    EXPECT_EQ(a.missions[i].route_seed, b.missions[i].route_seed);
+    EXPECT_EQ(a.missions[i].ambient_k, b.missions[i].ambient_k);
+    EXPECT_EQ(a.missions[i].distance_m, b.missions[i].distance_m);
+    EXPECT_EQ(a.missions[i].result.qloss_percent,
+              b.missions[i].result.qloss_percent);
+    EXPECT_EQ(a.missions[i].result.energy_hees_j,
+              b.missions[i].result.energy_hees_j);
+    EXPECT_EQ(a.missions[i].result.max_t_battery_k,
+              b.missions[i].result.max_t_battery_k);
+  }
+}
+
+TEST(Fleet, SingleMissionHasZeroSpread) {
+  const core::SystemSpec spec = default_spec();
+  const FleetResult r =
+      evaluate_fleet(spec, parallel_factory(), small_fleet(1));
+  EXPECT_EQ(r.qloss_percent.stddev, 0.0);
+  EXPECT_EQ(r.qloss_percent.mean, r.qloss_percent.min);
+  EXPECT_EQ(r.qloss_percent.mean, r.qloss_percent.max);
+}
+
 TEST(Fleet, DifferentSeedsSampleDifferentMissions) {
   const core::SystemSpec spec = default_spec();
   FleetOptions f1 = small_fleet();

@@ -81,6 +81,97 @@ TEST(Matrix, TransposeMultiplyAddMatchesExplicit) {
   for (size_t i = 0; i < 5; ++i) EXPECT_NEAR(y[i], expected[i], 1e-14);
 }
 
+TEST(Matrix, MultiplyIntoMatchesOperator) {
+  Rng rng(21);
+  Matrix a(4, 6), b(6, 3);
+  for (size_t r = 0; r < 4; ++r)
+    for (size_t c = 0; c < 6; ++c) a(r, c) = rng.uniform(-2.0, 2.0);
+  for (size_t r = 0; r < 6; ++r)
+    for (size_t c = 0; c < 3; ++c) b(r, c) = rng.uniform(-2.0, 2.0);
+  const Matrix expected = a * b;
+  Matrix out;
+  a.multiply_into(b, out);
+  EXPECT_EQ(out.rows(), expected.rows());
+  EXPECT_EQ(out.cols(), expected.cols());
+  EXPECT_EQ((out - expected).max_abs(), 0.0);  // bit-identical
+  // Reuse with stale contents of the right shape: must still be exact.
+  a.multiply_into(b, out);
+  EXPECT_EQ((out - expected).max_abs(), 0.0);
+}
+
+TEST(Matrix, MultiplyIntoRejectsAliasAndShapeMismatch) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(3, 2, 1.0);
+  Matrix out;
+  EXPECT_THROW(a.multiply_into(b, out), SimError);
+  EXPECT_THROW(a.multiply_into(a, a), SimError);
+}
+
+TEST(Matrix, MultiplyVectorIntoMatchesOperator) {
+  Rng rng(22);
+  Matrix a(5, 4);
+  for (size_t r = 0; r < 5; ++r)
+    for (size_t c = 0; c < 4; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+  Vector v{0.5, -1.5, 2.0, 0.25};
+  const Vector expected = a * v;
+  Vector out(17, 9.0);  // wrong size and junk contents on purpose
+  a.multiply_vector_into(v, out);
+  ASSERT_EQ(out.size(), expected.size());
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], expected[i]);
+}
+
+TEST(Matrix, GramIntoMatchesTransposeProduct) {
+  Rng rng(23);
+  Matrix a(7, 4);
+  for (size_t r = 0; r < 7; ++r)
+    for (size_t c = 0; c < 4; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+  const Matrix expected = a.transposed() * a;
+  Matrix out;
+  a.gram_into(out);
+  EXPECT_EQ((out - expected).max_abs(), 0.0);  // same accumulation order
+  EXPECT_TRUE(out.is_symmetric(0.0));
+}
+
+TEST(Matrix, AddScaledAndReshape) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{10.0, 20.0}, {30.0, 40.0}};
+  a.add_scaled(b, 0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 24.0);
+  a.reshape(3, 2);
+  EXPECT_EQ(a.rows(), 3u);
+  EXPECT_EQ(a.cols(), 2u);
+  EXPECT_EQ(a.max_abs(), 0.0);
+  const Matrix c(2, 3, 1.0);
+  EXPECT_THROW(a.add_scaled(c, 1.0), SimError);
+}
+
+TEST(Cholesky, SolveInPlaceMatchesSolve) {
+  Rng rng(47);
+  const Matrix a = random_spd(12, rng);
+  Vector b(12);
+  for (auto& v : b) v = rng.uniform(-3.0, 3.0);
+  const Cholesky chol(a);
+  const Vector expected = chol.solve(b);
+  Vector x = b;
+  chol.solve_in_place(x);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_EQ(x[i], expected[i]);
+}
+
+TEST(Cholesky, RefactorReusesStorageAndStaysCorrect) {
+  Rng rng(48);
+  Cholesky chol;
+  for (int round = 0; round < 3; ++round) {
+    const Matrix a = random_spd(8, rng);
+    chol.factor(a);
+    Vector x_true(8);
+    for (auto& v : x_true) v = rng.uniform(-2.0, 2.0);
+    const Vector b = a * x_true;
+    const Vector x = chol.solve(b);
+    for (size_t i = 0; i < 8; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+  }
+}
+
 TEST(Matrix, SymmetryCheck) {
   Matrix s{{1.0, 2.0}, {2.0, 5.0}};
   EXPECT_TRUE(s.is_symmetric());
