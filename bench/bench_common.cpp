@@ -1,14 +1,11 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 #include "common/error.h"
 #include "common/strings.h"
-#include "core/cooling_methodology.h"
-#include "core/dual_methodology.h"
-#include "core/otem/otem_methodology.h"
-#include "core/parallel_methodology.h"
 #include "vehicle/powertrain.h"
 
 namespace otem::bench {
@@ -16,19 +13,7 @@ namespace otem::bench {
 std::unique_ptr<core::Methodology> make_methodology(
     const std::string& name, const core::SystemSpec& spec,
     const Config& cfg) {
-  if (name == "parallel")
-    return std::make_unique<core::ParallelMethodology>(spec);
-  if (name == "active_cooling")
-    return std::make_unique<core::CoolingMethodology>(
-        spec, core::CoolingPolicyParams::from_config(cfg));
-  if (name == "dual")
-    return std::make_unique<core::DualMethodology>(
-        spec, core::DualPolicyParams::from_config(cfg));
-  if (name == "otem")
-    return std::make_unique<core::OtemMethodology>(
-        spec, core::MpcOptions::from_config(cfg),
-        core::OtemSolverOptions::from_config(cfg));
-  throw SimError("unknown methodology: '" + name + "'");
+  return core::make_methodology(name, spec, cfg);
 }
 
 TimeSeries cycle_power(const core::SystemSpec& spec,
@@ -37,10 +22,35 @@ TimeSeries cycle_power(const core::SystemSpec& spec,
   return pt.power_trace(vehicle::generate(cycle)).repeated(repeats);
 }
 
+namespace {
+// Copy of the bench config sharing its consumed-key set; inspected at
+// exit so every get_* the bench performed has happened by then.
+Config& tracked_config() {
+  static Config cfg;
+  return cfg;
+}
+
+void warn_unused_overrides() {
+  for (const std::string& key : tracked_config().unused_keys()) {
+    std::fprintf(stderr,
+                 "warning: config override '%s' was never consumed "
+                 "(misspelled key?)\n",
+                 key.c_str());
+  }
+}
+}  // namespace
+
 Config bench_defaults(int argc, char** argv) {
   // The paper's experiments start from x0 = 298 K; the same 25 C
   // ambient is the default here (override with ambient_k=...).
-  return Config::from_args(argc, argv);
+  Config cfg = Config::from_args(argc, argv);
+  tracked_config() = cfg;
+  static const bool armed = [] {
+    std::atexit(warn_unused_overrides);
+    return true;
+  }();
+  (void)armed;
+  return cfg;
 }
 
 void print_header(const std::string& title) {
@@ -64,14 +74,15 @@ std::vector<ComparisonCell> run_comparison(
     const std::vector<vehicle::CycleName>& cycles,
     const std::vector<std::string>& methods, size_t repeats) {
   std::vector<ComparisonCell> out;
-  const sim::Simulator sim(spec);
   for (vehicle::CycleName cycle : cycles) {
-    const TimeSeries power = cycle_power(spec, cycle, repeats);
     for (const auto& name : methods) {
-      auto m = make_methodology(name, spec, cfg);
-      sim::RunOptions opt;
-      opt.record_trace = false;
-      out.push_back({cycle, name, sim.run(*m, power, opt)});
+      sim::Scenario sc;
+      sc.methodology = name;
+      sc.cycle = vehicle::to_string(cycle);
+      sc.repeats = repeats;
+      sc.record_trace = false;
+      out.push_back(
+          {cycle, name, sim::run_scenario(sc, spec, cfg).result});
     }
   }
   return out;

@@ -14,21 +14,25 @@
 #include "common/config.h"
 #include "common/csv.h"
 #include "core/methodology.h"
+#include "core/methodology_registry.h"
 #include "core/system_spec.h"
+#include "sim/scenario.h"
 #include "sim/simulator.h"
 #include "vehicle/drive_cycle.h"
 
 namespace otem::bench {
 
-/// Names understood by make_methodology.
+/// The paper's four compared strategies (the registry also knows
+/// variants like "otem-ltv"; the figure benches sweep exactly these).
 inline const std::vector<std::string>& methodology_names() {
   static const std::vector<std::string> names = {
       "parallel", "active_cooling", "dual", "otem"};
   return names;
 }
 
-/// Instantiate a methodology by name for the given spec, honouring the
-/// "otem.*" config keys for the MPC.
+/// Instantiate a methodology by name through the registry
+/// (core::MethodologyRegistry), honouring each strategy's config
+/// namespace ("otem.*", "dual.*", "cooling.*", "forecast").
 std::unique_ptr<core::Methodology> make_methodology(
     const std::string& name, const core::SystemSpec& spec,
     const Config& cfg);
@@ -38,8 +42,8 @@ std::unique_ptr<core::Methodology> make_methodology(
 TimeSeries cycle_power(const core::SystemSpec& spec,
                        vehicle::CycleName cycle, size_t repeats);
 
-/// Default bench ambient: a 35 C day, which is where thermal management
-/// differentiates (the paper evaluates across environment temperatures).
+/// Parse the bench command line. Also arms an at-exit check that warns
+/// about overrides nothing consumed (typo'd keys fail loudly).
 Config bench_defaults(int argc, char** argv);
 
 /// Fixed-width table printing helpers.

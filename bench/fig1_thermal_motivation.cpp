@@ -12,7 +12,6 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "core/dual_methodology.h"
 
 using namespace otem;
 
@@ -41,9 +40,8 @@ int main(int argc, char** argv) {
   for (double size : sizes) {
     const core::SystemSpec spec = base.with_ultracap_size(size);
     const sim::Simulator sim(spec);
-    core::DualMethodology dual(spec,
-                               core::DualPolicyParams::from_config(cfg));
-    runs.push_back({size, sim.run(dual, power)});
+    auto dual = bench::make_methodology("dual", spec, cfg);
+    runs.push_back({size, sim.run(*dual, power)});
   }
 
   // Temperature samples as rows (time) x columns (size).

@@ -21,15 +21,17 @@ int main(int argc, char** argv) {
   const size_t repeats = static_cast<size_t>(cfg.get_long("repeats", 5));
   const double sample_every = cfg.get_double("sample_every_s", 120.0);
 
-  const TimeSeries power =
-      bench::cycle_power(spec, vehicle::CycleName::kUs06, repeats);
-  const sim::Simulator sim(spec);
-
   const auto& methods = bench::methodology_names();
   std::vector<sim::RunResult> results;
+  size_t steps = 0;
   for (const auto& name : methods) {
-    auto m = bench::make_methodology(name, spec, cfg);
-    results.push_back(sim.run(*m, power));
+    sim::Scenario sc;
+    sc.methodology = name;
+    sc.cycle = vehicle::to_string(vehicle::CycleName::kUs06);
+    sc.repeats = repeats;
+    sim::ScenarioOutcome outcome = sim::run_scenario(sc, spec, cfg);
+    steps = outcome.power.size();
+    results.push_back(std::move(outcome.result));
   }
 
   bench::print_header("Fig. 6: Battery temperature traces, US06 x" +
@@ -39,7 +41,7 @@ int main(int argc, char** argv) {
   CsvTable csv(header);
   std::vector<int> widths(header.size(), 18);
   bench::print_row(header, widths);
-  for (size_t k = 0; k < power.size();
+  for (size_t k = 0; k < steps;
        k += static_cast<size_t>(sample_every)) {
     std::vector<std::string> row = {bench::fmt(static_cast<double>(k), 0)};
     for (const auto& r : results)

@@ -16,7 +16,6 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "core/otem/otem_methodology.h"
 
 using namespace otem;
 
@@ -26,12 +25,13 @@ int main(int argc, char** argv) {
   const size_t repeats = static_cast<size_t>(cfg.get_long("repeats", 5));
   const double sample_every = cfg.get_double("sample_every_s", 60.0);
 
-  const TimeSeries power =
-      bench::cycle_power(spec, vehicle::CycleName::kUs06, repeats);
-  const sim::Simulator sim(spec);
-  core::OtemMethodology otem(spec, core::MpcOptions::from_config(cfg),
-                             core::OtemSolverOptions::from_config(cfg));
-  const sim::RunResult r = sim.run(otem, power);
+  sim::Scenario sc;
+  sc.methodology = "otem";
+  sc.cycle = vehicle::to_string(vehicle::CycleName::kUs06);
+  sc.repeats = repeats;
+  const sim::ScenarioOutcome outcome = sim::run_scenario(sc, spec, cfg);
+  const TimeSeries& power = outcome.power;
+  const sim::RunResult& r = outcome.result;
 
   bench::print_header("Fig. 7: OTEM TEB preparation, US06 x" +
                       std::to_string(repeats) + ", 25,000 F");

@@ -21,6 +21,9 @@ int main(int argc, char** argv) {
   // Missions run on the exec thread pool; results are bit-identical at
   // any width ("threads=1" forces the serial path, 0 = auto).
   fleet.threads = static_cast<size_t>(cfg.get_long("threads", 0));
+  // "telemetry=/tmp/fleet" streams each mission's per-step telemetry to
+  // <prefix>_<method>_mission_<m>.csv with O(1) memory per mission.
+  const std::string telemetry = cfg.get_string("telemetry", "");
 
   bench::print_header(
       "Extension: Monte-Carlo fleet (" + std::to_string(fleet.missions) +
@@ -35,6 +38,8 @@ int main(int argc, char** argv) {
                 "power_std_w", "violation_total_s", "unserved_total_j"});
 
   for (const auto& name : bench::methodology_names()) {
+    if (!telemetry.empty())
+      fleet.telemetry_csv_prefix = telemetry + "_" + name + "_";
     const sim::FleetResult r = sim::evaluate_fleet(
         spec,
         [&](const core::SystemSpec& s) {

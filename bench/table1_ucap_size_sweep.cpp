@@ -30,14 +30,13 @@ int main(int argc, char** argv) {
   const core::SystemSpec spec25 = base.with_ultracap_size(25000.0);
   const TimeSeries power = bench::cycle_power(
       spec25, vehicle::CycleName::kUs06, repeats);
-  sim::RunResult baseline;
-  {
-    const sim::Simulator sim(spec25);
-    auto m = bench::make_methodology("parallel", spec25, cfg);
-    sim::RunOptions opt;
-    opt.record_trace = false;
-    baseline = sim.run(*m, power, opt);
-  }
+  sim::Scenario base_sc;
+  base_sc.methodology = "parallel";
+  base_sc.cycle = vehicle::to_string(vehicle::CycleName::kUs06);
+  base_sc.repeats = repeats;
+  base_sc.record_trace = false;
+  const sim::RunResult baseline =
+      sim::run_scenario(base_sc, spec25, cfg).result;
 
   bench::print_header(
       "Table I: Influence of Ultracapacitor Size (US06 x" +

@@ -1,19 +1,16 @@
 // aggressive_highway — the paper's flagship scenario: US06 driven five
 // times (Figs. 6-7), all four methodologies side by side. Shows how to
-// run a multi-strategy comparison and pull per-step telemetry out of
-// the simulator.
+// run a multi-strategy comparison through the scenario engine: each
+// strategy is one declarative Scenario resolved via the methodology
+// registry — no controller headers, no hand-wired simulator.
 //
 //   ./build/examples/aggressive_highway [repeats=5] [ambient_k=...]
 #include <cstdio>
-#include <memory>
+#include <string>
 #include <vector>
 
-#include "core/cooling_methodology.h"
-#include "core/dual_methodology.h"
-#include "core/otem/otem_methodology.h"
-#include "core/parallel_methodology.h"
 #include "sim/metrics.h"
-#include "sim/simulator.h"
+#include "sim/scenario.h"
 #include "vehicle/drive_cycle.h"
 #include "vehicle/powertrain.h"
 
@@ -33,19 +30,17 @@ int main(int argc, char** argv) {
               repeats, power.duration(), power.mean() / 1000.0,
               power.max() / 1000.0, spec.ambient_k - 273.15);
 
-  std::vector<std::unique_ptr<core::Methodology>> methods;
-  methods.push_back(std::make_unique<core::ParallelMethodology>(spec));
-  methods.push_back(std::make_unique<core::CoolingMethodology>(spec));
-  methods.push_back(std::make_unique<core::DualMethodology>(spec));
-  methods.push_back(std::make_unique<core::OtemMethodology>(
-      spec, core::MpcOptions::from_config(cfg),
-      core::OtemSolverOptions::from_config(cfg)));
-
-  const sim::Simulator simulator(spec);
+  const std::vector<std::string> methods = {"parallel", "active_cooling",
+                                            "dual", "otem"};
   std::vector<sim::RunResult> results;
-  for (auto& m : methods) {
-    std::printf("  running %-16s ...\n", m->name().c_str());
-    results.push_back(simulator.run(*m, power));
+  for (const std::string& name : methods) {
+    std::printf("  running %-16s ...\n", name.c_str());
+    sim::Scenario sc;
+    sc.methodology = name;
+    sc.cycle = "US06";
+    sc.repeats = repeats;
+    sc.record_trace = false;
+    results.push_back(sim::run_scenario(sc, spec, cfg).result);
   }
 
   std::printf("\n%-16s %10s %12s %10s %12s %14s\n", "methodology",
@@ -55,7 +50,7 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < methods.size(); ++i) {
     const sim::RunResult& r = results[i];
     std::printf("%-16s %10.5f %11.1f%% %10.1f %12.1f %14.0f\n",
-                methods[i]->name().c_str(), r.qloss_percent,
+                methods[i].c_str(), r.qloss_percent,
                 sim::relative_capacity_loss_percent(r, base),
                 r.average_power_w / 1000.0, r.max_t_battery_k - 273.15,
                 r.thermal_violation_s);

@@ -8,8 +8,7 @@
 //   ./build/examples/commuter_route
 #include <cstdio>
 
-#include "core/otem/otem_methodology.h"
-#include "core/parallel_methodology.h"
+#include "core/methodology_registry.h"
 #include "sim/simulator.h"
 #include "vehicle/drive_cycle.h"
 #include "vehicle/powertrain.h"
@@ -69,11 +68,10 @@ int main(int argc, char** argv) {
     opt.initial.t_battery_k = spec.ambient_k;
     opt.initial.t_coolant_k = spec.ambient_k;
 
-    core::ParallelMethodology parallel(spec);
-    core::OtemMethodology otem(spec, core::MpcOptions::from_config(cfg),
-                               core::OtemSolverOptions::from_config(cfg));
-    const sim::RunResult rp = simulator.run(parallel, power, opt);
-    const sim::RunResult ro = simulator.run(otem, power, opt);
+    const auto parallel = core::make_methodology("parallel", spec, cfg);
+    const auto otem = core::make_methodology("otem", spec, cfg);
+    const sim::RunResult rp = simulator.run(*parallel, power, opt);
+    const sim::RunResult ro = simulator.run(*otem, power, opt);
 
     std::printf("%-10s %-10s %12.5f %12.1f %12.1f\n", season.name,
                 "parallel", rp.qloss_percent, rp.average_power_w / 1000.0,

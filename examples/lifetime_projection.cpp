@@ -8,9 +8,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/dual_methodology.h"
-#include "core/otem/otem_methodology.h"
-#include "core/parallel_methodology.h"
+#include "core/methodology_registry.h"
 #include "sim/lifetime.h"
 #include "vehicle/drive_cycle.h"
 #include "vehicle/powertrain.h"
@@ -37,29 +35,17 @@ int main(int argc, char** argv) {
   };
   std::vector<Row> rows;
 
-  rows.push_back({"parallel",
-                  sim::project_lifetime(
-                      spec, power,
-                      [](const core::SystemSpec& s) {
-                        return std::make_unique<core::ParallelMethodology>(s);
-                      },
-                      dist_m)});
-  rows.push_back({"dual",
-                  sim::project_lifetime(
-                      spec, power,
-                      [](const core::SystemSpec& s) {
-                        return std::make_unique<core::DualMethodology>(s);
-                      },
-                      dist_m)});
-  rows.push_back({"otem",
-                  sim::project_lifetime(
-                      spec, power,
-                      [&cfg](const core::SystemSpec& s) {
-                        return std::make_unique<core::OtemMethodology>(
-                            s, core::MpcOptions::from_config(cfg),
-                            core::OtemSolverOptions::from_config(cfg));
-                      },
-                      dist_m)});
+  // The lifetime loop re-creates the controller for every faded spec;
+  // one registry-backed factory serves every strategy.
+  for (const char* name : {"parallel", "dual", "otem"}) {
+    rows.push_back({name,
+                    sim::project_lifetime(
+                        spec, power,
+                        [&cfg, name](const core::SystemSpec& s) {
+                          return core::make_methodology(name, s, cfg);
+                        },
+                        dist_m)});
+  }
 
   std::printf("\n%-10s %15s %12s %14s\n", "strategy", "missions_to_EOL",
               "km_to_EOL", "years@40km/day");

@@ -7,8 +7,7 @@
 //   ./build/examples/mountain_pass [ambient_k=...] [key=value...]
 #include <cstdio>
 
-#include "core/otem/otem_methodology.h"
-#include "core/parallel_methodology.h"
+#include "core/methodology_registry.h"
 #include "sim/simulator.h"
 #include "vehicle/drive_cycle.h"
 #include "vehicle/route.h"
@@ -50,11 +49,10 @@ int main(int argc, char** argv) {
               power.max() / 1000.0, -power.min() / 1000.0);
 
   const sim::Simulator sim(spec);
-  core::ParallelMethodology parallel(spec);
-  core::OtemMethodology otem(spec, core::MpcOptions::from_config(cfg),
-                             core::OtemSolverOptions::from_config(cfg));
-  const sim::RunResult rp = sim.run(parallel, power);
-  const sim::RunResult ro = sim.run(otem, power);
+  const auto parallel = core::make_methodology("parallel", spec, cfg);
+  const auto otem = core::make_methodology("otem", spec, cfg);
+  const sim::RunResult rp = sim.run(*parallel, power);
+  const sim::RunResult ro = sim.run(*otem, power);
 
   std::printf("\n%-10s %12s %12s %12s %14s\n", "strategy", "qloss_%",
               "avg_kW", "max_Tb_C", "violation_s");

@@ -1,61 +1,31 @@
 // otem_cli — command-line driver around the library: run any
-// methodology on any cycle, dump full per-step telemetry as CSV,
-// compare strategies, or inspect the drive-cycle catalogue. The Swiss
-// army knife for exploring the system without writing code.
+// registered methodology on any cycle, stream full per-step telemetry
+// to CSV, compare strategies, or inspect the drive-cycle catalogue. The
+// Swiss army knife for exploring the system without writing code.
 //
 //   otem_cli cycles
+//   otem_cli methods
 //   otem_cli run US06 method=otem repeats=3 trace_csv=/tmp/run.csv
 //   otem_cli run UDDS method=dual ambient_k=308.15
 //   otem_cli compare LA92 repeats=2
 //
 // Any "key=value" pair is forwarded to the Config (battery.*, otem.*,
-// thermal.*, ...).
+// thermal.*, ...) plus the scenario keys documented in sim/scenario.h.
+// Overrides nothing consumed are reported at exit (typos fail loudly).
 #include <cstdio>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "common/csv.h"
 #include "common/error.h"
-#include "core/cooling_methodology.h"
-#include "core/dual_methodology.h"
-#include "core/forecast.h"
-#include "core/otem/ltv_controller.h"
-#include "core/otem/otem_methodology.h"
-#include "core/parallel_methodology.h"
+#include "core/methodology_registry.h"
 #include "sim/metrics.h"
 #include "sim/report.h"
-#include "sim/simulator.h"
+#include "sim/scenario.h"
 #include "vehicle/drive_cycle.h"
-#include "vehicle/powertrain.h"
 
 using namespace otem;
 
 namespace {
-
-std::unique_ptr<core::Methodology> make_method(const std::string& name,
-                                               const core::SystemSpec& spec,
-                                               const Config& cfg) {
-  if (name == "parallel")
-    return std::make_unique<core::ParallelMethodology>(spec);
-  if (name == "active_cooling")
-    return std::make_unique<core::CoolingMethodology>(
-        spec, core::CoolingPolicyParams::from_config(cfg));
-  if (name == "dual")
-    return std::make_unique<core::DualMethodology>(
-        spec, core::DualPolicyParams::from_config(cfg));
-  if (name == "otem")
-    return std::make_unique<core::OtemMethodology>(
-        spec, core::MpcOptions::from_config(cfg),
-        core::OtemSolverOptions::from_config(cfg),
-        core::make_forecast(cfg.get_string("forecast", "perfect")));
-  if (name == "otem-ltv")
-    return std::make_unique<core::OtemMethodology>(
-        spec, std::make_unique<core::LtvOtemController>(
-                  spec, core::MpcOptions::from_config(cfg)));
-  throw SimError("unknown methodology '" + name +
-                 "' (parallel, active_cooling, dual, otem, otem-ltv)");
-}
 
 void print_summary(const std::string& name, const sim::RunResult& r) {
   std::printf(
@@ -64,24 +34,6 @@ void print_summary(const std::string& name, const sim::RunResult& r) {
       name.c_str(), r.qloss_percent, r.average_power_w / 1000.0,
       r.energy_cooling_j / 3.6e6, r.max_t_battery_k - 273.15,
       r.thermal_violation_s, r.unserved_energy_j / 3.6e6);
-}
-
-void dump_trace(const sim::RunResult& r, const std::string& path) {
-  CsvTable csv({"t_s", "p_load_w", "p_cooler_w", "p_cap_w", "i_bat_a",
-                "tb_c", "tc_c", "soc_percent", "soe_percent",
-                "qloss_percent", "teb"});
-  for (size_t k = 0; k < r.trace.t_battery_k.size(); ++k) {
-    csv.add_numeric_row(
-        {static_cast<double>(k), r.trace.p_load_w[k], r.trace.p_cooler_w[k],
-         r.trace.p_cap_w[k], r.trace.i_bat_a[k],
-         r.trace.t_battery_k[k] - 273.15, r.trace.t_coolant_k[k] - 273.15,
-         r.trace.soc_percent[k], r.trace.soe_percent[k],
-         r.trace.qloss_percent[k], r.trace.teb[k]},
-        6);
-  }
-  csv.write_file(path);
-  std::printf("trace written to %s (%zu rows)\n", path.c_str(),
-              r.trace.t_battery_k.size());
 }
 
 int cmd_cycles() {
@@ -96,43 +48,40 @@ int cmd_cycles() {
   return 0;
 }
 
-TimeSeries load_for(const Config& cfg, const core::SystemSpec& spec,
-                    const std::string& cycle_name) {
-  const vehicle::Powertrain pt(spec.vehicle);
-  TimeSeries speed;
-  if (cfg.has("cycle_csv")) {
-    speed = vehicle::load_speed_csv(
-        cfg.get_string("cycle_csv", ""), cfg.get_string("time_column", "t"),
-        cfg.get_string("speed_column", "v"));
-  } else {
-    speed = vehicle::generate(vehicle::cycle_from_string(cycle_name));
-  }
-  const size_t repeats = static_cast<size_t>(cfg.get_long("repeats", 1));
-  return pt.power_trace(speed).repeated(repeats);
+int cmd_methods() {
+  for (const std::string& name :
+       core::MethodologyRegistry::instance().names())
+    std::printf("%s\n", name.c_str());
+  return 0;
 }
 
 int cmd_run(const std::string& cycle, const Config& cfg) {
   const core::SystemSpec spec = core::SystemSpec::from_config(cfg);
-  const std::string method = cfg.get_string("method", "otem");
-  const TimeSeries power = load_for(cfg, spec, cycle);
-  std::printf("%s on %s: %zu steps, mean %.1f kW, peak %.1f kW\n",
-              method.c_str(), cycle.c_str(), power.size(),
-              power.mean() / 1000.0, power.max() / 1000.0);
+  sim::Scenario sc = sim::Scenario::from_config(cfg);
+  sc.cycle = cycle;  // the positional argument wins over "cycle="
+  // The summary needs no in-RAM trace; keep one only when the JSON
+  // report embeds it. Streaming telemetry (trace_csv) is a sink.
+  const bool report_trace = cfg.get_bool("report_trace", false);
+  sc.record_trace = report_trace;
 
-  auto m = make_method(method, spec, cfg);
-  const sim::Simulator sim(spec);
-  const sim::RunResult r = sim.run(*m, power);
-  print_summary(method, r);
+  const sim::ScenarioOutcome outcome = sim::run_scenario(sc, spec, cfg);
+  std::printf("%s on %s: %zu steps, mean %.1f kW, peak %.1f kW\n",
+              sc.methodology.c_str(), cycle.c_str(), outcome.power.size(),
+              outcome.power.mean() / 1000.0,
+              outcome.power.max() / 1000.0);
+  print_summary(sc.methodology, outcome.result);
 
   const battery::CapacityFadeModel fade(spec.battery.cell);
   std::printf("battery lifetime at this mission: %.0f repetitions to 20%% "
               "loss\n",
-              fade.missions_to_end_of_life(r.qloss_percent));
-  if (cfg.has("trace_csv")) dump_trace(r, cfg.get_string("trace_csv", ""));
+              fade.missions_to_end_of_life(outcome.result.qloss_percent));
+  if (!sc.trace_csv.empty())
+    std::printf("trace written to %s (%zu rows)\n", sc.trace_csv.c_str(),
+                outcome.power.size());
   if (cfg.has("report_json")) {
     const std::string path = cfg.get_string("report_json", "");
-    sim::write_run_report(path, spec, method, r,
-                          cfg.get_bool("report_trace", false));
+    sim::write_run_report(path, spec, sc.methodology, outcome.result,
+                          report_trace);
     std::printf("report written to %s\n", path.c_str());
   }
   return 0;
@@ -140,16 +89,16 @@ int cmd_run(const std::string& cycle, const Config& cfg) {
 
 int cmd_compare(const std::string& cycle, const Config& cfg) {
   const core::SystemSpec spec = core::SystemSpec::from_config(cfg);
-  const TimeSeries power = load_for(cfg, spec, cycle);
-  const sim::Simulator sim(spec);
-  std::vector<std::string> methods = {"parallel", "active_cooling", "dual",
-                                      "otem"};
+  const std::vector<std::string> methods = {"parallel", "active_cooling",
+                                            "dual", "otem"};
   sim::RunResult base;
   for (const auto& name : methods) {
-    auto m = make_method(name, spec, cfg);
-    sim::RunOptions opt;
-    opt.record_trace = false;
-    const sim::RunResult r = sim.run(*m, power, opt);
+    sim::Scenario sc = sim::Scenario::from_config(cfg);
+    sc.cycle = cycle;
+    sc.methodology = name;
+    sc.record_trace = false;
+    sc.trace_csv.clear();  // per-method streaming would overwrite itself
+    const sim::RunResult r = sim::run_scenario(sc, spec, cfg).result;
     if (name == "parallel") base = r;
     print_summary(name, r);
     if (name != "parallel" && base.qloss_percent > 0.0) {
@@ -158,6 +107,14 @@ int cmd_compare(const std::string& cycle, const Config& cfg) {
     }
   }
   return 0;
+}
+
+void warn_unused(const Config& cfg) {
+  for (const std::string& key : cfg.unused_keys())
+    std::fprintf(stderr,
+                 "warning: config override '%s' was never consumed "
+                 "(misspelled key?)\n",
+                 key.c_str());
 }
 
 }  // namespace
@@ -173,19 +130,28 @@ int main(int argc, char** argv) {
     if (positional.empty()) {
       std::printf(
           "usage: otem_cli cycles\n"
+          "       otem_cli methods\n"
           "       otem_cli run <cycle> [method=...] [repeats=N] "
           "[trace_csv=path] [report_json=path] [key=value...]\n"
           "       otem_cli compare <cycle> [repeats=N] [key=value...]\n");
       return 1;
     }
     const std::string& cmd = positional[0];
-    if (cmd == "cycles") return cmd_cycles();
-    if (cmd == "run" && positional.size() >= 2)
-      return cmd_run(positional[1], cfg);
-    if (cmd == "compare" && positional.size() >= 2)
-      return cmd_compare(positional[1], cfg);
-    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
-    return 1;
+    int rc = 1;
+    if (cmd == "cycles") {
+      rc = cmd_cycles();
+    } else if (cmd == "methods") {
+      rc = cmd_methods();
+    } else if (cmd == "run" && positional.size() >= 2) {
+      rc = cmd_run(positional[1], cfg);
+    } else if (cmd == "compare" && positional.size() >= 2) {
+      rc = cmd_compare(positional[1], cfg);
+    } else {
+      std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+      return 1;
+    }
+    warn_unused(cfg);
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -15,7 +15,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/otem/otem_methodology.h"
+#include "core/methodology_registry.h"
 #include "sim/simulator.h"
 #include "vehicle/drive_cycle.h"
 #include "vehicle/powertrain.h"
@@ -29,6 +29,9 @@ int main(int argc, char** argv) {
   // the bank MUST be ready for them (override to taste).
   if (!cfg.has("hees.max_battery_power"))
     cfg.set("hees.max_battery_power", 55000.0);
+  // Pre-conditioning needs a window long enough to see the route behind
+  // the standstill lead; widen the default MPC horizon.
+  if (!cfg.has("otem.horizon")) cfg.set("otem.horizon", std::string("45"));
   const core::SystemSpec spec = core::SystemSpec::from_config(cfg);
   const size_t lead = static_cast<size_t>(cfg.get_long("lead_s", 90));
 
@@ -48,9 +51,6 @@ int main(int argc, char** argv) {
   start.initial.t_coolant_k = spec.ambient_k;
   start.initial.soe_percent = cfg.get_double("soe0", 26.0);
 
-  core::MpcOptions mpc = core::MpcOptions::from_config(cfg);
-  mpc.horizon = static_cast<size_t>(cfg.get_long("otem.horizon", 45));
-
   const sim::Simulator sim(spec);
   std::printf("Soak %.1f C, bank at %.0f %%, route: US06 (%.0f s). "
               "Conditioning lead: %zu s.\n",
@@ -58,15 +58,13 @@ int main(int argc, char** argv) {
               route.duration(), lead);
 
   // (a) unprepared.
-  core::OtemMethodology unprepared(spec, mpc,
-                                   core::OtemSolverOptions::from_config(cfg));
-  const sim::RunResult ra = sim.run(unprepared, route, start);
+  const auto unprepared = core::make_methodology("otem", spec, cfg);
+  const sim::RunResult ra = sim.run(*unprepared, route, start);
 
   // (b) prepared: same controller, the route visible behind the lead.
-  core::OtemMethodology prepared(spec, mpc,
-                                 core::OtemSolverOptions::from_config(cfg));
+  const auto prepared = core::make_methodology("otem", spec, cfg);
   const sim::RunResult rb =
-      sim.run(prepared, TimeSeries(1.0, with_lead), start);
+      sim.run(*prepared, TimeSeries(1.0, with_lead), start);
 
   // State at the moment of departure in the prepared run.
   const double tb_dep = rb.trace.t_battery_k[lead - 1] - 273.15;

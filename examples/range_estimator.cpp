@@ -7,9 +7,7 @@
 //   ./build/examples/range_estimator
 #include <cstdio>
 
-#include "core/cooling_methodology.h"
-#include "core/otem/otem_methodology.h"
-#include "core/parallel_methodology.h"
+#include "core/methodology_registry.h"
 #include "sim/metrics.h"
 #include "sim/simulator.h"
 #include "vehicle/drive_cycle.h"
@@ -43,13 +41,12 @@ int main(int argc, char** argv) {
 
     sim::RunOptions opt;
     opt.record_trace = false;
-    core::ParallelMethodology parallel(spec);
-    core::CoolingMethodology cooling(spec);
-    core::OtemMethodology otem(spec, core::MpcOptions::from_config(cfg),
-                               core::OtemSolverOptions::from_config(cfg));
-    const sim::RunResult rp = simulator.run(parallel, power, opt);
-    const sim::RunResult rc = simulator.run(cooling, power, opt);
-    const sim::RunResult ro = simulator.run(otem, power, opt);
+    const auto parallel = core::make_methodology("parallel", spec, cfg);
+    const auto cooling = core::make_methodology("active_cooling", spec, cfg);
+    const auto otem = core::make_methodology("otem", spec, cfg);
+    const sim::RunResult rp = simulator.run(*parallel, power, opt);
+    const sim::RunResult rc = simulator.run(*cooling, power, opt);
+    const sim::RunResult ro = simulator.run(*otem, power, opt);
     const double km_par = sim::estimated_range_km(rp, spec, dist_m);
     const double km_cool = sim::estimated_range_km(rc, spec, dist_m);
     const double km_otem = sim::estimated_range_km(ro, spec, dist_m);

@@ -8,8 +8,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/dual_methodology.h"
-#include "core/otem/otem_methodology.h"
+#include "core/methodology_registry.h"
 #include "sim/simulator.h"
 #include "vehicle/drive_cycle.h"
 #include "vehicle/powertrain.h"
@@ -39,11 +38,10 @@ int main(int argc, char** argv) {
     sim::RunOptions opt;
     opt.record_trace = false;
 
-    core::DualMethodology dual(spec);
-    core::OtemMethodology otem(spec, core::MpcOptions::from_config(cfg),
-                               core::OtemSolverOptions::from_config(cfg));
-    const sim::RunResult rd = simulator.run(dual, power, opt);
-    const sim::RunResult ro = simulator.run(otem, power, opt);
+    const auto dual = core::make_methodology("dual", spec, cfg);
+    const auto otem = core::make_methodology("otem", spec, cfg);
+    const sim::RunResult rd = simulator.run(*dual, power, opt);
+    const sim::RunResult ro = simulator.run(*otem, power, opt);
 
     std::printf("%8.0f %10.0f | %-10s %10.5f %10.1f %12.0f\n", size,
                 size * 0.6, "dual", rd.qloss_percent,

@@ -7,6 +7,10 @@
 
 namespace otem {
 
+Config::Config() : consumed_(std::make_shared<std::set<std::string>>()) {}
+
+void Config::touch(const std::string& key) const { consumed_->insert(key); }
+
 void Config::set_pair(std::string_view pair) {
   const auto eq = pair.find('=');
   OTEM_REQUIRE(eq != std::string_view::npos,
@@ -27,26 +31,31 @@ void Config::set(const std::string& key, double value) {
 }
 
 bool Config::has(const std::string& key) const {
+  touch(key);
   return values_.count(key) > 0;
 }
 
 double Config::get_double(const std::string& key, double fallback) const {
+  touch(key);
   const auto it = values_.find(key);
   return it == values_.end() ? fallback : strings::parse_double(it->second);
 }
 
 long Config::get_long(const std::string& key, long fallback) const {
+  touch(key);
   const auto it = values_.find(key);
   return it == values_.end() ? fallback : strings::parse_long(it->second);
 }
 
 std::string Config::get_string(const std::string& key,
                                const std::string& fallback) const {
+  touch(key);
   const auto it = values_.find(key);
   return it == values_.end() ? fallback : it->second;
 }
 
 bool Config::get_bool(const std::string& key, bool fallback) const {
+  touch(key);
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   const std::string v = strings::to_lower(it->second);
@@ -84,6 +93,14 @@ std::vector<std::string> Config::keys() const {
   std::vector<std::string> out;
   out.reserve(values_.size());
   for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+std::vector<std::string> Config::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : values_) {
+    if (!consumed_->count(k)) out.push_back(k);
+  }
   return out;
 }
 

@@ -61,6 +61,16 @@ std::string to_lower(std::string_view s) {
   return out;
 }
 
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
 std::string format_double(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);

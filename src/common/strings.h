@@ -26,6 +26,10 @@ long parse_long(std::string_view s);
 /// Lower-case an ASCII string.
 std::string to_lower(std::string_view s);
 
+/// Concatenate `parts` with `sep` between elements.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
 /// printf-style helper returning std::string ("%.3f" etc.).
 std::string format_double(double v, int precision);
 

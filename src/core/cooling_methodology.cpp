@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/methodology_registry.h"
+
 namespace otem::core {
 
 CoolingPolicyParams CoolingPolicyParams::from_config(const Config& cfg) {
@@ -74,5 +76,15 @@ StepRecord CoolingMethodology::step(PlantState& state, double p_e_w,
   rec.state_after = state;
   return rec;
 }
+
+namespace detail {
+void register_cooling_methodology(MethodologyRegistry& registry) {
+  registry.add("active_cooling",
+               [](const SystemSpec& spec, const Config& cfg) {
+                 return std::make_unique<CoolingMethodology>(
+                     spec, CoolingPolicyParams::from_config(cfg));
+               });
+}
+}  // namespace detail
 
 }  // namespace otem::core

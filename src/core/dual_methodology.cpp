@@ -1,5 +1,7 @@
 #include "core/dual_methodology.h"
 
+#include "core/methodology_registry.h"
+
 namespace otem::core {
 
 DualPolicyParams DualPolicyParams::from_config(const Config& cfg) {
@@ -99,5 +101,14 @@ StepRecord DualMethodology::step(PlantState& state, double p_e_w, size_t,
   rec.state_after = state;
   return rec;
 }
+
+namespace detail {
+void register_dual_methodology(MethodologyRegistry& registry) {
+  registry.add("dual", [](const SystemSpec& spec, const Config& cfg) {
+    return std::make_unique<DualMethodology>(
+        spec, DualPolicyParams::from_config(cfg));
+  });
+}
+}  // namespace detail
 
 }  // namespace otem::core

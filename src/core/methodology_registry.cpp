@@ -1,0 +1,56 @@
+#include "core/methodology_registry.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace otem::core {
+
+MethodologyRegistry& MethodologyRegistry::instance() {
+  static MethodologyRegistry registry = [] {
+    MethodologyRegistry r;
+    detail::register_parallel_methodology(r);
+    detail::register_cooling_methodology(r);
+    detail::register_dual_methodology(r);
+    detail::register_otem_methodologies(r);
+    return r;
+  }();
+  return registry;
+}
+
+void MethodologyRegistry::add(const std::string& name, Factory factory) {
+  OTEM_REQUIRE(!name.empty(), "methodology name must be non-empty");
+  OTEM_REQUIRE(factory != nullptr,
+               "methodology '" + name + "' needs a factory");
+  OTEM_REQUIRE(factories_.emplace(name, std::move(factory)).second,
+               "methodology '" + name + "' registered twice");
+}
+
+bool MethodologyRegistry::contains(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> MethodologyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+std::unique_ptr<Methodology> MethodologyRegistry::create(
+    const SystemSpec& spec, const Config& cfg,
+    const std::string& name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw SimError("unknown methodology '" + name + "' (registered: " +
+                   strings::join(names(), ", ") + ")");
+  }
+  return it->second(spec, cfg);
+}
+
+std::unique_ptr<Methodology> make_methodology(const std::string& name,
+                                              const SystemSpec& spec,
+                                              const Config& cfg) {
+  return MethodologyRegistry::instance().create(spec, cfg, name);
+}
+
+}  // namespace otem::core

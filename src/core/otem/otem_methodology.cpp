@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "core/methodology_registry.h"
+#include "core/otem/ltv_controller.h"
 
 namespace otem::core {
 
@@ -93,5 +95,25 @@ StepRecord OtemMethodology::step(PlantState& state, double p_e_w, size_t k,
   rec.state_after = state;
   return rec;
 }
+
+namespace detail {
+void register_otem_methodologies(MethodologyRegistry& registry) {
+  // "forecast" selects the prediction channel (core/forecast.h);
+  // "perfect" is the paper's evaluation setting and the default.
+  registry.add("otem", [](const SystemSpec& spec, const Config& cfg) {
+    return std::make_unique<OtemMethodology>(
+        spec, MpcOptions::from_config(cfg),
+        OtemSolverOptions::from_config(cfg),
+        make_forecast(cfg.get_string("forecast", "perfect")));
+  });
+  registry.add("otem-ltv", [](const SystemSpec& spec, const Config& cfg) {
+    return std::make_unique<OtemMethodology>(
+        spec,
+        std::make_unique<LtvOtemController>(spec,
+                                            MpcOptions::from_config(cfg)),
+        make_forecast(cfg.get_string("forecast", "perfect")));
+  });
+}
+}  // namespace detail
 
 }  // namespace otem::core

@@ -1,5 +1,7 @@
 #include "core/parallel_methodology.h"
 
+#include "core/methodology_registry.h"
+
 namespace otem::core {
 
 ParallelMethodology::ParallelMethodology(const SystemSpec& spec)
@@ -42,5 +44,13 @@ StepRecord ParallelMethodology::step(PlantState& state, double p_e_w,
   rec.state_after = state;
   return rec;
 }
+
+namespace detail {
+void register_parallel_methodology(MethodologyRegistry& registry) {
+  registry.add("parallel", [](const SystemSpec& spec, const Config&) {
+    return std::make_unique<ParallelMethodology>(spec);
+  });
+}
+}  // namespace detail
 
 }  // namespace otem::core

@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "exec/thread_pool.h"
+#include "sim/step_sink.h"
 #include "vehicle/drive_cycle.h"
 #include "vehicle/powertrain.h"
 
@@ -102,7 +103,20 @@ FleetResult evaluate_fleet(
         ropt.initial.soe_percent = d.soe0;
 
         auto methodology = factory(spec);
-        mission.result = Simulator(spec).run(*methodology, load, ropt);
+        // Sink pipeline instead of run(): metrics always, plus an
+        // optional constant-memory telemetry stream — never an in-RAM
+        // trace, so peak memory is independent of mission length.
+        MetricsAccumulator metrics;
+        std::vector<StepSink*> sinks{&metrics};
+        std::unique_ptr<CsvStreamSink> telemetry;
+        if (!options.telemetry_csv_prefix.empty()) {
+          telemetry = std::make_unique<CsvStreamSink>(
+              options.telemetry_csv_prefix + "mission_" +
+              std::to_string(m) + ".csv");
+          sinks.push_back(telemetry.get());
+        }
+        Simulator(spec).run_with_sinks(*methodology, load, ropt, sinks);
+        mission.result = metrics.take();
       },
       options.threads);
 

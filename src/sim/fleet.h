@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/system_spec.h"
@@ -41,6 +42,12 @@ struct FleetOptions {
   /// Initial bank charge range [%].
   double soe0_min = 40.0;
   double soe0_max = 100.0;
+
+  /// When non-empty, every mission streams its full per-step telemetry
+  /// to "<prefix>mission_<index>.csv" through a CsvStreamSink — peak
+  /// trace memory stays O(1) in mission length (no in-RAM RunTrace),
+  /// so fleet-scale telemetry capture is safe for multi-hour missions.
+  std::string telemetry_csv_prefix;
 };
 
 /// Summary statistics of one metric across the fleet.

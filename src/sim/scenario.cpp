@@ -1,0 +1,104 @@
+#include "sim/scenario.h"
+
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "core/methodology_registry.h"
+#include "sim/step_sink.h"
+#include "vehicle/drive_cycle.h"
+#include "vehicle/powertrain.h"
+
+namespace otem::sim {
+
+Scenario Scenario::from_config(const Config& cfg) {
+  Scenario sc;
+  sc.methodology = cfg.get_string("method", sc.methodology);
+  sc.cycle = cfg.get_string("cycle", sc.cycle);
+  sc.cycle_csv = cfg.get_string("cycle_csv", sc.cycle_csv);
+  sc.time_column = cfg.get_string("time_column", sc.time_column);
+  sc.speed_column = cfg.get_string("speed_column", sc.speed_column);
+  sc.synthetic = cfg.get_bool("synthetic", sc.synthetic);
+  sc.synthetic_seed = static_cast<std::uint64_t>(
+      cfg.get_long("synthetic_seed", static_cast<long>(sc.synthetic_seed)));
+  sc.synthetic_duration_s =
+      cfg.get_double("synthetic_duration_s", sc.synthetic_duration_s);
+  sc.synthetic_max_speed_mps =
+      cfg.get_double("synthetic_max_speed_mps", sc.synthetic_max_speed_mps);
+  const long repeats = cfg.get_long("repeats", 1);
+  OTEM_REQUIRE(repeats >= 1, "scenario repeats must be >= 1");
+  sc.repeats = static_cast<size_t>(repeats);
+  sc.soak = cfg.get_bool("soak", sc.soak);
+  sc.initial.t_battery_k =
+      cfg.get_double("t_battery0_k", sc.initial.t_battery_k);
+  sc.initial.t_coolant_k =
+      cfg.get_double("t_coolant0_k", sc.initial.t_coolant_k);
+  sc.initial.soe_percent = cfg.get_double("soe0", sc.initial.soe_percent);
+  sc.initial.soc_percent = cfg.get_double("soc0", sc.initial.soc_percent);
+  sc.record_trace = cfg.get_bool("record_trace", sc.record_trace);
+  sc.trace_csv = cfg.get_string("trace_csv", sc.trace_csv);
+  return sc;
+}
+
+namespace {
+TimeSeries scenario_speed(const Scenario& sc) {
+  if (!sc.cycle_csv.empty()) {
+    return vehicle::load_speed_csv(sc.cycle_csv, sc.time_column,
+                                   sc.speed_column);
+  }
+  if (sc.synthetic) {
+    return vehicle::generate_synthetic(sc.synthetic_seed,
+                                       sc.synthetic_duration_s,
+                                       sc.synthetic_max_speed_mps);
+  }
+  return vehicle::generate(vehicle::cycle_from_string(sc.cycle));
+}
+}  // namespace
+
+ScenarioOutcome run_scenario(const Scenario& scenario, const Config& cfg) {
+  return run_scenario(scenario, core::SystemSpec::from_config(cfg), cfg);
+}
+
+ScenarioOutcome run_scenario(const Scenario& scenario,
+                             const core::SystemSpec& base_spec,
+                             const Config& cfg) {
+  core::SystemSpec spec = base_spec;
+  if (scenario.ambient_k > 0.0) spec.ambient_k = scenario.ambient_k;
+
+  const TimeSeries speed = scenario_speed(scenario);
+  ScenarioOutcome outcome;
+  outcome.distance_m = vehicle::stats_of(speed).distance_m *
+                       static_cast<double>(scenario.repeats);
+  outcome.power = vehicle::Powertrain(spec.vehicle)
+                      .power_trace(speed)
+                      .repeated(scenario.repeats);
+
+  RunOptions options;
+  options.initial = scenario.initial;
+  if (scenario.soak) {
+    options.initial.t_battery_k = spec.ambient_k;
+    options.initial.t_coolant_k = spec.ambient_k;
+  }
+  options.record_trace = scenario.record_trace;
+
+  auto methodology =
+      core::make_methodology(scenario.methodology, spec, cfg);
+
+  MetricsAccumulator metrics;
+  TraceRecorder trace;
+  std::vector<StepSink*> sinks{&metrics};
+  if (scenario.record_trace) sinks.push_back(&trace);
+  std::unique_ptr<CsvStreamSink> csv;
+  if (!scenario.trace_csv.empty()) {
+    csv = std::make_unique<CsvStreamSink>(scenario.trace_csv);
+    sinks.push_back(csv.get());
+  }
+
+  const Simulator simulator(spec);
+  simulator.run_with_sinks(*methodology, outcome.power, options, sinks);
+  outcome.result = metrics.take();
+  if (scenario.record_trace) outcome.result.trace = trace.take();
+  return outcome;
+}
+
+}  // namespace otem::sim

@@ -1,8 +1,10 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.h"
+#include "sim/step_sink.h"
 
 namespace otem::sim {
 
@@ -12,71 +14,51 @@ Simulator::Simulator(const core::SystemSpec& spec)
 RunResult Simulator::run(core::Methodology& methodology,
                          const TimeSeries& power_request,
                          const RunOptions& options) const {
+  MetricsAccumulator metrics;
+  TraceRecorder trace;
+  std::vector<StepSink*> sinks{&metrics};
+  if (options.record_trace) sinks.push_back(&trace);
+  run_with_sinks(methodology, power_request, options, sinks);
+  RunResult result = metrics.take();
+  if (options.record_trace) result.trace = trace.take();
+  return result;
+}
+
+void Simulator::run_with_sinks(core::Methodology& methodology,
+                               const TimeSeries& power_request,
+                               const RunOptions& options,
+                               const std::vector<StepSink*>& sinks) const {
   OTEM_REQUIRE(!power_request.empty(), "empty power request trace");
+  for (StepSink* sink : sinks)
+    OTEM_REQUIRE(sink != nullptr, "null step sink attached");
   const double dt = power_request.dt();
+  const size_t steps = power_request.size();
 
   core::PlantState state = options.initial;
   methodology.reset(state, power_request);
 
-  RunResult result;
-  const size_t steps = power_request.size();
-  auto reserve = [&](TimeSeries& ts) {
-    ts = TimeSeries(dt, {});
-    ts.reserve(steps);
-  };
-  if (options.record_trace) {
-    reserve(result.trace.t_battery_k);
-    reserve(result.trace.t_coolant_k);
-    reserve(result.trace.soc_percent);
-    reserve(result.trace.soe_percent);
-    reserve(result.trace.p_load_w);
-    reserve(result.trace.p_cooler_w);
-    reserve(result.trace.p_cap_w);
-    reserve(result.trace.q_bat_w);
-    reserve(result.trace.t_inlet_k);
-    reserve(result.trace.i_bat_a);
-    reserve(result.trace.qloss_percent);
-    reserve(result.trace.teb);
-  }
+  const RunContext ctx{spec_, dt, steps, options.initial};
+  for (StepSink* sink : sinks) sink->begin(ctx);
 
-  const double t_max = spec_.thermal.max_battery_temp_k;
+  // TEB costs a model evaluation per step; skip it unless some sink
+  // actually consumes it (the trace/CSV sinks do, metrics does not).
+  const bool want_teb =
+      std::any_of(sinks.begin(), sinks.end(),
+                  [](const StepSink* s) { return s->wants_teb(); });
 
+  double qloss_cum = 0.0;
   for (size_t k = 0; k < steps; ++k) {
     const core::StepRecord rec =
         methodology.step(state, power_request[k], k, dt);
-
-    result.qloss_percent += rec.qloss_percent;
-    result.energy_battery_j += rec.e_bat_j;
-    result.energy_cap_j += rec.e_cap_j;
-    result.energy_cooling_j += rec.e_cooling_j;
-    result.energy_loss_j += rec.e_loss_j;
-    if (!rec.feasible) ++result.infeasible_steps;
-    result.unserved_energy_j += rec.unmet_w * dt;
-    result.max_t_battery_k =
-        std::max(result.max_t_battery_k, state.t_battery_k);
-    if (state.t_battery_k > t_max) result.thermal_violation_s += dt;
-
-    if (options.record_trace) {
-      result.trace.t_battery_k.push_back(state.t_battery_k);
-      result.trace.t_coolant_k.push_back(state.t_coolant_k);
-      result.trace.soc_percent.push_back(state.soc_percent);
-      result.trace.soe_percent.push_back(state.soe_percent);
-      result.trace.p_load_w.push_back(rec.p_load_w);
-      result.trace.p_cooler_w.push_back(rec.p_cooler_w);
-      result.trace.p_cap_w.push_back(rec.e_cap_j / dt);
-      result.trace.q_bat_w.push_back(rec.q_bat_w);
-      result.trace.t_inlet_k.push_back(rec.t_inlet_k);
-      result.trace.i_bat_a.push_back(rec.i_bat_a);
-      result.trace.qloss_percent.push_back(result.qloss_percent);
-      result.trace.teb.push_back(teb_.evaluate(state).combined());
-    }
+    qloss_cum += rec.qloss_percent;
+    const double teb = want_teb
+                           ? teb_.evaluate(state).combined()
+                           : std::numeric_limits<double>::quiet_NaN();
+    const StepSample sample{k, rec, state, qloss_cum, teb};
+    for (StepSink* sink : sinks) sink->record(sample);
   }
 
-  result.duration_s = static_cast<double>(steps) * dt;
-  result.energy_hees_j = result.energy_battery_j + result.energy_cap_j;
-  result.average_power_w = result.energy_hees_j / result.duration_s;
-  result.final_state = state;
-  return result;
+  for (StepSink* sink : sinks) sink->end(state);
 }
 
 }  // namespace otem::sim

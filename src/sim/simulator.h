@@ -1,10 +1,15 @@
 // simulator.h — closed-loop plant simulator (paper Algorithm 1 outer
 // loop, generalised over methodologies).
 //
-// Drives any Methodology through a power-request trace, accumulating
-// the two outputs of Algorithm 1 — capacity loss Q_loss and HEES energy
-// `Energy` — plus the thermal/reliability telemetry the figures need.
+// Drives any Methodology through a power-request trace. The step loop
+// itself is thin: per step it advances the plant and pushes a
+// StepSample through a chain of StepSinks (sim/step_sink.h) that own
+// all accounting — RunResult arithmetic, the in-RAM trace, streaming
+// CSV telemetry. run() is the classic convenience wrapper (metrics +
+// optional trace); run_with_sinks() is the composable entry point.
 #pragma once
+
+#include <vector>
 
 #include "common/timeseries.h"
 #include "core/methodology.h"
@@ -12,6 +17,8 @@
 #include "core/teb.h"
 
 namespace otem::sim {
+
+class StepSink;
 
 /// Full per-step telemetry, recorded when RunOptions::record_trace.
 struct RunTrace {
@@ -66,10 +73,22 @@ class Simulator {
  public:
   explicit Simulator(const core::SystemSpec& spec);
 
-  /// Run `methodology` over the power-request trace.
+  /// Run `methodology` over the power-request trace. Compatibility
+  /// wrapper over run_with_sinks(): a MetricsAccumulator plus, when
+  /// options.record_trace, a TraceRecorder.
   RunResult run(core::Methodology& methodology,
                 const TimeSeries& power_request,
                 const RunOptions& options = {}) const;
+
+  /// Drive the step loop, pushing every step through `sinks` (all
+  /// non-null, caller-owned). options.record_trace is ignored here —
+  /// attach a TraceRecorder instead.
+  void run_with_sinks(core::Methodology& methodology,
+                      const TimeSeries& power_request,
+                      const RunOptions& options,
+                      const std::vector<StepSink*>& sinks) const;
+
+  const core::SystemSpec& spec() const { return spec_; }
 
  private:
   core::SystemSpec spec_;

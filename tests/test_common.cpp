@@ -340,6 +340,48 @@ TEST(Logging, LevelFilterRoundtrip) {
   log::set_level(before);
 }
 
+// --- config consumption tracking -------------------------------------------
+
+TEST(Config, UnusedKeysReportsUntouchedOverrides) {
+  Config cfg;
+  cfg.set_pair("battery.cells=96");
+  cfg.set_pair("otem.horzion=40");  // deliberate typo: never read
+  cfg.set_pair("ambient_k=303.15");
+  EXPECT_EQ(cfg.get_long("battery.cells", 0), 96);
+  EXPECT_DOUBLE_EQ(cfg.get_double("ambient_k", 0.0), 303.15);
+  const std::vector<std::string> unused = cfg.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "otem.horzion");
+}
+
+TEST(Config, HasMarksKeyConsumed) {
+  Config cfg;
+  cfg.set_pair("trace_csv=/tmp/x.csv");
+  EXPECT_TRUE(cfg.has("trace_csv"));
+  EXPECT_TRUE(cfg.unused_keys().empty());
+}
+
+TEST(Config, CopiesShareConsumptionState) {
+  // Subsystems receive the Config by value; reads through any copy must
+  // count, or every forwarded key would be reported as a typo.
+  Config cfg;
+  cfg.set_pair("otem.horizon=12");
+  const Config copy = cfg;
+  EXPECT_EQ(copy.get_long("otem.horizon", 0), 12);
+  EXPECT_TRUE(cfg.unused_keys().empty());
+}
+
+TEST(Config, FallbackReadStillCountsAsConsumption) {
+  Config cfg;
+  cfg.set_pair("repeats=3");
+  // Reading a key that is absent is fine and marks nothing extra.
+  EXPECT_EQ(cfg.get_long("missing", 7), 7);
+  ASSERT_EQ(cfg.unused_keys().size(), 1u);
+  EXPECT_EQ(cfg.unused_keys()[0], "repeats");
+  EXPECT_EQ(cfg.get_long("repeats", 0), 3);
+  EXPECT_TRUE(cfg.unused_keys().empty());
+}
+
 // --- error macros ----------------------------------------------------------
 
 TEST(Error, RequireThrowsWithContext) {

@@ -1,7 +1,10 @@
 // Tests for the Monte-Carlo fleet evaluation harness.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
 
 #include "common/error.h"
 #include "core/otem/otem_methodology.h"
@@ -148,6 +151,43 @@ TEST(Fleet, OtemBeatsParallelInDistribution) {
       f);
   EXPECT_LT(otem.qloss_percent.mean, parallel.qloss_percent.mean);
   EXPECT_LE(otem.total_violation_s, parallel.total_violation_s);
+}
+
+TEST(Fleet, TelemetryPrefixStreamsOneCsvPerMission) {
+  // A 16-mission fleet with streaming telemetry: every mission writes
+  // <prefix>mission_<m>.csv with one row per step, while the in-process
+  // results stay bit-identical to a run without telemetry (the sink
+  // only observes; it never feeds back).
+  const core::SystemSpec spec = default_spec();
+  FleetOptions plain = small_fleet(16);
+  plain.min_duration_s = 60.0;
+  plain.max_duration_s = 120.0;
+  FleetOptions streaming = plain;
+  const std::string prefix = testing::TempDir() + "otem_fleet_";
+  streaming.telemetry_csv_prefix = prefix;
+
+  const FleetResult a = evaluate_fleet(spec, parallel_factory(), plain);
+  const FleetResult b =
+      evaluate_fleet(spec, parallel_factory(), streaming);
+
+  ASSERT_EQ(b.missions.size(), 16u);
+  EXPECT_EQ(a.qloss_percent.mean, b.qloss_percent.mean);
+  EXPECT_EQ(a.average_power_w.mean, b.average_power_w.mean);
+  for (size_t m = 0; m < b.missions.size(); ++m) {
+    const std::string path = prefix + "mission_" + std::to_string(m) +
+                             ".csv";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "missing telemetry file " << path;
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line.rfind("t_s,p_load_w,", 0), 0u) << path;
+    size_t rows = 0;
+    while (std::getline(in, line)) ++rows;
+    // One row per simulated step; duration() is (steps - 1) * dt.
+    EXPECT_EQ(static_cast<double>(rows), b.missions[m].duration_s + 1.0)
+        << path;
+    std::remove(path.c_str());
+  }
 }
 
 TEST(Fleet, InvalidOptionsThrow) {
