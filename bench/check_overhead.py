@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Fail when the instrumentation overhead exceeds its budget.
+
+Reads a google-benchmark JSON file (as written by perf_fleet with
+--benchmark_out) and compares BM_FleetEvaluate/N (bare fleet) against
+BM_FleetEvaluateMetrics/N (same fleet with a shared MetricsRegistry,
+DiagnosticsSink per mission and step-loop timing on). The contract —
+enforced in CI — is that full instrumentation costs < 5 % wall-clock.
+
+Usage: check_overhead.py BENCH_fleet.json [--max-percent 5.0]
+
+When the file was produced with --benchmark_repetitions, the MINIMUM
+real_time per benchmark is used: the min is the least noisy statistic
+for "how fast can this go", which is what an overhead ratio needs.
+Exit code 1 when any thread count blows the budget.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+NAME_RE = re.compile(r"^(BM_FleetEvaluate(?:Metrics)?)/(\d+)")
+NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def best_times(benchmarks):
+    """name -> {threads -> min real_time in ns} over iteration runs."""
+    best = {}
+    for b in benchmarks:
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # skip mean/median/stddev aggregate rows
+        m = NAME_RE.match(b["name"])
+        if not m:
+            continue
+        name, threads = m.group(1), int(m.group(2))
+        t = float(b["real_time"]) * NS_PER_UNIT[b.get("time_unit", "ns")]
+        slot = best.setdefault(name, {})
+        slot[threads] = min(slot.get(threads, t), t)
+    return best
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench_json")
+    ap.add_argument("--max-percent", type=float, default=5.0)
+    args = ap.parse_args()
+
+    with open(args.bench_json) as f:
+        data = json.load(f)
+    best = best_times(data["benchmarks"])
+
+    base = best.get("BM_FleetEvaluate", {})
+    instrumented = best.get("BM_FleetEvaluateMetrics", {})
+    common = sorted(set(base) & set(instrumented))
+    if not common:
+        print("error: no BM_FleetEvaluate / BM_FleetEvaluateMetrics pairs "
+              f"in {args.bench_json}", file=sys.stderr)
+        return 1
+
+    failed = False
+    print(f"{'threads':>7}  {'bare_ms':>10}  {'metrics_ms':>10}  "
+          f"{'overhead':>8}")
+    for threads in common:
+        t0, t1 = base[threads], instrumented[threads]
+        overhead = 100.0 * (t1 - t0) / t0
+        flag = ""
+        if overhead > args.max_percent:
+            failed = True
+            flag = f"  <-- exceeds {args.max_percent:g}% budget"
+        print(f"{threads:>7}  {t0 / 1e6:>10.2f}  {t1 / 1e6:>10.2f}  "
+              f"{overhead:>+7.2f}%{flag}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

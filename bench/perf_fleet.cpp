@@ -1,10 +1,13 @@
 // perf_fleet — google-benchmark timings for the execution subsystem:
 // fleet evaluation wall-clock at increasing thread counts (serial
-// baseline at threads=1) and the ADMM QP hot path (cold one-shot vs a
-// warm persistent QpSolver workspace), reported as ns per ADMM
-// iteration. bench/run_benchmarks.sh wraps this binary and emits
-// BENCH_fleet.json so successive PRs have a perf trajectory to regress
-// against.
+// baseline at threads=1), the same fleet with full instrumentation
+// attached (BM_FleetEvaluateMetrics — the <5 % overhead budget CI
+// enforces via bench/check_overhead.py), the ADMM QP hot path (cold
+// one-shot vs a warm persistent QpSolver workspace, ns per ADMM
+// iteration), and the obs primitives themselves (counter add,
+// histogram record, scoped timer). bench/run_benchmarks.sh wraps this
+// binary and emits BENCH_fleet.json so successive PRs have a perf
+// trajectory to regress against.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
@@ -12,6 +15,8 @@
 
 #include "core/parallel_methodology.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "optim/qp.h"
 #include "sim/fleet.h"
 
@@ -60,6 +65,84 @@ BENCHMARK(BM_FleetEvaluate)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+/// The same fleet with the instrumentation layer fully attached: a
+/// shared fleet-aggregate MetricsRegistry written concurrently by all
+/// missions (DiagnosticsSink per mission), step-loop timing on. CI
+/// compares this against BM_FleetEvaluate at the same thread count and
+/// fails when the overhead exceeds 5 %.
+void BM_FleetEvaluateMetrics(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const core::SystemSpec base = spec();
+  obs::MetricsRegistry registry;
+  sim::FleetOptions options = fleet_options(threads);
+  options.metrics = &registry;
+  for (auto _ : state) {
+    const sim::FleetResult r =
+        sim::evaluate_fleet(base, parallel_factory(), options);
+    benchmark::DoNotOptimize(r.qloss_percent.mean);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["steps_instrumented"] = static_cast<double>(
+      registry.snapshot().counters.at("fleet.sim.steps"));
+}
+BENCHMARK(BM_FleetEvaluateMetrics)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- obs primitives ----------------------------------------------------
+// The per-event costs underlying the fleet overhead: a sharded counter
+// add, a histogram record (binary search + 5 atomics), and the scoped
+// timer's two clock reads. The *Disabled variants measure the kill
+// switch (one relaxed load, no clock).
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("bench.counter");
+  for (auto _ : state) c.add();
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h =
+      registry.histogram("bench.hist", obs::latency_buckets_us());
+  double v = 1.0;
+  for (auto _ : state) {
+    h.record(v);
+    v = v < 1e6 ? v * 1.7 : 1.0;
+  }
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+void BM_ObsScopedTimer(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h =
+      registry.histogram("bench.timer", obs::latency_buckets_us());
+  for (auto _ : state) {
+    const obs::ScopedTimer t(h);
+    benchmark::DoNotOptimize(&t);
+  }
+}
+BENCHMARK(BM_ObsScopedTimer);
+
+void BM_ObsScopedTimerDisabled(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h =
+      registry.histogram("bench.timer_off", obs::latency_buckets_us());
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    const obs::ScopedTimer t(h);
+    benchmark::DoNotOptimize(&t);
+  }
+  obs::set_enabled(true);
+}
+BENCHMARK(BM_ObsScopedTimerDisabled);
 
 /// A QP shaped like the LTV-MPC subproblem at the given horizon:
 /// nu = 2h decision variables, nu box rows plus 4h banded state rows.

@@ -65,9 +65,13 @@ void BM_OtemSolve(benchmark::State& state) {
   PlantState x0;
   x0.t_battery_k = 305.0;
   const std::vector<double> p = load(horizon);
+  double total_iters = 0.0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(ctrl.solve(x0, p));
+    total_iters += static_cast<double>(ctrl.last_solve().iterations);
   }
+  state.counters["iters_per_solve"] = benchmark::Counter(
+      total_iters, benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_OtemSolve)->Arg(10)->Arg(30)->Arg(60)->Unit(
     benchmark::kMillisecond);
@@ -84,9 +88,18 @@ void BM_QpSolve(benchmark::State& state) {
   p.a = optim::Matrix::identity(n);
   p.l.assign(n, 0.0);
   p.u.assign(n, 0.7);
+  double total_iters = 0.0;
+  double total_rho = 0.0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(optim::solve_qp(p));
+    const optim::QpResult r = optim::solve_qp(p);
+    total_iters += static_cast<double>(r.iterations);
+    total_rho += static_cast<double>(r.rho_updates);
+    benchmark::DoNotOptimize(r.primal_residual);
   }
+  state.counters["admm_iters"] = benchmark::Counter(
+      total_iters, benchmark::Counter::kAvgIterations);
+  state.counters["rho_updates"] = benchmark::Counter(
+      total_rho, benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_QpSolve)->Arg(10)->Arg(40)->Arg(120);
 

@@ -5,12 +5,17 @@
 # Usage: bench/run_benchmarks.sh [build-dir] [output.json]
 #
 # The JSON is google-benchmark's standard format and contains:
-#   - BM_FleetEvaluate/N       fleet wall-clock at N threads (N=1 serial)
-#   - BM_QpSolveCold/h         one-shot QP solves, items/s = ADMM iter/s
-#   - BM_QpSolveWarm/h         persistent-workspace QP solves
+#   - BM_FleetEvaluate/N        fleet wall-clock at N threads (N=1 serial)
+#   - BM_FleetEvaluateMetrics/N the same fleet with a metrics registry
+#                               attached (instrumentation overhead)
+#   - BM_ObsCounterAdd etc.     obs primitive micro-costs
+#   - BM_QpSolveCold/h          one-shot QP solves, items/s = ADMM iter/s
+#   - BM_QpSolveWarm/h          persistent-workspace QP solves
 # Derive the headline numbers as
 #   fleet speedup  = real_time(threads=1) / real_time(threads=8)
 #   QP ns per iter = 1e9 / items_per_second
+# Instrumentation overhead (CI gates the serial pair at < 5%):
+#   python3 bench/check_overhead.py BENCH_fleet.json
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"

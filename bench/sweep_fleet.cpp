@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
 #include "sim/fleet.h"
 
 using namespace otem;
@@ -24,6 +25,12 @@ int main(int argc, char** argv) {
   // "telemetry=/tmp/fleet" streams each mission's per-step telemetry to
   // <prefix>_<method>_mission_<m>.csv with O(1) memory per mission.
   const std::string telemetry = cfg.get_string("telemetry", "");
+  // "metrics_out=fleet.json" aggregates solver/step diagnostics across
+  // every mission of every methodology into one snapshot, split by a
+  // "<method>." name prefix. Missions write the shared registry
+  // concurrently — the sharded instruments are the point.
+  const std::string metrics_out = cfg.get_string("metrics_out", "");
+  obs::MetricsRegistry registry;
 
   bench::print_header(
       "Extension: Monte-Carlo fleet (" + std::to_string(fleet.missions) +
@@ -40,6 +47,10 @@ int main(int argc, char** argv) {
   for (const auto& name : bench::methodology_names()) {
     if (!telemetry.empty())
       fleet.telemetry_csv_prefix = telemetry + "_" + name + "_";
+    if (!metrics_out.empty()) {
+      fleet.metrics = &registry;
+      fleet.metrics_prefix = name + ".";
+    }
     const sim::FleetResult r = sim::evaluate_fleet(
         spec,
         [&](const core::SystemSpec& s) {
@@ -65,6 +76,10 @@ int main(int argc, char** argv) {
   std::cout << "\nSame seed -> same fleet: the comparison is paired, so "
                "mean differences are directly attributable to the "
                "methodology.\n";
+  if (!metrics_out.empty()) {
+    obs::write_metrics_json(metrics_out, registry);
+    std::cout << "metrics snapshot written to " << metrics_out << "\n";
+  }
   bench::maybe_write_csv(cfg, "sweep_fleet", csv);
   return 0;
 }

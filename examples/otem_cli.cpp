@@ -16,9 +16,13 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "common/error.h"
 #include "core/methodology_registry.h"
+#include "obs/metrics.h"
 #include "sim/metrics.h"
+#include "sim/obs_sink.h"
 #include "sim/report.h"
 #include "sim/scenario.h"
 #include "vehicle/drive_cycle.h"
@@ -78,6 +82,10 @@ int cmd_run(const std::string& cycle, const Config& cfg) {
   if (!sc.trace_csv.empty())
     std::printf("trace written to %s (%zu rows)\n", sc.trace_csv.c_str(),
                 outcome.power.size());
+  if (!sc.metrics_out.empty())
+    std::printf("metrics snapshot written to %s\n", sc.metrics_out.c_str());
+  if (!sc.events_jsonl.empty())
+    std::printf("events streamed to %s\n", sc.events_jsonl.c_str());
   if (cfg.has("report_json")) {
     const std::string path = cfg.get_string("report_json", "");
     sim::write_run_report(path, spec, sc.methodology, outcome.result,
@@ -91,6 +99,11 @@ int cmd_compare(const std::string& cycle, const Config& cfg) {
   const core::SystemSpec spec = core::SystemSpec::from_config(cfg);
   const std::vector<std::string> methods = {"parallel", "active_cooling",
                                             "dual", "otem"};
+  // One registry for the whole comparison: each method's diagnostics
+  // land under its own name prefix, so `metrics_out=` yields a single
+  // snapshot with all four strategies side by side.
+  const std::string metrics_out = cfg.get_string("metrics_out", "");
+  obs::MetricsRegistry registry;
   sim::RunResult base;
   for (const auto& name : methods) {
     sim::Scenario sc = sim::Scenario::from_config(cfg);
@@ -98,13 +111,25 @@ int cmd_compare(const std::string& cycle, const Config& cfg) {
     sc.methodology = name;
     sc.record_trace = false;
     sc.trace_csv.clear();  // per-method streaming would overwrite itself
-    const sim::RunResult r = sim::run_scenario(sc, spec, cfg).result;
+    sc.metrics_out.clear();  // aggregated below instead
+    sc.events_jsonl.clear();
+    std::vector<sim::StepSink*> extra;
+    std::unique_ptr<sim::DiagnosticsSink> diag;
+    if (!metrics_out.empty()) {
+      diag = std::make_unique<sim::DiagnosticsSink>(registry, name + ".");
+      extra.push_back(diag.get());
+    }
+    const sim::RunResult r = sim::run_scenario(sc, spec, cfg, extra).result;
     if (name == "parallel") base = r;
     print_summary(name, r);
     if (name != "parallel" && base.qloss_percent > 0.0) {
       std::printf("%-16s   -> %.1f %% of parallel's capacity loss\n", "",
                   sim::relative_capacity_loss_percent(r, base));
     }
+  }
+  if (!metrics_out.empty()) {
+    obs::write_metrics_json(metrics_out, registry);
+    std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
   }
   return 0;
 }
@@ -132,8 +157,10 @@ int main(int argc, char** argv) {
           "usage: otem_cli cycles\n"
           "       otem_cli methods\n"
           "       otem_cli run <cycle> [method=...] [repeats=N] "
-          "[trace_csv=path] [report_json=path] [key=value...]\n"
-          "       otem_cli compare <cycle> [repeats=N] [key=value...]\n");
+          "[trace_csv=path] [report_json=path] [metrics_out=path] "
+          "[events_jsonl=path] [key=value...]\n"
+          "       otem_cli compare <cycle> [repeats=N] [metrics_out=path] "
+          "[key=value...]\n");
       return 1;
     }
     const std::string& cmd = positional[0];

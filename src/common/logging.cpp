@@ -1,11 +1,22 @@
 #include "common/logging.h"
 
-#include <iostream>
+#include <atomic>
+#include <cstdio>
+#include <ctime>
+
+#if defined(_WIN32)
+#include <io.h>
+#define OTEM_LOG_WRITE ::_write
+#else
+#include <unistd.h>
+#define OTEM_LOG_WRITE ::write
+#endif
 
 namespace otem::log {
 
 namespace {
-Level g_level = Level::kWarn;
+std::atomic<Level> g_level{Level::kWarn};
+std::atomic<int> g_fd{2};
 
 const char* tag(Level level) {
   switch (level) {
@@ -22,15 +33,55 @@ const char* tag(Level level) {
   }
   return "?";
 }
+
+/// Small per-thread id, assigned on first log call from that thread —
+/// stable within a run, and far more readable than an OS thread id.
+unsigned thread_tag() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id = next.fetch_add(1) + 1;
+  return id;
+}
 }  // namespace
 
-Level level() { return g_level; }
+Level level() { return g_level.load(std::memory_order_relaxed); }
+void set_level(Level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
 
-void set_level(Level lvl) { g_level = lvl; }
+int fd() { return g_fd.load(std::memory_order_relaxed); }
+void set_fd(int new_fd) { g_fd.store(new_fd, std::memory_order_relaxed); }
+
+namespace detail {
+std::string format_line(Level lvl, const std::string& message) {
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm utc{};
+#if defined(_WIN32)
+  gmtime_s(&utc, &ts.tv_sec);
+#else
+  gmtime_r(&ts.tv_sec, &utc);
+#endif
+  char head[64];
+  std::snprintf(head, sizeof head,
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ [otem %s t%02u] ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday,
+                utc.tm_hour, utc.tm_min, utc.tm_sec,
+                static_cast<int>(ts.tv_nsec / 1000000), tag(lvl),
+                thread_tag());
+  std::string line;
+  line.reserve(sizeof head + message.size() + 1);
+  line += head;
+  line += message;
+  line += '\n';
+  return line;
+}
+}  // namespace detail
 
 void write(Level lvl, const std::string& message) {
-  if (lvl < g_level) return;
-  std::cerr << "[otem " << tag(lvl) << "] " << message << '\n';
+  if (lvl < level()) return;
+  const std::string line = detail::format_line(lvl, message);
+  // One syscall per line: the kernel serialises concurrent write()s to
+  // the same fd, so lines from different threads never shear.
+  (void)!OTEM_LOG_WRITE(fd(), line.data(),
+                        static_cast<unsigned>(line.size()));
 }
 
 }  // namespace otem::log

@@ -13,6 +13,7 @@
 
 #include "common/timeseries.h"
 #include "core/plant_state.h"
+#include "core/solve_diagnostics.h"
 
 namespace otem::core {
 
@@ -38,6 +39,10 @@ struct StepRecord {
 
   PlantState state_after;      ///< plant state at the end of the step
   bool feasible = true;        ///< false when a physical clamp fired
+
+  /// Solver behaviour this step; `solve.present == false` for the
+  /// reactive baselines (no solver runs).
+  SolveDiagnostics solve;
 };
 
 class Methodology {

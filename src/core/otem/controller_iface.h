@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/otem/mpc_problem.h"
+#include "core/solve_diagnostics.h"
 
 namespace otem::core {
 
@@ -27,6 +28,10 @@ class ControllerIface {
 
   /// Control window length [steps].
   virtual size_t horizon() const = 0;
+
+  /// Diagnostics of the most recent solve() (solve_time_us is stamped
+  /// by the caller, which owns the wall clock around solve()).
+  virtual SolveDiagnostics diagnostics() const { return {}; }
 };
 
 }  // namespace otem::core

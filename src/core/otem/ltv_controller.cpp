@@ -32,6 +32,8 @@ MpcProblem::Controls LtvOtemController::solve(
 
   // Incumbent plan: shifted previous solution or "all off".
   optim::Vector z(nu);
+  info_ = SolveInfo{};
+  info_.fallback = !(have_warm_ && warm_z_.size() == nu);
   if (have_warm_ && warm_z_.size() == nu) {
     for (size_t i = 0; i + 2 < nu; ++i) z[i] = warm_z_[i + 2];
     z[nu - 2] = warm_z_[nu - 2];
@@ -190,8 +192,12 @@ MpcProblem::Controls LtvOtemController::solve(
     }
 
     const optim::QpResult sol = qp_solver_.solve(qp, options_.qp);
-    info_.qp_iterations = sol.iterations;
+    info_.qp_iterations += sol.iterations;
+    info_.qp_rho_updates += sol.rho_updates;
     info_.qp_converged = sol.converged;
+    info_.primal_residual = sol.primal_residual;
+    info_.dual_residual = sol.dual_residual;
+    ++info_.sqp_rounds;
 
     // Apply the correction (de-normalise).
     for (size_t k = 0; k < n; ++k) {
@@ -209,6 +215,20 @@ MpcProblem::Controls LtvOtemController::solve(
   warm_z_ = z;
   have_warm_ = true;
   return problem_.decode(z, 0);
+}
+
+SolveDiagnostics LtvOtemController::diagnostics() const {
+  SolveDiagnostics d;
+  d.present = true;
+  d.converged = info_.qp_converged;
+  d.fallback = info_.fallback;
+  d.sqp_rounds = info_.sqp_rounds;
+  d.qp_iterations = info_.qp_iterations;
+  d.qp_rho_updates = info_.qp_rho_updates;
+  d.cost = info_.cost;
+  d.primal_residual = info_.primal_residual;
+  d.dual_residual = info_.dual_residual;
+  return d;
 }
 
 }  // namespace otem::core

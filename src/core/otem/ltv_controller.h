@@ -58,10 +58,17 @@ class LtvOtemController final : public ControllerIface {
   /// Diagnostics of the most recent solve.
   struct SolveInfo {
     double cost = 0.0;
-    size_t qp_iterations = 0;
-    bool qp_converged = false;
+    size_t qp_iterations = 0;   ///< ADMM iterations, summed over rounds
+    bool qp_converged = false;  ///< last round's QP converged
+    size_t sqp_rounds = 0;
+    size_t qp_rho_updates = 0;  ///< ADMM refactorisations, summed
+    double primal_residual = 0.0;  ///< last round's QP
+    double dual_residual = 0.0;
+    bool fallback = false;      ///< cold start (no usable warm start)
   };
   const SolveInfo& last_solve() const { return info_; }
+
+  SolveDiagnostics diagnostics() const override;
 
  private:
   MpcProblem problem_;

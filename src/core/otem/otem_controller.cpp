@@ -42,6 +42,7 @@ MpcProblem::Controls OtemController::solve(
 
   const size_t dim = problem_.dim();
   optim::Vector x0(dim);
+  info_.fallback = !(have_warm_ && warm_.size() == dim);
   if (have_warm_ && warm_.size() == dim) {
     // Shift the previous plan by one step; repeat the tail.
     for (size_t i = 0; i + 2 < dim; ++i) x0[i] = warm_[i + 2];
@@ -71,6 +72,17 @@ MpcProblem::Controls OtemController::solve(
   info_.breakdown = problem_.last_cost();
 
   return problem_.decode(r.x, 0);
+}
+
+SolveDiagnostics OtemController::diagnostics() const {
+  SolveDiagnostics d;
+  d.present = true;
+  d.converged = info_.converged;
+  d.fallback = info_.fallback;
+  d.iterations = info_.iterations;
+  d.cost = info_.cost;
+  d.constraint_violation = info_.constraint_violation;
+  return d;
 }
 
 }  // namespace otem::core

@@ -53,6 +53,7 @@ class OtemController final : public ControllerIface {
     double constraint_violation = 0.0;
     size_t iterations = 0;
     bool converged = false;
+    bool fallback = false;  ///< cold start (no usable warm start)
     MpcProblem::CostBreakdown breakdown;
   };
 
@@ -67,6 +68,8 @@ class OtemController final : public ControllerIface {
       const std::vector<double>& p_e_window) override;
 
   const SolveInfo& last_solve() const { return info_; }
+
+  SolveDiagnostics diagnostics() const override;
 
   /// Predicted state trajectory of the accepted solution.
   const std::vector<PlantState>& predicted_states() const {

@@ -1,6 +1,7 @@
 #include "core/otem/otem_methodology.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.h"
 #include "core/methodology_registry.h"
@@ -55,7 +56,15 @@ StepRecord OtemMethodology::step(PlantState& state, double p_e_w, size_t k,
   std::vector<double> window = forecast_->window(k, n);
   if (window.empty()) window.push_back(p_e_w);
 
+  // Two clock reads around a millisecond-scale solve: negligible cost,
+  // and every step carries its true solver latency.
+  const auto solve_begin = std::chrono::steady_clock::now();
   const MpcProblem::Controls u = controller_->solve(state, window);
+  rec.solve = controller_->diagnostics();
+  rec.solve.solve_time_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - solve_begin)
+          .count();
 
   // Apply through the plant (lines 15-16). The pump runs whenever the
   // loop is active — always, for the actively-cooled architecture.

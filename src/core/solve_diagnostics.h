@@ -1,0 +1,32 @@
+// solve_diagnostics.h — what the MPC solver did this step.
+//
+// Controllers fill one of these per solve; OtemMethodology stamps it
+// (plus wall-clock) onto the StepRecord, so every step's solver
+// behaviour flows through the same telemetry pipeline as the plant
+// physics — sim::DiagnosticsSink turns the stream into distributions,
+// sim::JsonlEventSink writes it to disk. Baseline methodologies leave
+// `present == false` (they run no solver).
+#pragma once
+
+#include <cstddef>
+
+namespace otem::core {
+
+struct SolveDiagnostics {
+  bool present = false;      ///< a solver ran this step
+  bool converged = true;
+  bool fallback = false;     ///< cold start: no usable warm start
+
+  size_t iterations = 0;     ///< NLP inner iterations (shooting path)
+  size_t sqp_rounds = 0;     ///< linearise-solve-apply rounds (LTV path)
+  size_t qp_iterations = 0;  ///< ADMM iterations, summed over rounds
+  size_t qp_rho_updates = 0; ///< ADMM refactorisations, summed
+
+  double cost = 0.0;                  ///< objective at the accepted point
+  double constraint_violation = 0.0;  ///< max_i c_i (shooting path)
+  double primal_residual = 0.0;       ///< last QP solve (LTV path)
+  double dual_residual = 0.0;
+  double solve_time_us = 0.0;         ///< wall clock of the whole solve
+};
+
+}  // namespace otem::core

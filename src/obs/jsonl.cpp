@@ -1,0 +1,26 @@
+#include "obs/jsonl.h"
+
+#include "common/error.h"
+
+namespace otem::obs {
+
+JsonlWriter::JsonlWriter(const std::string& path)
+    : path_(path), out_(path) {
+  OTEM_REQUIRE(out_.good(), "cannot open JSONL output: " + path);
+}
+
+void JsonlWriter::write(const Json& event) {
+  out_ << event.dump(0) << '\n';
+  OTEM_REQUIRE(!out_.fail(), "JSONL write failed: " + path_);
+  ++lines_;
+}
+
+void JsonlWriter::close() {
+  if (!out_.is_open()) return;
+  out_.flush();
+  const bool ok = !out_.fail();
+  out_.close();
+  OTEM_REQUIRE(ok, "JSONL flush failed: " + path_);
+}
+
+}  // namespace otem::obs

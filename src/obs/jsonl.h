@@ -1,0 +1,40 @@
+// jsonl.h — append-only JSON Lines writer.
+//
+// One compact JSON object per line, streamed straight to disk — O(1)
+// memory no matter how many events a run emits. Stream failure (full
+// disk, revoked mount) is detected on every write and raised as
+// otem::SimError with the path, never silently truncated.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "common/json.h"
+
+namespace otem::obs {
+
+class JsonlWriter {
+ public:
+  /// Opens `path` for writing (truncates); throws otem::SimError when
+  /// that fails.
+  explicit JsonlWriter(const std::string& path);
+
+  /// Serialise `event` compactly and append it as one line; throws
+  /// otem::SimError when the stream has failed.
+  void write(const Json& event);
+
+  /// Flush and verify the stream; throws otem::SimError on failure.
+  /// Called by the destructor too, but the destructor swallows the
+  /// error — call close() where loss must be loud.
+  void close();
+
+  const std::string& path() const { return path_; }
+  size_t lines_written() const { return lines_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  size_t lines_ = 0;
+};
+
+}  // namespace otem::obs

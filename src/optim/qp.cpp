@@ -129,6 +129,7 @@ QpResult QpSolver::solve(const QpProblem& problem,
           kkt_.add_scaled(ata_, rho_new - rho);
           rho = rho_new;
           chol_.factor(kkt_);
+          ++result.rho_updates;
         }
       }
     }
@@ -136,6 +137,7 @@ QpResult QpSolver::solve(const QpProblem& problem,
 
   result.x = x_;
   result.y = y_;
+  result.rho_final = rho;
   return result;
 }
 

@@ -53,6 +53,8 @@ struct QpResult {
   bool converged = false;
   double primal_residual = 0.0;
   double dual_residual = 0.0;
+  size_t rho_updates = 0;  ///< adaptive-rho refactorisations performed
+  double rho_final = 0.0;  ///< penalty parameter at termination
 };
 
 /// Reusable ADMM solver. Keep one alive per controller: the workspace

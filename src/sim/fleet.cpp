@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "exec/thread_pool.h"
+#include "sim/obs_sink.h"
 #include "sim/step_sink.h"
 #include "vehicle/drive_cycle.h"
 #include "vehicle/powertrain.h"
@@ -76,6 +77,13 @@ FleetResult evaluate_fleet(
   FleetResult out;
   out.missions.resize(options.missions);
 
+  // Resolve the shared-registry instruments ONCE; every mission's sink
+  // reuses the bundle instead of paying 15 registry lookups each.
+  std::unique_ptr<DiagnosticsSink::Instruments> shared_instruments;
+  if (options.metrics)
+    shared_instruments = std::make_unique<DiagnosticsSink::Instruments>(
+        *options.metrics, options.metrics_prefix);
+
   // Missions are independent given their draw: each builds its own
   // spec, methodology and simulator, and writes only its own slot.
   exec::parallel_for(
@@ -115,8 +123,28 @@ FleetResult evaluate_fleet(
               std::to_string(m) + ".csv");
           sinks.push_back(telemetry.get());
         }
+        // Fleet-aggregate diagnostics: all missions write into the one
+        // shared registry concurrently (sharded instruments make that
+        // safe); the per-mission registry captures a local view.
+        std::unique_ptr<DiagnosticsSink> fleet_diag;
+        if (shared_instruments) {
+          fleet_diag =
+              std::make_unique<DiagnosticsSink>(*shared_instruments);
+          sinks.push_back(fleet_diag.get());
+        }
+        std::unique_ptr<obs::MetricsRegistry> local;
+        std::unique_ptr<DiagnosticsSink> local_diag;
+        if (!options.metrics_json_prefix.empty()) {
+          local = std::make_unique<obs::MetricsRegistry>();
+          local_diag = std::make_unique<DiagnosticsSink>(*local);
+          sinks.push_back(local_diag.get());
+        }
         Simulator(spec).run_with_sinks(*methodology, load, ropt, sinks);
         mission.result = metrics.take();
+        if (local)
+          obs::write_metrics_json(options.metrics_json_prefix + "mission_" +
+                                      std::to_string(m) + ".metrics.json",
+                                  *local);
       },
       options.threads);
 

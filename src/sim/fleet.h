@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/system_spec.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace otem::sim {
@@ -48,6 +49,18 @@ struct FleetOptions {
   /// trace memory stays O(1) in mission length (no in-RAM RunTrace),
   /// so fleet-scale telemetry capture is safe for multi-hour missions.
   std::string telemetry_csv_prefix;
+
+  /// Fleet-aggregate instrumentation: when set, every mission attaches
+  /// a DiagnosticsSink writing (under `metrics_prefix`) into this
+  /// registry. The registry's sharded instruments make concurrent
+  /// missions safe; the caller snapshots/serialises after
+  /// evaluate_fleet returns.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_prefix = "fleet.";
+
+  /// When non-empty, each mission additionally aggregates into its own
+  /// registry and writes "<prefix>mission_<index>.metrics.json".
+  std::string metrics_json_prefix;
 };
 
 /// Summary statistics of one metric across the fleet.

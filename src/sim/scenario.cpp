@@ -5,6 +5,8 @@
 
 #include "common/error.h"
 #include "core/methodology_registry.h"
+#include "obs/metrics.h"
+#include "sim/obs_sink.h"
 #include "sim/step_sink.h"
 #include "vehicle/drive_cycle.h"
 #include "vehicle/powertrain.h"
@@ -37,6 +39,11 @@ Scenario Scenario::from_config(const Config& cfg) {
   sc.initial.soc_percent = cfg.get_double("soc0", sc.initial.soc_percent);
   sc.record_trace = cfg.get_bool("record_trace", sc.record_trace);
   sc.trace_csv = cfg.get_string("trace_csv", sc.trace_csv);
+  sc.metrics_out = cfg.get_string("metrics_out", sc.metrics_out);
+  sc.events_jsonl = cfg.get_string("events_jsonl", sc.events_jsonl);
+  const long every = cfg.get_long("events_every", 1);
+  OTEM_REQUIRE(every >= 1, "events_every must be >= 1");
+  sc.events_every = static_cast<size_t>(every);
   return sc;
 }
 
@@ -62,6 +69,13 @@ ScenarioOutcome run_scenario(const Scenario& scenario, const Config& cfg) {
 ScenarioOutcome run_scenario(const Scenario& scenario,
                              const core::SystemSpec& base_spec,
                              const Config& cfg) {
+  return run_scenario(scenario, base_spec, cfg, {});
+}
+
+ScenarioOutcome run_scenario(const Scenario& scenario,
+                             const core::SystemSpec& base_spec,
+                             const Config& cfg,
+                             const std::vector<StepSink*>& extra_sinks) {
   core::SystemSpec spec = base_spec;
   if (scenario.ambient_k > 0.0) spec.ambient_k = scenario.ambient_k;
 
@@ -93,11 +107,26 @@ ScenarioOutcome run_scenario(const Scenario& scenario,
     csv = std::make_unique<CsvStreamSink>(scenario.trace_csv);
     sinks.push_back(csv.get());
   }
+  obs::MetricsRegistry registry;
+  std::unique_ptr<DiagnosticsSink> diagnostics;
+  if (!scenario.metrics_out.empty()) {
+    diagnostics = std::make_unique<DiagnosticsSink>(registry);
+    sinks.push_back(diagnostics.get());
+  }
+  std::unique_ptr<JsonlEventSink> events;
+  if (!scenario.events_jsonl.empty()) {
+    events = std::make_unique<JsonlEventSink>(scenario.events_jsonl,
+                                              scenario.events_every);
+    sinks.push_back(events.get());
+  }
+  for (StepSink* sink : extra_sinks) sinks.push_back(sink);
 
   const Simulator simulator(spec);
   simulator.run_with_sinks(*methodology, outcome.power, options, sinks);
   outcome.result = metrics.take();
   if (scenario.record_trace) outcome.result.trace = trace.take();
+  if (!scenario.metrics_out.empty())
+    obs::write_metrics_json(scenario.metrics_out, registry);
   return outcome;
 }
 

@@ -21,10 +21,13 @@
 //   t_battery0_k= t_coolant0_k= soe0= soc0=           initial state
 //   record_trace=bool               default true (in-RAM RunTrace)
 //   trace_csv=<path>                stream per-step telemetry to disk
+//   metrics_out=<path>              write an obs metrics snapshot (JSON)
+//   events_jsonl=<path> [events_every=N]   stream per-step JSONL events
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/config.h"
 #include "core/plant_state.h"
@@ -60,6 +63,14 @@ struct Scenario {
   bool record_trace = true;
   std::string trace_csv;  ///< when non-empty, stream telemetry here
 
+  /// When non-empty, attach a DiagnosticsSink and write the metrics
+  /// snapshot (schema otem.metrics.v1) here after the run.
+  std::string metrics_out;
+  /// When non-empty, stream per-step events (schema otem.events.v1)
+  /// here; events_every decimates the step events.
+  std::string events_jsonl;
+  size_t events_every = 1;
+
   static Scenario from_config(const Config& cfg);
 };
 
@@ -78,5 +89,13 @@ ScenarioOutcome run_scenario(const Scenario& scenario, const Config& cfg);
 ScenarioOutcome run_scenario(const Scenario& scenario,
                              const core::SystemSpec& spec,
                              const Config& cfg);
+
+/// As above, with caller-owned sinks appended to the scenario's own
+/// chain — how otem_cli compare aggregates per-method diagnostics into
+/// one registry.
+ScenarioOutcome run_scenario(const Scenario& scenario,
+                             const core::SystemSpec& spec,
+                             const Config& cfg,
+                             const std::vector<StepSink*>& extra_sinks);
 
 }  // namespace otem::sim

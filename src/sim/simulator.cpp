@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "sim/step_sink.h"
 
 namespace otem::sim {
@@ -45,17 +48,46 @@ void Simulator::run_with_sinks(core::Methodology& methodology,
   const bool want_teb =
       std::any_of(sinks.begin(), sinks.end(),
                   [](const StepSink* s) { return s->wants_teb(); });
+  // Same deal for step timing, but SAMPLED: each sink declares the
+  // stride it wants timed (0 = none), and the loop clocks step k when
+  // the gcd of those strides divides k. That keeps reactive baselines —
+  // whose whole step is a few hundred ns — inside the instrumentation
+  // overhead budget while still filling the latency histograms.
+  size_t timing_stride = 0;
+  if (obs::enabled()) {
+    for (const StepSink* sink : sinks) {
+      const size_t s = sink->timing_stride();
+      if (s) timing_stride = timing_stride ? std::gcd(timing_stride, s) : s;
+    }
+  }
+
+  // Diagnostics sinks only want EVENTFUL samples; splitting the chain
+  // once here keeps the per-step loop free of per-sink predicates.
+  std::vector<StepSink*> every_step, eventful_only;
+  for (StepSink* sink : sinks)
+    (sink->eventful_samples_only() ? eventful_only : every_step)
+        .push_back(sink);
 
   double qloss_cum = 0.0;
+  // next_timed tracks the multiples of timing_stride without a per-step
+  // modulo (a runtime-divisor div in the hottest loop of the codebase).
+  size_t next_timed = timing_stride ? 0 : std::numeric_limits<size_t>::max();
   for (size_t k = 0; k < steps; ++k) {
+    const bool timed = k == next_timed;
+    if (timed) next_timed += timing_stride;
+    const double t0 = timed ? obs::now_us() : 0.0;
     const core::StepRecord rec =
         methodology.step(state, power_request[k], k, dt);
+    const double step_us = timed ? obs::now_us() - t0 : 0.0;
     qloss_cum += rec.qloss_percent;
     const double teb = want_teb
                            ? teb_.evaluate(state).combined()
                            : std::numeric_limits<double>::quiet_NaN();
-    const StepSample sample{k, rec, state, qloss_cum, teb};
-    for (StepSink* sink : sinks) sink->record(sample);
+    const StepSample sample{k, rec, state, qloss_cum, teb, step_us};
+    for (StepSink* sink : every_step) sink->record(sample);
+    if (!eventful_only.empty() &&
+        (timed || !rec.feasible || rec.solve.present || k + 1 == steps))
+      for (StepSink* sink : eventful_only) sink->record(sample);
   }
 
   for (StepSink* sink : sinks) sink->end(state);

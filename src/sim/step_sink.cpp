@@ -115,12 +115,17 @@ void CsvStreamSink::record(const StepSample& sample) {
     out_ << strings::format_double(cells[i], precision_);
   }
   out_ << '\n';
+  // A full disk surfaces here as soon as the stream's buffer flushes;
+  // fail the run loudly instead of silently truncating telemetry.
+  if (out_.fail())
+    throw SimError("CSV stream write failed (disk full?): " + path_);
   ++rows_;
 }
 
 void CsvStreamSink::end(const core::PlantState&) {
   out_.flush();
-  OTEM_REQUIRE(out_.good(), "CSV stream write failed: " + path_);
+  if (out_.fail())
+    throw SimError("CSV stream write failed (disk full?): " + path_);
 }
 
 }  // namespace otem::sim

@@ -46,6 +46,11 @@ struct StepSample {
   const core::PlantState& state;
   double qloss_cum_percent = 0.0;
   double teb = 0.0;
+  /// Wall clock of the whole plant step (methodology.step). SAMPLED:
+  /// measured only when obs::enabled() and step index k is a multiple
+  /// of the gcd of the attached sinks' timing_stride()s; 0 on untimed
+  /// steps. Sinks must treat 0 as "not measured this step".
+  double step_time_us = 0.0;
 };
 
 class StepSink {
@@ -55,6 +60,23 @@ class StepSink {
   /// True when this sink consumes StepSample::teb; the simulator skips
   /// the TEB evaluation entirely when no attached sink wants it.
   virtual bool wants_teb() const { return false; }
+
+  /// Stride at which this sink wants StepSample::step_time_us filled:
+  /// 0 = never (the default — the simulator touches no clock), 1 =
+  /// every step, N = one step in N. The simulator times at the gcd of
+  /// all attached strides, so a sink may see MORE timed samples than it
+  /// asked for, never fewer. Sampling exists because two clock reads
+  /// rival a reactive baseline's entire step cost.
+  virtual size_t timing_stride() const { return 0; }
+
+  /// True when this sink only needs EVENTFUL samples: wall-clock timed,
+  /// infeasible, solver-backed (solve.present), or the final step of
+  /// the run (always delivered, so running totals can close). The
+  /// simulator skips the record() call entirely on uneventful steps —
+  /// for a reactive baseline that turns per-step diagnostics dispatch
+  /// into nothing. Sinks that consume the full telemetry stream (trace,
+  /// CSV, accounting) keep the default false.
+  virtual bool eventful_samples_only() const { return false; }
 
   virtual void begin(const RunContext& ctx) { (void)ctx; }
   virtual void record(const StepSample& sample) = 0;
@@ -109,7 +131,9 @@ class TraceRecorder final : public StepSink {
 ///
 /// The first 11 columns match what `otem_cli trace_csv=` historically
 /// dumped from the in-RAM trace; q_bat_w / t_inlet_c complete the
-/// telemetry.
+/// telemetry. Stream failure (full disk) is detected in record()/end()
+/// and raised as SimError with the path — telemetry is never silently
+/// truncated.
 class CsvStreamSink final : public StepSink {
  public:
   /// Opens `path` for writing; throws SimError when that fails.
