@@ -8,10 +8,13 @@
 //   otem_cli run US06 method=otem repeats=3 trace_csv=/tmp/run.csv
 //   otem_cli run UDDS method=dual ambient_k=308.15
 //   otem_cli compare LA92 repeats=2
+//   otem_cli serve /tmp/otem.sock queue_depth=32 cache_mb=128
+//   otem_cli request /tmp/otem.sock cycle=UDDS method=otem repeats=2
 //
 // Any "key=value" pair is forwarded to the Config (battery.*, otem.*,
 // thermal.*, ...) plus the scenario keys documented in sim/scenario.h.
 // Overrides nothing consumed are reported at exit (typos fail loudly).
+// `serve`/`request` speak the otem.serve.v1 protocol (docs/SERVING.md).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -19,8 +22,12 @@
 #include <memory>
 
 #include "common/error.h"
+#include "common/logging.h"
 #include "core/methodology_registry.h"
 #include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 #include "sim/metrics.h"
 #include "sim/obs_sink.h"
 #include "sim/report.h"
@@ -134,6 +141,79 @@ int cmd_compare(const std::string& cycle, const Config& cfg) {
   return 0;
 }
 
+/// Option keys the serve command consumes itself; everything else on
+/// the command line becomes a base override applied under every
+/// request.
+bool is_serve_option(const std::string& key) {
+  return key == "queue_depth" || key == "threads" || key == "cache_mb" ||
+         key == "drain_timeout_s" || key == "max_frame_kb" ||
+         key == "metrics_out";
+}
+
+int cmd_serve(const std::string& target, const Config& cfg) {
+  serve::ServerOptions opts;
+  const long queue_depth = cfg.get_long("queue_depth", 16);
+  OTEM_REQUIRE(queue_depth >= 1, "queue_depth must be >= 1");
+  opts.queue_depth = static_cast<size_t>(queue_depth);
+  opts.threads = static_cast<size_t>(cfg.get_long("threads", 0));
+  opts.cache_bytes = static_cast<size_t>(
+      cfg.get_double("cache_mb", 64.0) * 1024.0 * 1024.0);
+  opts.drain_timeout_s = cfg.get_double("drain_timeout_s", 5.0);
+  opts.max_frame_bytes = static_cast<size_t>(
+      cfg.get_double("max_frame_kb", 1024.0) * 1024.0);
+  opts.metrics_out = cfg.get_string("metrics_out", "");
+  for (const std::string& key : cfg.keys()) {
+    if (!is_serve_option(key)) opts.base.set(key, cfg.get_string(key, ""));
+  }
+  // A daemon should narrate its lifecycle (listening / drain / flush).
+  if (log::level() > log::Level::kInfo) log::set_level(log::Level::kInfo);
+  serve::Server server(opts);
+  if (target == "--stdio") return server.serve_stdio();
+  return server.serve_unix(target);
+}
+
+int cmd_request(const std::string& socket, const Config& cfg) {
+  serve::Request req;
+  req.method = cfg.get_string("rpc", "run");
+  const std::string id = cfg.get_string("id", "");
+  if (!id.empty()) req.id = Json(id);
+  req.deadline_ms = cfg.get_double("deadline_ms", 0.0);
+  req.cache_bypass = cfg.get_string("cache", "use") == "bypass";
+  const double timeout_s = cfg.get_double("timeout_s", 300.0);
+  for (const std::string& key : cfg.keys()) {
+    if (key == "rpc" || key == "id" || key == "deadline_ms" ||
+        key == "cache" || key == "timeout_s")
+      continue;
+    req.overrides.emplace_back(key, cfg.get_string(key, ""));
+  }
+
+  const std::string response =
+      serve::request_once(socket, serve::build_request(req), timeout_s);
+  const Json doc = Json::parse(response);
+  const Json* ok = doc.find("ok");
+  if (ok != nullptr && ok->is_bool() && ok->as_bool()) {
+    // stdout carries ONLY the result document, so identical requests
+    // print byte-identical reports whether computed or cached; the
+    // cached flag goes to stderr for humans.
+    const Json* result = doc.find("result");
+    std::printf("%s\n", result ? result->dump(0).c_str() : "null");
+    const Json* cached = doc.find("cached");
+    if (cached != nullptr && cached->is_bool() && cached->as_bool())
+      std::fprintf(stderr, "(served from cache)\n");
+    return 0;
+  }
+  const Json* error = doc.find("error");
+  const Json* message = doc.find("message");
+  std::fprintf(stderr, "error: %s: %s\n",
+               error != nullptr && error->is_string()
+                   ? error->as_string().c_str()
+                   : "unknown",
+               message != nullptr && message->is_string()
+                   ? message->as_string().c_str()
+                   : response.c_str());
+  return 2;
+}
+
 void warn_unused(const Config& cfg) {
   for (const std::string& key : cfg.unused_keys())
     std::fprintf(stderr,
@@ -160,7 +240,12 @@ int main(int argc, char** argv) {
           "[trace_csv=path] [report_json=path] [metrics_out=path] "
           "[events_jsonl=path] [key=value...]\n"
           "       otem_cli compare <cycle> [repeats=N] [metrics_out=path] "
-          "[key=value...]\n");
+          "[key=value...]\n"
+          "       otem_cli serve <socket|--stdio> [queue_depth=N] "
+          "[threads=N] [cache_mb=N] [drain_timeout_s=S] [metrics_out=path] "
+          "[key=value...]\n"
+          "       otem_cli request <socket> [rpc=run|ping|metrics|methods] "
+          "[id=...] [deadline_ms=N] [cache=bypass] [key=value...]\n");
       return 1;
     }
     const std::string& cmd = positional[0];
@@ -173,6 +258,10 @@ int main(int argc, char** argv) {
       rc = cmd_run(positional[1], cfg);
     } else if (cmd == "compare" && positional.size() >= 2) {
       rc = cmd_compare(positional[1], cfg);
+    } else if (cmd == "serve" && positional.size() >= 2) {
+      rc = cmd_serve(positional[1], cfg);
+    } else if (cmd == "request" && positional.size() >= 2) {
+      rc = cmd_request(positional[1], cfg);
     } else {
       std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
       return 1;

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "common/error.h"
+#include "common/logging.h"
 #include "common/strings.h"
 
 namespace otem {
@@ -19,6 +20,15 @@ void Config::set_pair(std::string_view pair) {
   const std::string key = strings::trim(pair.substr(0, eq));
   const std::string value = strings::trim(pair.substr(eq + 1));
   OTEM_REQUIRE(!key.empty(), "config key must be non-empty");
+  // A key repeated within one command line / request is almost always a
+  // mistake (the later value silently shadowing the earlier one is how
+  // "repeats=10 ... repeats=1" experiments go wrong), so say so. Last
+  // one still wins — both orders warn, only the surviving value differs.
+  const auto it = values_.find(key);
+  if (it != values_.end() && it->second != value) {
+    log::warn("duplicate config key '", key, "': value '", it->second,
+              "' overridden by '", value, "'");
+  }
   values_[key] = value;
 }
 

@@ -26,7 +26,11 @@ class Config {
  public:
   Config();
 
-  /// Parse one "key=value" pair; throws otem::SimError on malformed input.
+  /// Parse one "key=value" pair; throws otem::SimError on malformed
+  /// input. Re-setting a key already present with a DIFFERENT value
+  /// warns through otem::log (last one wins either way) — how a
+  /// duplicated override on one command line or serve request fails
+  /// loudly instead of silently shadowing.
   void set_pair(std::string_view pair);
 
   void set(const std::string& key, const std::string& value);

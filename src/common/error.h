@@ -19,6 +19,17 @@ class SimError : public std::runtime_error {
   explicit SimError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown by the simulator step loop when a cooperative stop
+/// (cancellation or deadline — see exec::StopToken) fires mid-mission.
+/// Derives from SimError so existing catch sites keep working, but is
+/// distinct so callers (the serve daemon's drain path, deadline
+/// enforcement) can tell "the work was abandoned on request" from "the
+/// model rejected the input". Sinks are finalized before the throw.
+class SimCancelled : public SimError {
+ public:
+  explicit SimCancelled(const std::string& what) : SimError(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void raise(const char* kind, const char* cond,
                                const char* file, int line,

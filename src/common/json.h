@@ -1,8 +1,15 @@
-// json.h — minimal JSON value tree and serializer.
+// json.h — minimal JSON value tree, serializer and parser.
 //
-// Just enough JSON for result reports (sim/report.h): objects keep
-// insertion order, numbers print with %.12g, non-finite doubles encode
-// as null. No parser — this library only EMITS JSON.
+// Just enough JSON for result reports (sim/report.h) and the serve
+// protocol (serve/protocol.h): objects keep insertion order, numbers
+// print with %.12g, non-finite doubles encode as null, every control
+// character (U+0000–U+001F) in a string escapes as \uXXXX (or the
+// short \b \t \n \f \r forms), so an emitted document is always one
+// well-formed line. Json::parse is a strict recursive-descent reader
+// of the same dialect (full \uXXXX incl. surrogate pairs → UTF-8, a
+// nesting-depth guard against hostile input) — dump() and parse()
+// round-trip each other, which the serve daemon relies on to echo
+// client-supplied request ids verbatim.
 #pragma once
 
 #include <memory>
@@ -36,7 +43,40 @@ class Json {
     return j;
   }
 
+  /// Strict parse of one JSON document (trailing whitespace allowed,
+  /// trailing garbage is an error). Throws otem::SimError with a byte
+  /// offset on malformed input or nesting deeper than kMaxParseDepth.
+  static Json parse(std::string_view text);
+
+  /// Parser recursion guard: documents nesting deeper than this are
+  /// rejected (the serve codec feeds parse() untrusted network bytes).
+  static constexpr int kMaxParseDepth = 64;
+
   Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed readers; each throws otem::SimError on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Object lookup: the value at `key`, or nullptr when absent (or when
+  /// *this is not an object — lookups on a mistyped node just miss).
+  const Json* find(const std::string& key) const;
+
+  /// Array element access; throws otem::SimError when out of range.
+  const Json& at(size_t index) const;
+
+  /// Underlying containers, for iteration. Empty for other types.
+  const std::vector<Json>& items() const { return items_; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
 
   /// Object: set key to value (appends; later sets of the same key
   /// overwrite). Returns *this for chaining. Throws if not an object.

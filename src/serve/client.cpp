@@ -1,0 +1,60 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/error.h"
+#include "serve/codec.h"
+
+namespace otem::serve {
+
+std::string request_once(const std::string& socket_path,
+                         const std::string& request_line, double timeout_s) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  OTEM_REQUIRE(fd >= 0, "client: cannot create socket");
+
+  struct FdCloser {
+    int fd;
+    ~FdCloser() { ::close(fd); }
+  } closer{fd};
+
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  OTEM_REQUIRE(socket_path.size() < sizeof(addr.sun_path),
+               "client: socket path too long: " + socket_path);
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  OTEM_REQUIRE(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+      "client: cannot connect to " + socket_path + ": " +
+          std::strerror(errno));
+
+  OTEM_REQUIRE(write_frame(fd, request_line),
+               "client: send failed on " + socket_path);
+
+  // Responses can take as long as the mission being simulated; poll in
+  // short slices against the caller's overall budget.
+  FrameReader reader(fd, 64u << 20);
+  std::string line;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  for (;;) {
+    const FrameReader::Status status = reader.next(line, 200);
+    if (status == FrameReader::Status::kFrame) return line;
+    OTEM_REQUIRE(status != FrameReader::Status::kEof &&
+                     status != FrameReader::Status::kError,
+                 "client: connection closed before a response arrived");
+    OTEM_REQUIRE(std::chrono::steady_clock::now() < deadline,
+                 "client: timed out waiting for a response from " +
+                     socket_path);
+  }
+}
+
+}  // namespace otem::serve

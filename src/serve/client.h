@@ -1,0 +1,22 @@
+// client.h — minimal synchronous client for the serve protocol.
+//
+// Connects to a daemon's Unix-domain socket, sends one otem.serve.v1
+// request frame and waits for the matching response frame (the protocol
+// is strictly one-response-per-request in order, so no correlation
+// machinery is needed). This is what `otem_cli request` wraps; it is
+// also handy for integration tests and scripting.
+#pragma once
+
+#include <string>
+
+namespace otem::serve {
+
+/// Send `request_line` (no trailing newline) to the daemon at
+/// `socket_path` and return the raw response line. Throws
+/// otem::SimError on connect/send failure, a dropped connection, or
+/// when no complete response arrives within `timeout_s`.
+std::string request_once(const std::string& socket_path,
+                         const std::string& request_line,
+                         double timeout_s = 30.0);
+
+}  // namespace otem::serve

@@ -1,0 +1,91 @@
+#include "serve/codec.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <poll.h>
+#include <unistd.h>
+
+namespace otem::serve {
+
+namespace {
+constexpr size_t kReadChunk = 64 * 1024;
+}
+
+FrameReader::Status FrameReader::next(std::string& line, int timeout_ms) {
+  for (;;) {
+    // Serve from the buffer first: a pipelined client may have several
+    // frames in flight, and EOF must still drain buffered frames.
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      if (skipping_) {
+        // Tail of the oversized frame: drop through the newline and
+        // resume normal framing with whatever follows.
+        buffer_.erase(0, nl + 1);
+        skipping_ = false;
+        continue;
+      }
+      if (nl > max_frame_bytes_) {
+        // The whole oversized frame arrived in one gulp: consume it
+        // through its newline — no skip state needed.
+        buffer_.erase(0, nl + 1);
+        return Status::kOversized;
+      }
+      line.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return Status::kFrame;
+    }
+    if (!skipping_ && buffer_.size() > max_frame_bytes_) {
+      buffer_.clear();
+      skipping_ = true;
+      return Status::kOversized;
+    }
+    if (skipping_) buffer_.clear();  // keep discarding, bound memory
+    if (eof_) {
+      // A final unterminated fragment is not a frame; drop it.
+      buffer_.clear();
+      return Status::kEof;
+    }
+
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr == 0) return Status::kNoData;
+    if (pr < 0) {
+      if (errno == EINTR) return Status::kNoData;
+      return Status::kError;
+    }
+
+    char chunk[kReadChunk];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n == 0) {
+      eof_ = true;
+      continue;  // loop once more to flush/clear the buffer
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) return Status::kNoData;
+      return Status::kError;
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+bool write_frame(int fd, const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::write(fd, framed.data() + off, framed.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace otem::serve

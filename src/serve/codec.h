@@ -1,0 +1,50 @@
+// codec.h — line framing for the serve protocol.
+//
+// otem.serve.v1 frames are newline-delimited JSON documents: one
+// request or response per '\n'-terminated line, no length prefix, no
+// binary. A FrameReader buffers a file descriptor (socket or pipe),
+// yields complete lines, and enforces the frame-size ceiling — an
+// over-long line is reported ONCE as kOversized and then skipped to the
+// next newline, so a client that sent one huge frame gets a structured
+// error and keeps its connection. write_frame is the single-syscall-
+// friendly mirror (loops on partial writes and EINTR).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace otem::serve {
+
+class FrameReader {
+ public:
+  enum class Status {
+    kFrame,      ///< `line` holds one complete frame (newline stripped)
+    kNoData,     ///< poll timeout elapsed with no complete frame
+    kEof,        ///< orderly end of stream
+    kOversized,  ///< frame exceeded max_frame_bytes; now skipping to '\n'
+    kError,      ///< read failed (errno-level); treat like EOF
+  };
+
+  FrameReader(int fd, size_t max_frame_bytes)
+      : fd_(fd), max_frame_bytes_(max_frame_bytes) {}
+
+  /// Produce the next frame, waiting up to `timeout_ms` for bytes to
+  /// arrive (so a serving loop can interleave stop-flag checks).
+  /// Already-buffered complete frames return immediately without
+  /// touching the descriptor — pipelined clients are served back to
+  /// back.
+  Status next(std::string& line, int timeout_ms);
+
+ private:
+  int fd_;
+  size_t max_frame_bytes_;
+  std::string buffer_;
+  bool skipping_ = false;  ///< discarding the rest of an oversized frame
+  bool eof_ = false;
+};
+
+/// Write `line` plus the terminating '\n' to `fd`, looping on partial
+/// writes and EINTR. False when the peer is gone (EPIPE & friends).
+bool write_frame(int fd, const std::string& line);
+
+}  // namespace otem::serve

@@ -1,0 +1,452 @@
+#include "serve/server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "core/methodology_registry.h"
+#include "core/system_spec.h"
+#include "obs/timer.h"
+#include "serve/codec.h"
+#include "sim/report.h"
+#include "sim/scenario.h"
+
+namespace otem::serve {
+
+namespace {
+
+/// Signal plumbing must be async-signal-safe: the handler only flips a
+/// flag and writes one byte to the self-pipe to wake a poll(). The
+/// serving loops translate the flag into an orderly drain.
+std::atomic<bool> g_signal_stop{false};
+std::atomic<int> g_wake_fd{-1};
+
+void on_stop_signal(int) {
+  g_signal_stop.store(true, std::memory_order_relaxed);
+  const int fd = g_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 'x';
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+struct SignalGuard {
+  SignalGuard() {
+    g_signal_stop.store(false, std::memory_order_relaxed);
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = on_stop_signal;
+    ::sigaction(SIGINT, &sa, &old_int);
+    ::sigaction(SIGTERM, &sa, &old_term);
+    // A client that hangs up mid-response must not kill the daemon.
+    struct sigaction ign;
+    std::memset(&ign, 0, sizeof(ign));
+    ign.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &ign, &old_pipe);
+  }
+  ~SignalGuard() {
+    ::sigaction(SIGINT, &old_int, nullptr);
+    ::sigaction(SIGTERM, &old_term, nullptr);
+    ::sigaction(SIGPIPE, &old_pipe, nullptr);
+    g_wake_fd.store(-1, std::memory_order_relaxed);
+  }
+  struct sigaction old_int{}, old_term{}, old_pipe{};
+};
+
+/// Overrides that name server-side output files are refused: a cached
+/// replay would skip the side effect, silently breaking the contract
+/// that identical requests are interchangeable.
+bool is_output_override(const std::string& key) {
+  return key == "trace_csv" || key == "metrics_out" ||
+         key == "events_jsonl" || key == "report_json" ||
+         key == "record_trace";
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      cache_(options.cache_bytes, registry_),
+      pool_(std::make_unique<exec::ThreadPool>(options.threads)),
+      latency_us_(registry_.histogram("serve.request.latency_us",
+                                      obs::latency_buckets_us())),
+      queue_wait_us_(registry_.histogram("serve.queue.wait_us",
+                                         obs::latency_buckets_us())),
+      queue_depth_(registry_.gauge("serve.queue.depth")) {
+  for (const std::string& key : options_.base.keys())
+    base_pairs_.emplace_back(key, options_.base.get_string(key, ""));
+}
+
+bool Server::stopping() const {
+  return stop_.load(std::memory_order_relaxed) ||
+         g_signal_stop.load(std::memory_order_relaxed);
+}
+
+void Server::request_stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  const int fd = wake_write_fd_;
+  if (fd >= 0) {
+    const char byte = 'x';
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+bool Server::try_admit() {
+  size_t cur = admitted_.load(std::memory_order_relaxed);
+  do {
+    if (cur >= options_.queue_depth) return false;
+  } while (!admitted_.compare_exchange_weak(cur, cur + 1,
+                                            std::memory_order_acq_rel));
+  queue_depth_.set(static_cast<double>(cur + 1));
+  return true;
+}
+
+void Server::release_admission() {
+  const size_t now = admitted_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  queue_depth_.set(static_cast<double>(now));
+}
+
+std::uint64_t Server::register_inflight(const exec::StopSource& source) {
+  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  const std::uint64_t id = next_inflight_id_++;
+  inflight_.emplace(id, source);
+  // Close the admit/drain race: a request that slipped past the
+  // stopping() check while drain() was sweeping in-flight tokens would
+  // otherwise run to completion unobserved by the cancel pass.
+  if (stopping()) source.request_stop();
+  return id;
+}
+
+void Server::unregister_inflight(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  inflight_.erase(id);
+}
+
+size_t Server::active_requests() const {
+  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  return inflight_.size();
+}
+
+std::string Server::error_response(const Json& id, ErrorCode code,
+                                   const std::string& message) {
+  registry_.counter(std::string("serve.errors.") + to_string(code)).add();
+  return build_error_response(id, code, message);
+}
+
+std::string Server::oversized_response() {
+  return error_response(
+      Json(), ErrorCode::kOversizedFrame,
+      "frame exceeds " + std::to_string(options_.max_frame_bytes) +
+          " bytes");
+}
+
+std::string Server::handle_line(const std::string& line) {
+  const double t0 = obs::now_us();
+  Request req;
+  try {
+    req = parse_request(line);
+  } catch (const SimError& e) {
+    return error_response(Json(), ErrorCode::kBadRequest, e.what());
+  } catch (const std::exception& e) {
+    return error_response(Json(), ErrorCode::kInternal, e.what());
+  }
+
+  registry_.counter("serve.requests." + req.method).add();
+
+  try {
+    if (req.method == "ping") {
+      Json result = Json::object();
+      result.set("pong", true);
+      return build_ok_response(req.id, false, result.dump(0));
+    }
+    if (req.method == "metrics") {
+      return build_ok_response(
+          req.id, false, obs::snapshot_to_json(registry_.snapshot()).dump(0));
+    }
+    if (req.method == "methods") {
+      Json names = Json::array();
+      for (const std::string& name :
+           core::MethodologyRegistry::instance().names())
+        names.push(name);
+      Json result = Json::object();
+      result.set("methods", std::move(names));
+      return build_ok_response(req.id, false, result.dump(0));
+    }
+    if (req.method == "run") return handle_run(req, t0);
+  } catch (const std::exception& e) {
+    return error_response(req.id, ErrorCode::kInternal, e.what());
+  }
+  return error_response(req.id, ErrorCode::kUnknownMethod,
+                        "unknown method '" + req.method + "'");
+}
+
+std::string Server::handle_run(const Request& req, double t0_us) {
+  // A private Config per request: base pairs first, then the request's
+  // overrides on top. Never share a Config across sessions — copies
+  // share their consumed-key set, which concurrent reads would race on.
+  Config merged;
+  for (const auto& [key, value] : base_pairs_) merged.set(key, value);
+  for (const auto& [key, value] : req.overrides) {
+    if (is_output_override(key)) {
+      return error_response(req.id, ErrorCode::kBadRequest,
+                            "override '" + key +
+                                "' is not allowed in serve mode (results "
+                                "are returned in the response)");
+    }
+    merged.set(key, value);
+  }
+
+  sim::Scenario scenario;
+  try {
+    scenario = sim::Scenario::from_config(merged);
+  } catch (const SimError& e) {
+    return error_response(req.id, ErrorCode::kBadRequest, e.what());
+  }
+  // Serve-mode scenarios never record or stream server-side: the
+  // response carries the report, and cache hits must be side-effect
+  // free.
+  scenario.record_trace = false;
+  scenario.trace_csv.clear();
+  scenario.metrics_out.clear();
+  scenario.events_jsonl.clear();
+
+  const std::string cache_key = canonical_scenario_key(scenario, merged);
+
+  bool claimed = false;
+  if (!req.cache_bypass) {
+    if (std::optional<std::string> hit = cache_.lookup_or_begin(cache_key)) {
+      latency_us_.record(obs::now_us() - t0_us);
+      return build_ok_response(req.id, true, *hit);
+    }
+    claimed = true;
+  }
+
+  if (stopping()) {
+    if (claimed) cache_.abandon(cache_key);
+    return error_response(req.id, ErrorCode::kDraining,
+                          "server is draining, not accepting new work");
+  }
+  if (!try_admit()) {
+    if (claimed) cache_.abandon(cache_key);
+    return error_response(req.id, ErrorCode::kOverloaded,
+                          "admission queue full (queue_depth=" +
+                              std::to_string(options_.queue_depth) +
+                              "), retry with backoff");
+  }
+
+  exec::StopSource source =
+      req.deadline_ms > 0.0
+          ? exec::StopSource::with_deadline(
+                std::chrono::steady_clock::now() +
+                std::chrono::microseconds(
+                    static_cast<long long>(req.deadline_ms * 1000.0)))
+          : exec::StopSource();
+  const std::uint64_t inflight_id = register_inflight(source);
+
+  std::string result_json;
+  const exec::StopToken token = source.token();
+  const double enqueued_us = obs::now_us();
+  exec::TaskHandle handle = pool_->submit([&] {
+    queue_wait_us_.record(obs::now_us() - enqueued_us);
+    const core::SystemSpec spec = core::SystemSpec::from_config(merged);
+    const sim::ScenarioOutcome outcome =
+        sim::run_scenario(scenario, spec, merged, {}, token);
+    Json result = Json::object();
+    result.set("methodology", scenario.methodology);
+    result.set("steps", outcome.power.size());
+    result.set("distance_m", outcome.distance_m);
+    result.set("report", sim::run_result_to_json(outcome.result));
+    result_json = result.dump(0);
+  });
+
+  std::string response;
+  try {
+    handle.wait();
+    if (claimed) cache_.fill(cache_key, result_json);
+    latency_us_.record(obs::now_us() - t0_us);
+    response = build_ok_response(req.id, false, result_json);
+  } catch (const SimCancelled& e) {
+    if (claimed) cache_.abandon(cache_key);
+    response = error_response(req.id,
+                              token.deadline_expired()
+                                  ? ErrorCode::kDeadlineExceeded
+                                  : ErrorCode::kCancelled,
+                              e.what());
+  } catch (const SimError& e) {
+    if (claimed) cache_.abandon(cache_key);
+    response = error_response(req.id, ErrorCode::kBadRequest, e.what());
+  } catch (const std::exception& e) {
+    if (claimed) cache_.abandon(cache_key);
+    response = error_response(req.id, ErrorCode::kInternal, e.what());
+  }
+  unregister_inflight(inflight_id);
+  release_admission();
+  return response;
+}
+
+void Server::session_loop(int in_fd, int out_fd) {
+  FrameReader reader(in_fd, options_.max_frame_bytes);
+  std::string line;
+  for (;;) {
+    const FrameReader::Status status = reader.next(line, 200);
+    if (status == FrameReader::Status::kEof ||
+        status == FrameReader::Status::kError)
+      return;
+    if (status == FrameReader::Status::kNoData) {
+      if (stopping()) return;
+      continue;
+    }
+    const std::string response = status == FrameReader::Status::kOversized
+                                     ? oversized_response()
+                                     : handle_line(line);
+    if (!write_frame(out_fd, response)) return;
+  }
+}
+
+void Server::drain() {
+  using clock = std::chrono::steady_clock;
+  const auto deadline =
+      clock::now() + std::chrono::duration_cast<clock::duration>(
+                         std::chrono::duration<double>(
+                             options_.drain_timeout_s));
+  // Phase 1: give in-flight work the drain window to finish naturally.
+  while (active_requests() > 0 && clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  // Phase 2: cancel the stragglers through their stop tokens; the
+  // per-step check in the simulator unwinds them within one step.
+  size_t cancelled = 0;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    for (auto& [id, source] : inflight_) {
+      source.request_stop();
+      ++cancelled;
+    }
+  }
+  if (cancelled > 0)
+    log::info("serve: drain timeout, cancelled ", cancelled,
+              " in-flight request(s)");
+  while (active_requests() > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+void Server::shutdown_flush() {
+  const obs::MetricsSnapshot snap = registry_.snapshot();
+  const auto count = [&](const char* name) {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? std::uint64_t{0} : it->second;
+  };
+  log::info("serve: shutting down — requests=",
+            count("serve.requests.run"), " cache_hits=",
+            count("serve.cache.hits"), " cache_misses=",
+            count("serve.cache.misses"));
+  if (!options_.metrics_out.empty()) {
+    try {
+      obs::write_metrics_json(options_.metrics_out, registry_);
+      log::info("serve: final metrics snapshot written to ",
+                options_.metrics_out);
+    } catch (const std::exception& e) {
+      log::error("serve: failed to flush metrics snapshot: ", e.what());
+    }
+  }
+}
+
+int Server::serve_stdio(int in_fd, int out_fd) {
+  SignalGuard signals;
+  session_loop(in_fd, out_fd);
+  request_stop();
+  drain();
+  shutdown_flush();
+  return 0;
+}
+
+int Server::serve_unix(const std::string& socket_path) {
+  SignalGuard signals;
+
+  int wake[2] = {-1, -1};
+  OTEM_REQUIRE(::pipe(wake) == 0, "serve: cannot create wake pipe");
+  ::fcntl(wake[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(wake[1], F_SETFL, O_NONBLOCK);
+  wake_write_fd_ = wake[1];
+  g_wake_fd.store(wake[1], std::memory_order_relaxed);
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  OTEM_REQUIRE(listen_fd >= 0, "serve: cannot create socket");
+
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  OTEM_REQUIRE(socket_path.size() < sizeof(addr.sun_path),
+               "serve: socket path too long: " + socket_path);
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  // A stale socket file from a crashed daemon would block the bind;
+  // remove it. A LIVE daemon on the path loses its socket too — the
+  // deployment owns the path, as with any pid/socket file.
+  ::unlink(socket_path.c_str());
+  OTEM_REQUIRE(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) == 0,
+               "serve: cannot bind " + socket_path + ": " +
+                   std::strerror(errno));
+  OTEM_REQUIRE(::listen(listen_fd, 64) == 0,
+               "serve: cannot listen on " + socket_path);
+
+  log::info("serve: listening on ", socket_path, " (threads=",
+            pool_->thread_count(), " queue_depth=", options_.queue_depth,
+            " cache_bytes=", options_.cache_bytes, ")");
+
+  obs::Counter& connections = registry_.counter("serve.connections");
+  while (!stopping()) {
+    struct pollfd pfds[2];
+    pfds[0] = {listen_fd, POLLIN, 0};
+    pfds[1] = {wake[0], POLLIN, 0};
+    const int pr = ::poll(pfds, 2, 500);
+    if (pr <= 0) continue;  // timeout or EINTR: re-check stopping()
+    if (pfds[1].revents != 0) continue;  // woken for shutdown
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+    const int client_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (client_fd < 0) continue;
+    connections.add();
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      ++open_sessions_;
+    }
+    std::thread([this, client_fd] {
+      session_loop(client_fd, client_fd);
+      ::close(client_fd);
+      {
+        std::lock_guard<std::mutex> lock(sessions_mutex_);
+        --open_sessions_;
+      }
+      sessions_done_.notify_all();
+    }).detach();
+  }
+
+  ::close(listen_fd);
+  ::unlink(socket_path.c_str());
+  request_stop();  // make stopping() true for sessions even on signal path
+  drain();
+  {
+    // Sessions exit within one poll interval of stopping(); in-flight
+    // work was finished or cancelled by drain() above.
+    std::unique_lock<std::mutex> lock(sessions_mutex_);
+    sessions_done_.wait(lock, [&] { return open_sessions_ == 0; });
+  }
+  wake_write_fd_ = -1;
+  ::close(wake[0]);
+  ::close(wake[1]);
+  shutdown_flush();
+  return 0;
+}
+
+}  // namespace otem::serve

@@ -1,0 +1,155 @@
+// server.h — the OTEM evaluation daemon.
+//
+// A resident Server answers otem.serve.v1 frames (serve/protocol.h)
+// so fleets of evaluation queries stop paying process launch, scenario
+// parsing and cold caches per run. The pieces:
+//
+//   admission queue — at most queue_depth run requests may be queued or
+//       executing at once; the rest are refused IMMEDIATELY with
+//       {"error":"overloaded"} rather than buffered into unbounded
+//       latency (clients retry with backoff). ping/metrics/methods are
+//       control-plane and never queue.
+//   dispatch       — admitted runs execute on an exec::ThreadPool via
+//       submit(); the session thread joins the handle, so slow clients
+//       only ever block themselves.
+//   result cache   — serve/cache.h keyed by the canonical resolved
+//       scenario; repeat queries are O(1) and byte-identical.
+//   deadlines      — a per-request exec::StopSource with the client's
+//       deadline_ms; the simulator's per-step stop check turns an
+//       expired deadline into {"error":"deadline_exceeded"} instead of
+//       a stuck worker.
+//   graceful drain — SIGINT/SIGTERM (or request_stop()) stops
+//       accepting, answers queued frames with {"error":"draining"},
+//       gives in-flight work drain_timeout_s to finish, cancels
+//       stragglers through their stop tokens, flushes a final metrics
+//       snapshot and returns 0.
+//
+// Transports: a Unix-domain socket (serve_unix, one detached session
+// thread per connection) and a stdio mode (serve_stdio) for tests and
+// pipelines. handle_line() is the transport-free core — one request
+// line in, one response line out — which is what the protocol tests
+// drive directly.
+//
+// Observability (registry(), all under serve.*): queue depth gauge,
+// request latency and queue-wait histograms, per-method request
+// counters, per-code error counters, cache hit/miss/coalesced/eviction
+// counters and byte/entry gauges, connection counter.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/config.h"
+#include "exec/stop_token.h"
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "serve/cache.h"
+#include "serve/protocol.h"
+
+namespace otem::serve {
+
+struct ServerOptions {
+  /// Maximum run requests queued or executing at once; further runs
+  /// are refused with {"error":"overloaded"}.
+  size_t queue_depth = 16;
+  /// Worker pool width; 0 = exec::default_concurrency().
+  size_t threads = 0;
+  /// Result-cache budget in bytes; 0 disables caching.
+  size_t cache_bytes = 64u << 20;
+  /// How long drain waits for in-flight work before cancelling it.
+  double drain_timeout_s = 5.0;
+  /// Frames longer than this are refused (connection survives).
+  size_t max_frame_bytes = 1u << 20;
+  /// When non-empty, the final metrics snapshot is written here on
+  /// shutdown (schema otem.metrics.v1).
+  std::string metrics_out;
+  /// Base key=value overrides applied under every request (the serve
+  /// command line); request overrides win.
+  Config base;
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The transport-free core: one request frame in, one response frame
+  /// out (no trailing newline). Never throws — every failure becomes a
+  /// structured error response. Safe to call from many threads.
+  std::string handle_line(const std::string& line);
+
+  /// The response for a frame the codec refused as oversized.
+  std::string oversized_response();
+
+  /// Serve newline-framed requests from in_fd to out_fd until EOF or a
+  /// stop; drains and flushes. Returns the process exit code (0).
+  int serve_stdio(int in_fd = 0, int out_fd = 1);
+
+  /// Bind `socket_path`, accept connections (one session thread each)
+  /// until SIGINT/SIGTERM or request_stop(); drains, flushes, removes
+  /// the socket file. Returns the process exit code (0).
+  int serve_unix(const std::string& socket_path);
+
+  /// Programmatic stop (what the signal handlers trigger): stop
+  /// admitting runs and wake the accept loop. Idempotent, thread-safe.
+  void request_stop();
+
+  bool stopping() const;
+
+  /// Wait drain_timeout_s for in-flight runs, then cancel the rest via
+  /// their stop tokens and wait for them to unwind. Called by the
+  /// serve loops; exposed for tests.
+  void drain();
+
+  size_t active_requests() const;
+  obs::MetricsRegistry& registry() { return registry_; }
+
+ private:
+  std::string handle_run(const Request& request, double t0_us);
+  std::string error_response(const Json& id, ErrorCode code,
+                             const std::string& message);
+  void session_loop(int in_fd, int out_fd);
+  void shutdown_flush();
+
+  bool try_admit();
+  void release_admission();
+
+  std::uint64_t register_inflight(const exec::StopSource& source);
+  void unregister_inflight(std::uint64_t id);
+
+  ServerOptions options_;
+  /// Base overrides as plain pairs: each request builds a private
+  /// Config from them, so concurrent requests never share a consumed-
+  /// key set (Config copies share theirs, which would race).
+  std::vector<std::pair<std::string, std::string>> base_pairs_;
+
+  obs::MetricsRegistry registry_;
+  ResultCache cache_;
+  std::unique_ptr<exec::ThreadPool> pool_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> admitted_{0};
+
+  mutable std::mutex inflight_mutex_;
+  std::map<std::uint64_t, exec::StopSource> inflight_;
+  std::uint64_t next_inflight_id_ = 0;
+
+  std::mutex sessions_mutex_;
+  std::condition_variable sessions_done_;
+  size_t open_sessions_ = 0;
+
+  int wake_write_fd_ = -1;  ///< self-pipe: signal handler -> accept loop
+
+  obs::Histogram& latency_us_;
+  obs::Histogram& queue_wait_us_;
+  obs::Gauge& queue_depth_;
+};
+
+}  // namespace otem::serve

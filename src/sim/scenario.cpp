@@ -76,6 +76,15 @@ ScenarioOutcome run_scenario(const Scenario& scenario,
                              const core::SystemSpec& base_spec,
                              const Config& cfg,
                              const std::vector<StepSink*>& extra_sinks) {
+  return run_scenario(scenario, base_spec, cfg, extra_sinks,
+                      exec::StopToken());
+}
+
+ScenarioOutcome run_scenario(const Scenario& scenario,
+                             const core::SystemSpec& base_spec,
+                             const Config& cfg,
+                             const std::vector<StepSink*>& extra_sinks,
+                             const exec::StopToken& stop) {
   core::SystemSpec spec = base_spec;
   if (scenario.ambient_k > 0.0) spec.ambient_k = scenario.ambient_k;
 
@@ -94,6 +103,7 @@ ScenarioOutcome run_scenario(const Scenario& scenario,
     options.initial.t_coolant_k = spec.ambient_k;
   }
   options.record_trace = scenario.record_trace;
+  options.stop = stop;
 
   auto methodology =
       core::make_methodology(scenario.methodology, spec, cfg);

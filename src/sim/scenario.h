@@ -98,4 +98,14 @@ ScenarioOutcome run_scenario(const Scenario& scenario,
                              const Config& cfg,
                              const std::vector<StepSink*>& extra_sinks);
 
+/// Fully-general form: `stop` is consulted before every plant step (see
+/// RunOptions::stop) — the serve daemon passes its per-request token
+/// here so deadlines and drain cancellation reach the step loop. Throws
+/// otem::SimCancelled when the token fires mid-mission.
+ScenarioOutcome run_scenario(const Scenario& scenario,
+                             const core::SystemSpec& spec,
+                             const Config& cfg,
+                             const std::vector<StepSink*>& extra_sinks,
+                             const exec::StopToken& stop);
+
 }  // namespace otem::sim

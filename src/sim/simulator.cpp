@@ -73,6 +73,18 @@ void Simulator::run_with_sinks(core::Methodology& methodology,
   // modulo (a runtime-divisor div in the hottest loop of the codebase).
   size_t next_timed = timing_stride ? 0 : std::numeric_limits<size_t>::max();
   for (size_t k = 0; k < steps; ++k) {
+    if (options.stop.stop_requested()) {
+      // Cooperative cancellation: finalize every sink with the state as
+      // of the last completed step, so streams close and totals are
+      // consistent (just short), THEN report the abandonment.
+      for (StepSink* sink : sinks) sink->end(state);
+      throw SimCancelled(
+          options.stop.deadline_expired()
+              ? "simulation deadline expired at step " + std::to_string(k) +
+                    "/" + std::to_string(steps)
+              : "simulation cancelled at step " + std::to_string(k) + "/" +
+                    std::to_string(steps));
+    }
     const bool timed = k == next_timed;
     if (timed) next_timed += timing_stride;
     const double t0 = timed ? obs::now_us() : 0.0;

@@ -15,6 +15,7 @@
 #include "core/methodology.h"
 #include "core/system_spec.h"
 #include "core/teb.h"
+#include "exec/stop_token.h"
 
 namespace otem::sim {
 
@@ -67,6 +68,13 @@ struct RunResult {
 struct RunOptions {
   core::PlantState initial;  ///< defaults to the paper's x0
   bool record_trace = true;
+  /// Cooperative stop: consulted before every plant step. When it
+  /// fires, attached sinks are FINALIZED (end() runs, streams flush)
+  /// with whatever steps completed, then otem::SimCancelled is thrown —
+  /// a cancelled mission leaves closed files and closed running totals,
+  /// never a truncated stream. Default-constructed = never stops, and
+  /// costs one pointer test per step.
+  exec::StopToken stop;
 };
 
 class Simulator {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <sstream>
 
 #include "common/config.h"
@@ -338,6 +339,71 @@ TEST(Logging, LevelFilterRoundtrip) {
   log::set_level(log::Level::kOff);
   log::error("dropped even at error level");
   log::set_level(before);
+}
+
+// --- config duplicate-key detection -----------------------------------------
+
+/// Run `fn` with otem::log captured to a temp file; returns the lines
+/// it emitted. Restores the previous fd/level whatever happens.
+std::string capture_log(const std::function<void()>& fn) {
+  std::FILE* tmp = std::tmpfile();
+  EXPECT_NE(tmp, nullptr);
+  const int old_fd = log::fd();
+  const log::Level old_level = log::level();
+  log::set_fd(fileno(tmp));
+  log::set_level(log::Level::kWarn);
+  fn();
+  log::set_fd(old_fd);
+  log::set_level(old_level);
+  std::rewind(tmp);
+  std::string captured;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), tmp)) > 0)
+    captured.append(buf, n);
+  std::fclose(tmp);
+  return captured;
+}
+
+TEST(Config, DuplicateKeyWarnsAndLastValueWins) {
+  Config cfg;
+  const std::string captured = capture_log([&] {
+    cfg.set_pair("ambient_k=300");
+    cfg.set_pair("ambient_k=310");
+  });
+  EXPECT_DOUBLE_EQ(cfg.get_double("ambient_k", 0.0), 310.0);
+  EXPECT_NE(captured.find("duplicate config key 'ambient_k'"),
+            std::string::npos)
+      << captured;
+  EXPECT_NE(captured.find("'300'"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("'310'"), std::string::npos) << captured;
+}
+
+TEST(Config, DuplicateKeyWarnsInReversedOrderToo) {
+  Config cfg;
+  const std::string captured = capture_log([&] {
+    cfg.set_pair("ambient_k=310");
+    cfg.set_pair("ambient_k=300");
+  });
+  // Last one wins regardless of which value came first ...
+  EXPECT_DOUBLE_EQ(cfg.get_double("ambient_k", 0.0), 300.0);
+  // ... and the warning names the value that was overridden.
+  EXPECT_NE(captured.find("duplicate config key 'ambient_k'"),
+            std::string::npos)
+      << captured;
+  EXPECT_NE(captured.find("value '310' overridden by '300'"),
+            std::string::npos)
+      << captured;
+}
+
+TEST(Config, RepeatedIdenticalValueIsSilent) {
+  Config cfg;
+  const std::string captured = capture_log([&] {
+    cfg.set_pair("repeats=3");
+    cfg.set_pair("repeats=3");
+  });
+  EXPECT_EQ(cfg.get_long("repeats", 0), 3);
+  EXPECT_EQ(captured.find("duplicate"), std::string::npos) << captured;
 }
 
 // --- config consumption tracking -------------------------------------------

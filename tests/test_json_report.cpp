@@ -108,5 +108,101 @@ TEST(JsonReport, SpecProvenance) {
   EXPECT_NE(text.find("\"capacitance_f\":25000"), std::string::npos);
 }
 
+// --- writer hardening -------------------------------------------------------
+
+TEST(Json, WriterUsesShortEscapesForNamedControls) {
+  EXPECT_EQ(Json("\b\f\n\r\t").dump(0), "\"\\b\\f\\n\\r\\t\"");
+}
+
+TEST(Json, WriterEscapesEveryControlCharacter) {
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string text = Json(std::string(1, static_cast<char>(c))).dump(0);
+    // Whatever the spelling (\uXXXX or a short form), no raw control
+    // byte may survive into the emitted document.
+    for (char byte : text)
+      EXPECT_GE(static_cast<unsigned char>(byte), 0x20u)
+          << "control 0x" << std::hex << c << " leaked into " << text;
+  }
+}
+
+// --- parser -----------------------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse(" false ").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("-12.5e2").as_number(), -1250.0);
+  EXPECT_DOUBLE_EQ(Json::parse("0").as_number(), 0.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, ObjectAndArrayStructure) {
+  const Json doc = Json::parse(R"({"a":[1,2,{"b":null}],"c":"x"})");
+  ASSERT_TRUE(doc.is_object());
+  const Json* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->size(), 3u);
+  EXPECT_DOUBLE_EQ(a->at(1).as_number(), 2.0);
+  ASSERT_NE(a->at(2).find("b"), nullptr);
+  EXPECT_TRUE(a->at(2).find("b")->is_null());
+  EXPECT_EQ(doc.find("c")->as_string(), "x");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParse, RoundTripsEveryControlCharacter) {
+  std::string raw;
+  for (int c = 1; c < 0x20; ++c) raw.push_back(static_cast<char>(c));
+  raw += "\"\\plain";
+  EXPECT_EQ(Json::parse(Json(raw).dump(0)).as_string(), raw);
+}
+
+TEST(JsonParse, UnicodeEscapesDecodeToUtf8) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+  EXPECT_EQ(Json::parse("\"\\u20ac\"").as_string(), "\xe2\x82\xac");
+  // Surrogate pair for U+1F600.
+  EXPECT_EQ(Json::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, DumpThenParseRoundTripsDocuments) {
+  Json doc = Json::object();
+  doc.set("name", "serve").set("n", 3).set("flag", true).set("none", Json());
+  doc.set("xs", Json::numbers({1.0, 2.5, -0.125}));
+  const std::string compact = doc.dump(0);
+  EXPECT_EQ(Json::parse(compact).dump(0), compact);
+  // Pretty output parses back to the same document too.
+  EXPECT_EQ(Json::parse(doc.dump(2)).dump(0), compact);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_THROW(Json::parse(""), SimError);
+  EXPECT_THROW(Json::parse("{\"a\":}"), SimError);
+  EXPECT_THROW(Json::parse("[1,]"), SimError);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), SimError);
+  EXPECT_THROW(Json::parse("\"unterminated"), SimError);
+  EXPECT_THROW(Json::parse("nul"), SimError);
+  EXPECT_THROW(Json::parse("1 2"), SimError);    // trailing garbage
+  EXPECT_THROW(Json::parse("[1] x"), SimError);  // trailing garbage
+  EXPECT_THROW(Json::parse("\"\\ud83d\""), SimError);  // lone surrogate
+  EXPECT_THROW(Json::parse("\"\\x\""), SimError);      // unknown escape
+}
+
+TEST(JsonParse, DepthGuardStopsHostileNesting) {
+  const size_t over = static_cast<size_t>(Json::kMaxParseDepth) + 8;
+  EXPECT_THROW(Json::parse(std::string(over, '[') + std::string(over, ']')),
+               SimError);
+  // Reasonable nesting is untouched by the guard.
+  EXPECT_TRUE(
+      Json::parse(std::string(10, '[') + std::string(10, ']')).is_array());
+}
+
+TEST(JsonParse, TypedReadersThrowOnMismatch) {
+  EXPECT_THROW(Json::parse("1").as_string(), SimError);
+  EXPECT_THROW(Json::parse("\"s\"").as_number(), SimError);
+  EXPECT_THROW(Json::parse("[1]").at(1), SimError);
+}
+
 }  // namespace
 }  // namespace otem

@@ -1,0 +1,582 @@
+// Tests for the serve subsystem: otem.serve.v1 protocol golden
+// transcripts, frame codec (oversized frames, pipelining, EOF), the
+// single-flight result cache, canonical cache keys, admission
+// backpressure, deadlines, drain semantics and the stdio transport.
+//
+// Everything here drives Server::handle_line (the transport-free core)
+// or real pipes — no Unix socket is needed; CI's smoke job covers the
+// socket path end to end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/config.h"
+#include "common/json.h"
+#include "serve/cache.h"
+#include "serve/codec.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "sim/scenario.h"
+
+namespace otem::serve {
+namespace {
+
+/// A server sized for tests: tiny pool, small cache, instant drain.
+ServerOptions test_options() {
+  ServerOptions opts;
+  opts.threads = 2;
+  opts.queue_depth = 4;
+  opts.cache_bytes = 1u << 20;
+  opts.drain_timeout_s = 0.0;
+  return opts;
+}
+
+/// A mission small enough to finish in milliseconds.
+std::string short_run_request(const std::string& extra = "") {
+  return std::string("{\"schema\":\"otem.serve.v1\",\"method\":\"run\","
+                     "\"overrides\":{\"method\":\"parallel\","
+                     "\"synthetic\":true,\"synthetic_duration_s\":30") +
+         extra + "}}";
+}
+
+/// A mission long enough (hundreds of thousands of steps) that tests
+/// can reliably observe it in flight before cancelling it.
+std::string long_run_request() {
+  return "{\"schema\":\"otem.serve.v1\",\"method\":\"run\",\"cache\":"
+         "\"bypass\",\"overrides\":{\"method\":\"parallel\","
+         "\"synthetic\":true,\"synthetic_duration_s\":900,"
+         "\"repeats\":2000}}";
+}
+
+/// Spin until the server reports `n` requests in flight (or fail).
+void wait_for_inflight(Server& server, size_t n) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.active_requests() != n) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "timed out waiting for " << n << " in-flight request(s)";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// --- golden transcripts -----------------------------------------------------
+
+TEST(ServeProtocol, PingGoldenTranscript) {
+  Server server(test_options());
+  EXPECT_EQ(
+      server.handle_line(
+          "{\"schema\":\"otem.serve.v1\",\"method\":\"ping\",\"id\":\"t1\"}"),
+      "{\"schema\":\"otem.serve.v1\",\"id\":\"t1\",\"ok\":true,"
+      "\"cached\":false,\"result\":{\"pong\":true}}");
+}
+
+TEST(ServeProtocol, IdIsEchoedVerbatimWhateverItsType) {
+  Server server(test_options());
+  const std::string resp = server.handle_line(
+      "{\"schema\":\"otem.serve.v1\",\"method\":\"ping\","
+      "\"id\":{\"seq\":17,\"tag\":\"x\"}}");
+  EXPECT_NE(resp.find("\"id\":{\"seq\":17,\"tag\":\"x\"}"),
+            std::string::npos)
+      << resp;
+}
+
+TEST(ServeProtocol, UnknownMethodGoldenTranscript) {
+  Server server(test_options());
+  EXPECT_EQ(
+      server.handle_line(
+          "{\"schema\":\"otem.serve.v1\",\"method\":\"frobnicate\"}"),
+      "{\"schema\":\"otem.serve.v1\",\"id\":null,\"ok\":false,"
+      "\"error\":\"unknown_method\",\"message\":"
+      "\"unknown method 'frobnicate'\"}");
+}
+
+TEST(ServeProtocol, MethodsListsTheRegistry) {
+  Server server(test_options());
+  const std::string resp = server.handle_line(
+      "{\"schema\":\"otem.serve.v1\",\"method\":\"methods\"}");
+  EXPECT_NE(resp.find("\"ok\":true"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("\"parallel\""), std::string::npos) << resp;
+  EXPECT_NE(resp.find("\"otem\""), std::string::npos) << resp;
+}
+
+TEST(ServeProtocol, MetricsReturnsASnapshot) {
+  Server server(test_options());
+  const std::string resp = server.handle_line(
+      "{\"schema\":\"otem.serve.v1\",\"method\":\"metrics\"}");
+  EXPECT_NE(resp.find("\"ok\":true"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("otem.metrics.v1"), std::string::npos) << resp;
+}
+
+// --- malformed frames (connection-level behaviour is the caller's; the
+// --- contract here is: every bad frame gets a structured error) -------------
+
+TEST(ServeProtocol, InvalidJsonIsAnsweredInProtocol) {
+  Server server(test_options());
+  const std::string resp = server.handle_line("{nope");
+  EXPECT_NE(resp.find("\"error\":\"bad_request\""), std::string::npos)
+      << resp;
+  EXPECT_NE(resp.find("invalid JSON frame"), std::string::npos) << resp;
+  // The server object survives and keeps answering.
+  EXPECT_NE(server
+                .handle_line("{\"schema\":\"otem.serve.v1\","
+                             "\"method\":\"ping\"}")
+                .find("\"pong\":true"),
+            std::string::npos);
+}
+
+TEST(ServeProtocol, WrongOrMissingSchemaIsRejected) {
+  Server server(test_options());
+  EXPECT_NE(server.handle_line("{\"method\":\"ping\"}")
+                .find("\"error\":\"bad_request\""),
+            std::string::npos);
+  EXPECT_NE(server
+                .handle_line("{\"schema\":\"otem.serve.v2\","
+                             "\"method\":\"ping\"}")
+                .find("\"error\":\"bad_request\""),
+            std::string::npos);
+}
+
+TEST(ServeProtocol, StructuredFieldValidation) {
+  Server server(test_options());
+  // deadline_ms must be a non-negative number.
+  EXPECT_NE(server
+                .handle_line("{\"schema\":\"otem.serve.v1\",\"method\":"
+                             "\"run\",\"deadline_ms\":-5}")
+                .find("\"error\":\"bad_request\""),
+            std::string::npos);
+  // cache only accepts "use" | "bypass".
+  EXPECT_NE(server
+                .handle_line("{\"schema\":\"otem.serve.v1\",\"method\":"
+                             "\"run\",\"cache\":\"maybe\"}")
+                .find("\"error\":\"bad_request\""),
+            std::string::npos);
+  // overrides must be an object of scalars.
+  EXPECT_NE(server
+                .handle_line("{\"schema\":\"otem.serve.v1\",\"method\":"
+                             "\"run\",\"overrides\":[1,2]}")
+                .find("\"error\":\"bad_request\""),
+            std::string::npos);
+  EXPECT_NE(server
+                .handle_line("{\"schema\":\"otem.serve.v1\",\"method\":"
+                             "\"run\",\"overrides\":{\"repeats\":[1]}}")
+                .find("\"error\":\"bad_request\""),
+            std::string::npos);
+}
+
+TEST(ServeProtocol, ServerSideOutputOverridesAreRefused) {
+  Server server(test_options());
+  const std::string resp = server.handle_line(
+      "{\"schema\":\"otem.serve.v1\",\"method\":\"run\","
+      "\"overrides\":{\"trace_csv\":\"/tmp/x.csv\"}}");
+  EXPECT_NE(resp.find("\"error\":\"bad_request\""), std::string::npos)
+      << resp;
+  EXPECT_NE(resp.find("not allowed in serve mode"), std::string::npos)
+      << resp;
+}
+
+// --- request builder / parser round-trip ------------------------------------
+
+TEST(ServeProtocol, BuildThenParseRoundTripsARequest) {
+  Request req;
+  req.method = "run";
+  req.id = Json("client-7");
+  req.deadline_ms = 2500.0;
+  req.cache_bypass = true;
+  req.overrides.emplace_back("method", "parallel");
+  req.overrides.emplace_back("repeats", "3");
+  const Request back = parse_request(build_request(req));
+  EXPECT_EQ(back.method, "run");
+  EXPECT_EQ(back.id.as_string(), "client-7");
+  EXPECT_DOUBLE_EQ(back.deadline_ms, 2500.0);
+  EXPECT_TRUE(back.cache_bypass);
+  EXPECT_EQ(back.overrides, req.overrides);
+}
+
+TEST(ServeProtocol, OverrideValuesCoerceToConfigStrings) {
+  const Request req = parse_request(
+      "{\"schema\":\"otem.serve.v1\",\"method\":\"run\",\"overrides\":"
+      "{\"repeats\":2,\"soak\":true,\"ambient_k\":2.5,\"cycle\":\"US06\"}}");
+  ASSERT_EQ(req.overrides.size(), 4u);
+  // Integral numbers print WITHOUT a decimal point, so get_long keys
+  // ("repeats", seeds, horizons) stay parseable downstream.
+  EXPECT_EQ(req.overrides[0],
+            (std::pair<std::string, std::string>{"repeats", "2"}));
+  EXPECT_EQ(req.overrides[1],
+            (std::pair<std::string, std::string>{"soak", "true"}));
+  EXPECT_EQ(req.overrides[2],
+            (std::pair<std::string, std::string>{"ambient_k", "2.5"}));
+  EXPECT_EQ(req.overrides[3],
+            (std::pair<std::string, std::string>{"cycle", "US06"}));
+}
+
+// --- run + cache ------------------------------------------------------------
+
+TEST(ServeRun, RepeatRequestIsServedByteIdenticallyFromCache) {
+  Server server(test_options());
+  const std::string first = server.handle_line(short_run_request());
+  const std::string second = server.handle_line(short_run_request());
+  ASSERT_NE(first.find("\"ok\":true"), std::string::npos) << first;
+  EXPECT_NE(first.find("\"cached\":false"), std::string::npos) << first;
+  EXPECT_NE(second.find("\"cached\":true"), std::string::npos) << second;
+
+  // Identical result document, byte for byte — the envelope differs
+  // only in the cached flag.
+  const std::string kMark = "\"result\":";
+  const size_t a = first.find(kMark);
+  const size_t b = second.find(kMark);
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_EQ(first.substr(a), second.substr(b));
+
+  EXPECT_EQ(server.registry().counter("serve.cache.misses").value(), 1u);
+  EXPECT_EQ(server.registry().counter("serve.cache.hits").value(), 1u);
+}
+
+TEST(ServeRun, CacheBypassAlwaysRecomputes) {
+  Server server(test_options());
+  const std::string bypass =
+      "{\"schema\":\"otem.serve.v1\",\"method\":\"run\",\"cache\":"
+      "\"bypass\",\"overrides\":{\"method\":\"parallel\","
+      "\"synthetic\":true,\"synthetic_duration_s\":30}}";
+  const std::string first = server.handle_line(bypass);
+  const std::string second = server.handle_line(bypass);
+  EXPECT_NE(first.find("\"cached\":false"), std::string::npos) << first;
+  EXPECT_NE(second.find("\"cached\":false"), std::string::npos) << second;
+  EXPECT_EQ(server.registry().counter("serve.cache.hits").value(), 0u);
+}
+
+TEST(ServeRun, ResultCarriesTheRunReport) {
+  Server server(test_options());
+  const std::string resp = server.handle_line(short_run_request());
+  ASSERT_NE(resp.find("\"ok\":true"), std::string::npos) << resp;
+  const Json doc = Json::parse(resp);
+  const Json* result = doc.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->find("methodology")->as_string(), "parallel");
+  EXPECT_GT(result->find("steps")->as_number(), 0.0);
+  const Json* report = result->find("report");
+  ASSERT_NE(report, nullptr);
+  ASSERT_NE(report->find("qloss_percent"), nullptr);
+  EXPECT_GT(report->find("qloss_percent")->as_number(), 0.0);
+}
+
+TEST(ServeRun, ConcurrentIdenticalRequestsComputeExactlyOnce) {
+  Server server(test_options());
+  constexpr size_t kClients = 8;
+  std::vector<std::string> responses(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t i = 0; i < kClients; ++i)
+    clients.emplace_back([&, i] {
+      responses[i] = server.handle_line(short_run_request());
+    });
+  for (std::thread& t : clients) t.join();
+
+  const std::string kMark = "\"result\":";
+  size_t computed = 0;
+  std::string canonical;
+  for (const std::string& resp : responses) {
+    ASSERT_NE(resp.find("\"ok\":true"), std::string::npos) << resp;
+    if (resp.find("\"cached\":false") != std::string::npos) ++computed;
+    const size_t at = resp.find(kMark);
+    ASSERT_NE(at, std::string::npos);
+    if (canonical.empty()) canonical = resp.substr(at);
+    EXPECT_EQ(resp.substr(at), canonical);  // all byte-identical
+  }
+  // Single-flight: exactly one client computed, everyone else was
+  // served the same bytes (coalesced on the pending entry or a plain
+  // hit after it landed).
+  EXPECT_EQ(computed, 1u);
+  EXPECT_EQ(server.registry().counter("serve.cache.misses").value(), 1u);
+  EXPECT_EQ(server.registry().counter("serve.cache.hits").value(),
+            kClients - 1);
+}
+
+TEST(ServeRun, ExpiredDeadlineAnswersDeadlineExceeded) {
+  Server server(test_options());
+  const std::string resp = server.handle_line(
+      "{\"schema\":\"otem.serve.v1\",\"method\":\"run\",\"cache\":"
+      "\"bypass\",\"deadline_ms\":0.001,\"overrides\":{\"method\":"
+      "\"parallel\",\"synthetic\":true,\"synthetic_duration_s\":900,"
+      "\"repeats\":50}}");
+  EXPECT_NE(resp.find("\"error\":\"deadline_exceeded\""),
+            std::string::npos)
+      << resp;
+  EXPECT_EQ(server.active_requests(), 0u);
+}
+
+TEST(ServeRun, UnknownMethodologyIsABadRequestNotACrash) {
+  Server server(test_options());
+  const std::string resp = server.handle_line(
+      "{\"schema\":\"otem.serve.v1\",\"method\":\"run\","
+      "\"overrides\":{\"method\":\"no_such_strategy\"}}");
+  EXPECT_NE(resp.find("\"ok\":false"), std::string::npos) << resp;
+  EXPECT_EQ(server.active_requests(), 0u);
+}
+
+// --- backpressure + drain ---------------------------------------------------
+
+TEST(ServeAdmission, FullQueueRefusesWithOverloaded) {
+  ServerOptions opts = test_options();
+  opts.queue_depth = 1;
+  Server server(opts);
+
+  std::string occupant_response;
+  std::thread occupant([&] {
+    occupant_response = server.handle_line(long_run_request());
+  });
+  wait_for_inflight(server, 1);
+
+  // Queue full: a second run is refused immediately, control-plane
+  // methods still answer.
+  const std::string refused = server.handle_line(
+      "{\"schema\":\"otem.serve.v1\",\"method\":\"run\",\"cache\":"
+      "\"bypass\",\"overrides\":{\"method\":\"parallel\",\"synthetic\":"
+      "true,\"synthetic_duration_s\":30}}");
+  EXPECT_NE(refused.find("\"error\":\"overloaded\""), std::string::npos)
+      << refused;
+  EXPECT_NE(server
+                .handle_line("{\"schema\":\"otem.serve.v1\","
+                             "\"method\":\"ping\"}")
+                .find("\"pong\":true"),
+            std::string::npos);
+
+  server.request_stop();
+  server.drain();
+  occupant.join();
+  EXPECT_NE(occupant_response.find("\"error\":\"cancelled\""),
+            std::string::npos)
+      << occupant_response;
+}
+
+TEST(ServeDrain, CancelsInFlightWorkThenRefusesNewWork) {
+  Server server(test_options());  // drain_timeout_s = 0: cancel at once
+  std::string inflight_response;
+  std::thread client([&] {
+    inflight_response = server.handle_line(long_run_request());
+  });
+  wait_for_inflight(server, 1);
+
+  server.request_stop();
+  server.drain();
+  client.join();
+
+  EXPECT_NE(inflight_response.find("\"error\":\"cancelled\""),
+            std::string::npos)
+      << inflight_response;
+  EXPECT_EQ(server.active_requests(), 0u);
+  // Post-drain, run requests are refused as draining.
+  EXPECT_NE(server.handle_line(short_run_request())
+                .find("\"error\":\"draining\""),
+            std::string::npos);
+}
+
+// --- frame codec ------------------------------------------------------------
+
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  void close_writer() {
+    ::close(fds[1]);
+    fds[1] = -1;
+  }
+};
+
+TEST(FrameCodec, PipelinedFramesAreServedBackToBack) {
+  Pipe p;
+  ASSERT_TRUE(write_frame(p.fds[1], "one"));
+  ASSERT_TRUE(write_frame(p.fds[1], "two"));
+  FrameReader reader(p.fds[0], 1024);
+  std::string line;
+  EXPECT_EQ(reader.next(line, 1000), FrameReader::Status::kFrame);
+  EXPECT_EQ(line, "one");
+  EXPECT_EQ(reader.next(line, 1000), FrameReader::Status::kFrame);
+  EXPECT_EQ(line, "two");
+  EXPECT_EQ(reader.next(line, 0), FrameReader::Status::kNoData);
+}
+
+TEST(FrameCodec, PartialFrameWaitsForTheRest) {
+  Pipe p;
+  ASSERT_EQ(::write(p.fds[1], "par", 3), 3);
+  FrameReader reader(p.fds[0], 1024);
+  std::string line;
+  EXPECT_EQ(reader.next(line, 50), FrameReader::Status::kNoData);
+  ASSERT_EQ(::write(p.fds[1], "tial\n", 5), 5);
+  EXPECT_EQ(reader.next(line, 1000), FrameReader::Status::kFrame);
+  EXPECT_EQ(line, "partial");
+}
+
+TEST(FrameCodec, OversizedFrameIsSkippedAndTheConnectionSurvives) {
+  Pipe p;
+  const std::string huge(100, 'x');
+  ASSERT_TRUE(write_frame(p.fds[1], huge));
+  ASSERT_TRUE(write_frame(p.fds[1], "ok"));
+  FrameReader reader(p.fds[0], 16);
+  std::string line;
+  EXPECT_EQ(reader.next(line, 1000), FrameReader::Status::kOversized);
+  // The next frame parses normally — one structured error per huge
+  // frame, no connection teardown.
+  EXPECT_EQ(reader.next(line, 1000), FrameReader::Status::kFrame);
+  EXPECT_EQ(line, "ok");
+}
+
+TEST(FrameCodec, EofAfterLastFrame) {
+  Pipe p;
+  ASSERT_TRUE(write_frame(p.fds[1], "last"));
+  p.close_writer();
+  FrameReader reader(p.fds[0], 1024);
+  std::string line;
+  EXPECT_EQ(reader.next(line, 1000), FrameReader::Status::kFrame);
+  EXPECT_EQ(line, "last");
+  EXPECT_EQ(reader.next(line, 1000), FrameReader::Status::kEof);
+}
+
+TEST(FrameCodec, WriteFrameAppendsExactlyOneNewline) {
+  Pipe p;
+  ASSERT_TRUE(write_frame(p.fds[1], "abc"));
+  p.close_writer();
+  char buf[16];
+  const ssize_t n = ::read(p.fds[0], buf, sizeof(buf));
+  ASSERT_EQ(n, 4);
+  EXPECT_EQ(std::string(buf, 4), "abc\n");
+}
+
+// --- result cache -----------------------------------------------------------
+
+TEST(ResultCacheTest, MissClaimFillHit) {
+  obs::MetricsRegistry registry;
+  ResultCache cache(1u << 20, registry);
+  EXPECT_EQ(cache.lookup_or_begin("k"), std::nullopt);  // claimed
+  cache.fill("k", "value-bytes");
+  const std::optional<std::string> hit = cache.lookup_or_begin("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "value-bytes");
+  EXPECT_EQ(registry.counter("serve.cache.misses").value(), 1u);
+  EXPECT_EQ(registry.counter("serve.cache.hits").value(), 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_GT(cache.bytes(), 0u);
+}
+
+TEST(ResultCacheTest, ZeroBudgetDisablesCaching) {
+  obs::MetricsRegistry registry;
+  ResultCache cache(0, registry);
+  EXPECT_EQ(cache.lookup_or_begin("k"), std::nullopt);
+  cache.fill("k", "value");
+  EXPECT_EQ(cache.lookup_or_begin("k"), std::nullopt);  // still a miss
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(ResultCacheTest, LruEvictionPrefersTheColdestEntry) {
+  obs::MetricsRegistry registry;
+  // Room for two filled entries (64B overhead + key + value each), not
+  // three.
+  ResultCache cache(300, registry);
+  EXPECT_EQ(cache.lookup_or_begin("a"), std::nullopt);
+  cache.fill("a", std::string(40, 'A'));
+  EXPECT_EQ(cache.lookup_or_begin("b"), std::nullopt);
+  cache.fill("b", std::string(40, 'B'));
+  // Touch "a" so "b" is the LRU victim.
+  ASSERT_TRUE(cache.lookup_or_begin("a").has_value());
+  EXPECT_EQ(cache.lookup_or_begin("c"), std::nullopt);
+  cache.fill("c", std::string(40, 'C'));
+  EXPECT_GE(registry.counter("serve.cache.evictions").value(), 1u);
+  EXPECT_TRUE(cache.lookup_or_begin("a").has_value());   // survived
+  EXPECT_EQ(cache.lookup_or_begin("b"), std::nullopt);   // evicted
+}
+
+TEST(ResultCacheTest, AbandonReleasesCoalescedWaiters) {
+  obs::MetricsRegistry registry;
+  ResultCache cache(1u << 20, registry);
+  EXPECT_EQ(cache.lookup_or_begin("k"), std::nullopt);  // this claim fails
+
+  std::atomic<bool> waiter_done{false};
+  std::string waiter_value;
+  std::thread waiter([&] {
+    // Blocks on the pending entry; after abandon() it inherits the
+    // claim (nullopt again), computes, and fills.
+    std::optional<std::string> got = cache.lookup_or_begin("k");
+    EXPECT_EQ(got, std::nullopt);
+    cache.fill("k", "second-try");
+    waiter_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(waiter_done.load());  // genuinely parked on the claim
+  cache.abandon("k");
+  waiter.join();
+  EXPECT_TRUE(waiter_done.load());
+  EXPECT_EQ(cache.lookup_or_begin("k").value(), "second-try");
+}
+
+// --- canonical cache key ----------------------------------------------------
+
+TEST(CacheKey, ExplicitDefaultsHashLikeImpliedDefaults) {
+  Config spelled;
+  spelled.set_pair("cycle=UDDS");
+  spelled.set_pair("method=otem");
+  const Config implied;
+  EXPECT_EQ(canonical_scenario_key(sim::Scenario::from_config(spelled),
+                                   spelled),
+            canonical_scenario_key(sim::Scenario::from_config(implied),
+                                   implied));
+}
+
+TEST(CacheKey, ScenarioDifferencesChangeTheKey) {
+  Config one;
+  one.set_pair("repeats=1");
+  Config two;
+  two.set_pair("repeats=2");
+  EXPECT_NE(canonical_scenario_key(sim::Scenario::from_config(one), one),
+            canonical_scenario_key(sim::Scenario::from_config(two), two));
+}
+
+TEST(CacheKey, SpecOverridesLandInTheSortedTail) {
+  Config cfg;
+  cfg.set_pair("battery.cells=90");
+  const std::string key =
+      canonical_scenario_key(sim::Scenario::from_config(cfg), cfg);
+  EXPECT_NE(key.find("battery.cells=90"), std::string::npos) << key;
+  // Telemetry destinations never reach the key: the same mission with
+  // a different trace path must hit the same entry.
+  Config with_output;
+  with_output.set_pair("battery.cells=90");
+  with_output.set_pair("trace_csv=/tmp/somewhere.csv");
+  EXPECT_EQ(key, canonical_scenario_key(
+                     sim::Scenario::from_config(with_output), with_output));
+}
+
+// --- stdio transport --------------------------------------------------------
+
+TEST(ServeStdio, AnswersFramesUntilEofThenExitsZero) {
+  Pipe in, out;
+  ASSERT_TRUE(write_frame(
+      in.fds[1], "{\"schema\":\"otem.serve.v1\",\"method\":\"ping\","
+                 "\"id\":1}"));
+  ASSERT_TRUE(write_frame(in.fds[1], short_run_request()));
+  in.close_writer();
+
+  Server server(test_options());
+  EXPECT_EQ(server.serve_stdio(in.fds[0], out.fds[1]), 0);
+
+  FrameReader reader(out.fds[0], 1u << 20);
+  std::string line;
+  ASSERT_EQ(reader.next(line, 1000), FrameReader::Status::kFrame);
+  EXPECT_EQ(line,
+            "{\"schema\":\"otem.serve.v1\",\"id\":1,\"ok\":true,"
+            "\"cached\":false,\"result\":{\"pong\":true}}");
+  ASSERT_EQ(reader.next(line, 1000), FrameReader::Status::kFrame);
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"report\":"), std::string::npos) << line;
+}
+
+}  // namespace
+}  // namespace otem::serve

@@ -1,10 +1,18 @@
 // Tests for the closed-loop simulator and metrics layer.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "common/error.h"
 #include "core/parallel_methodology.h"
+#include "exec/stop_token.h"
 #include "sim/metrics.h"
 #include "sim/simulator.h"
+#include "sim/step_sink.h"
 #include "vehicle/drive_cycle.h"
 #include "vehicle/powertrain.h"
 
@@ -168,6 +176,144 @@ TEST(Metrics, RangeEstimatePlausible) {
   const double km = estimated_range_km(r, spec, 10000.0);
   EXPECT_GT(km, 80.0);
   EXPECT_LT(km, 250.0);
+}
+
+// --- cooperative cancellation -----------------------------------------------
+
+/// Probe sink: counts delivered samples, requests a stop after
+/// `stop_after` of them, and records whether end() ran.
+class CancelProbeSink final : public StepSink {
+ public:
+  CancelProbeSink(exec::StopSource source, size_t stop_after)
+      : source_(std::move(source)), stop_after_(stop_after) {}
+
+  void record(const StepSample& sample) override {
+    ++records_;
+    (void)sample;
+    if (records_ >= stop_after_) source_.request_stop();
+  }
+  void end(const core::PlantState& final_state) override {
+    (void)final_state;
+    end_called_ = true;
+  }
+
+  size_t records() const { return records_; }
+  bool end_called() const { return end_called_; }
+
+ private:
+  exec::StopSource source_;
+  size_t stop_after_;
+  size_t records_ = 0;
+  bool end_called_ = false;
+};
+
+TEST(Simulator, CancelMidMissionThrowsSimCancelledAndFinalizesSinks) {
+  const core::SystemSpec spec = default_spec();
+  const Simulator sim(spec);
+  core::ParallelMethodology m(spec);
+  const TimeSeries power = udds_power(spec);
+  ASSERT_GT(power.size(), 100u);
+
+  exec::StopSource source;
+  RunOptions opt;
+  opt.stop = source.token();
+  CancelProbeSink probe(source, 50);
+  MetricsAccumulator metrics;
+  std::vector<StepSink*> sinks{&metrics, &probe};
+  EXPECT_THROW(sim.run_with_sinks(m, power, opt, sinks), SimCancelled);
+  // The mission stopped where asked — not truncated mid-write, not run
+  // to completion — and every sink was finalized.
+  EXPECT_EQ(probe.records(), 50u);
+  EXPECT_TRUE(probe.end_called());
+}
+
+TEST(Simulator, CancelClosesStreamingCsvSinkCleanly) {
+  const core::SystemSpec spec = default_spec();
+  const Simulator sim(spec);
+  core::ParallelMethodology m(spec);
+  const TimeSeries power = udds_power(spec);
+
+  const std::string path =
+      ::testing::TempDir() + "otem_cancelled_trace.csv";
+  exec::StopSource source;
+  RunOptions opt;
+  opt.stop = source.token();
+  CancelProbeSink probe(source, 25);
+  CsvStreamSink csv(path);
+  std::vector<StepSink*> sinks{&csv, &probe};
+  EXPECT_THROW(sim.run_with_sinks(m, power, opt, sinks), SimCancelled);
+  EXPECT_EQ(csv.rows_written(), 25u);
+
+  // The file is a CLOSED, well-formed CSV of exactly the completed
+  // steps: header + 25 rows, final line newline-terminated.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  size_t lines = 0;
+  std::string line, last;
+  while (std::getline(in, line)) {
+    ++lines;
+    last = line;
+  }
+  EXPECT_EQ(lines, 26u);
+  EXPECT_NE(last.find(','), std::string::npos);  // a data row, not junk
+  std::remove(path.c_str());
+}
+
+TEST(Simulator, PreStoppedTokenCancelsBeforeTheFirstStep) {
+  const core::SystemSpec spec = default_spec();
+  const Simulator sim(spec);
+  core::ParallelMethodology m(spec);
+  exec::StopSource source;
+  source.request_stop();
+  RunOptions opt;
+  opt.stop = source.token();
+  try {
+    sim.run(m, udds_power(spec), opt);
+    FAIL() << "should have thrown SimCancelled";
+  } catch (const SimCancelled& e) {
+    EXPECT_NE(std::string(e.what()).find("cancelled at step 0"),
+              std::string::npos);
+  }
+}
+
+TEST(Simulator, ExpiredDeadlineReadsAsDeadlineNotCancel) {
+  const core::SystemSpec spec = default_spec();
+  const Simulator sim(spec);
+  core::ParallelMethodology m(spec);
+  const exec::StopSource source = exec::StopSource::with_deadline(
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1));
+  RunOptions opt;
+  opt.stop = source.token();
+  try {
+    sim.run(m, udds_power(spec), opt);
+    FAIL() << "should have thrown SimCancelled";
+  } catch (const SimCancelled& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline expired"),
+              std::string::npos);
+  }
+}
+
+TEST(Simulator, SimCancelledIsASimError) {
+  // Callers that already catch SimError keep working; callers that
+  // need to distinguish an abandoned run can catch the subclass.
+  const SimCancelled cancelled("stopped");
+  const SimError* base = &cancelled;
+  EXPECT_NE(std::string(base->what()).find("stopped"), std::string::npos);
+}
+
+TEST(Simulator, EmptyStopTokenAddsNothingToARun) {
+  const core::SystemSpec spec = default_spec();
+  const Simulator sim(spec);
+  core::ParallelMethodology m(spec);
+  RunOptions plain;
+  plain.record_trace = false;
+  RunOptions with_token;
+  with_token.record_trace = false;
+  with_token.stop = exec::StopToken();  // empty: never stops
+  const RunResult a = sim.run(m, udds_power(spec), plain);
+  const RunResult b = sim.run(m, udds_power(spec), with_token);
+  EXPECT_EQ(a.qloss_percent, b.qloss_percent);  // bit-identical
+  EXPECT_EQ(a.energy_hees_j, b.energy_hees_j);
 }
 
 }  // namespace
