@@ -1,38 +1,81 @@
 #!/usr/bin/env bash
-# run_benchmarks.sh — regenerate BENCH_fleet.json, the perf trajectory
-# later PRs regress against.
+# run_benchmarks.sh — regenerate BENCH_fleet.json and BENCH_solver.json,
+# the perf trajectories later PRs regress against.
 #
-# Usage: bench/run_benchmarks.sh [build-dir] [output.json]
+# Usage: bench/run_benchmarks.sh [--allow-debug] [build-dir]
 #
-# The JSON is google-benchmark's standard format and contains:
+# Refuses non-Release build trees: debug numbers are useless as a
+# baseline and have silently polluted the checked-in JSON before. The
+# guard reads CMakeCache.txt because the JSON's own
+# context.library_build_type reports how the google-benchmark LIBRARY
+# was built (preinstalled as debug here), not how this repo's code was
+# compiled. Pass --allow-debug to measure a debug build anyway
+# (throwaway local profiling only — never commit those).
+#
+# BENCH_fleet.json (perf_fleet):
 #   - BM_FleetEvaluate/N        fleet wall-clock at N threads (N=1 serial)
 #   - BM_FleetEvaluateMetrics/N the same fleet with a metrics registry
 #                               attached (instrumentation overhead)
 #   - BM_ObsCounterAdd etc.     obs primitive micro-costs
 #   - BM_QpSolveCold/h          one-shot QP solves, items/s = ADMM iter/s
 #   - BM_QpSolveWarm/h          persistent-workspace QP solves
+# BENCH_solver.json (perf_solver):
+#   - BM_MpcForward[Backward]/h rollout + adjoint micro-costs
+#   - BM_OtemSolve/h            full augmented-Lagrangian control steps
+#   - BM_QpSolveSequence/{n,w}  receding-horizon QP, cold (w=0) vs warm
+#   - BM_LtvControlStep/{h,w}   LTV-QP control step, cold vs warm —
+#                               admm_iters_mean / admm_iters_median are
+#                               what bench/check_warm_start.py gates on
 # Derive the headline numbers as
 #   fleet speedup  = real_time(threads=1) / real_time(threads=8)
 #   QP ns per iter = 1e9 / items_per_second
-# Instrumentation overhead (CI gates the serial pair at < 5%):
-#   python3 bench/check_overhead.py BENCH_fleet.json
+#   warm-start win = 1 - admm_iters_median(w=1) / admm_iters_median(w=0)
+# CI gates:
+#   python3 bench/check_overhead.py BENCH_fleet.json     (< 5% overhead)
+#   python3 bench/check_warm_start.py BENCH_solver.json  (>= 25% fewer iters)
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_fleet.json}"
-BIN="$BUILD_DIR/bench/perf_fleet"
+ALLOW_DEBUG=0
+if [[ "${1:-}" == "--allow-debug" ]]; then
+  ALLOW_DEBUG=1
+  shift
+fi
 
-if [[ ! -x "$BIN" ]]; then
-  echo "error: $BIN not found — build first:" >&2
-  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+BUILD_DIR="${1:-build}"
+FLEET_BIN="$BUILD_DIR/bench/perf_fleet"
+SOLVER_BIN="$BUILD_DIR/bench/perf_solver"
+
+for BIN in "$FLEET_BIN" "$SOLVER_BIN"; do
+  if [[ ! -x "$BIN" ]]; then
+    echo "error: $BIN not found — build first:" >&2
+    echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+  fi
+done
+
+# Baselines must come from an optimised build.
+BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+  "$BUILD_DIR/CMakeCache.txt" 2>/dev/null || true)
+if [[ "$BUILD_TYPE" != "Release" && "$ALLOW_DEBUG" != 1 ]]; then
+  echo "error: $BUILD_DIR is built as '${BUILD_TYPE:-unknown}', not Release." >&2
+  echo "Benchmark baselines from unoptimised builds are meaningless;" >&2
+  echo "reconfigure with -DCMAKE_BUILD_TYPE=Release, or pass" >&2
+  echo "--allow-debug for throwaway local numbers (do not commit them)." >&2
   exit 1
 fi
 
 # min_time keeps the fleet benches to a few iterations each; raise it
 # for publication-quality numbers.
-"$BIN" \
-  --benchmark_out="$OUT" \
+"$FLEET_BIN" \
+  --benchmark_out=BENCH_fleet.json \
   --benchmark_out_format=json \
   --benchmark_min_time=0.5
 
-echo "wrote $OUT"
+echo "wrote BENCH_fleet.json"
+
+"$SOLVER_BIN" \
+  --benchmark_out=BENCH_solver.json \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.5
+
+echo "wrote BENCH_solver.json"

@@ -21,7 +21,31 @@ LtvOtemController::LtvOtemController(const SystemSpec& spec,
 void LtvOtemController::reset() {
   have_warm_ = false;
   warm_z_.clear();
+  have_qp_warm_ = false;
+  qp_warm_ = optim::QpWarmStart{};
   info_ = SolveInfo{};
+}
+
+/// Advance the stored QP iterates one control period — the same
+/// shift-by-one policy the incumbent plan uses. The primal lives in
+/// (du_cap, du_cool) pairs per step; the dual has nu box rows followed
+/// by 4 linearised-constraint rows per step. The terminal entries keep
+/// the previous horizon-end values.
+void LtvOtemController::shift_qp_warm_start(size_t n, size_t nu,
+                                            size_t rows) {
+  optim::Vector& x = qp_warm_.x;
+  optim::Vector& y = qp_warm_.y;
+  if (x.size() != nu || y.size() != rows) {
+    have_qp_warm_ = false;  // shape changed: honest cold start
+    return;
+  }
+  for (size_t i = 0; i + 2 < nu; ++i) {
+    x[i] = x[i + 2];
+    y[i] = y[i + 2];
+  }
+  for (size_t k = 0; k + 1 < n; ++k)
+    for (size_t r = 0; r < 4; ++r)
+      y[nu + 4 * k + r] = y[nu + 4 * (k + 1) + r];
 }
 
 MpcProblem::Controls LtvOtemController::solve(
@@ -48,6 +72,14 @@ MpcProblem::Controls LtvOtemController::solve(
   c_.assign(problem_.num_constraints(), 0.0);
   w0_.assign(problem_.num_constraints(), 0.0);
   g_z_.assign(nu, 0.0);
+
+  // QP warm start for the first round of this step: the previous
+  // step's terminal iterates, advanced one period. Later rounds reuse
+  // the immediately preceding round's iterates unshifted (same time
+  // alignment).
+  const size_t rows = nu + 4 * n;  // boxes + (tb, soc, soe, p_bs) / step
+  if (options_.warm_start && have_qp_warm_)
+    shift_qp_warm_start(n, nu, rows);
 
   // Size the persistent sensitivity stack once per horizon/width.
   if (sens_.size() != n + 1 || sens_[0].rows() != 4 ||
@@ -92,7 +124,6 @@ MpcProblem::Controls LtvOtemController::solve(
     // Decision variables are du / T with T = trust_region_w, so every
     // variable lives in [-1, 1] and ADMM sees a well-scaled problem.
     const double T = options_.trust_region_w;
-    const size_t rows = nu + 4 * n;  // boxes + (tb, soc, soe, p_bs) / step
     optim::QpProblem& qp = qp_;
     qp.q.assign(nu, 0.0);
     qp.p.reshape(nu, nu);
@@ -191,13 +222,26 @@ MpcProblem::Controls LtvOtemController::solve(
       if (qp.l[r] > qp.u[r]) qp.l[r] = qp.u[r];
     }
 
-    const optim::QpResult sol = qp_solver_.solve(qp, options_.qp);
+    const optim::QpResult sol =
+        options_.warm_start && have_qp_warm_
+            ? qp_solver_.solve(qp, options_.qp, qp_warm_)
+            : qp_solver_.solve(qp, options_.qp);
     info_.qp_iterations += sol.iterations;
     info_.qp_rho_updates += sol.rho_updates;
+    if (sol.warm_started) ++info_.qp_warm_hits;
+    info_.kkt_refactorizations += sol.kkt_refactorizations;
     info_.qp_converged = sol.converged;
     info_.primal_residual = sol.primal_residual;
     info_.dual_residual = sol.dual_residual;
     ++info_.sqp_rounds;
+
+    if (options_.warm_start) {
+      // Terminal iterates seed the next round / next step.
+      qp_warm_.x = sol.x;
+      qp_warm_.y = sol.y;
+      qp_warm_.rho = sol.rho_final;
+      have_qp_warm_ = true;
+    }
 
     // Apply the correction (de-normalise).
     for (size_t k = 0; k < n; ++k) {
@@ -225,6 +269,8 @@ SolveDiagnostics LtvOtemController::diagnostics() const {
   d.sqp_rounds = info_.sqp_rounds;
   d.qp_iterations = info_.qp_iterations;
   d.qp_rho_updates = info_.qp_rho_updates;
+  d.qp_warm_hits = info_.qp_warm_hits;
+  d.kkt_refactorizations = info_.kkt_refactorizations;
   d.cost = info_.cost;
   d.primal_residual = info_.primal_residual;
   d.dual_residual = info_.dual_residual;

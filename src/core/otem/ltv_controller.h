@@ -33,6 +33,13 @@ struct LtvOptions {
   /// strictly convex where the linear cost is flat.
   double regularisation_floor = 1e-6;
 
+  /// Warm-start the ADMM QP with the previous round's / control step's
+  /// terminal iterates (shifted one period across steps, like the
+  /// incumbent plan). Cold-starts after reset() or on a shape change.
+  /// Off reverts to a from-zero solve every round — the A/B switch
+  /// bench/perf_solver's BM_LtvControlStep measures.
+  bool warm_start = true;
+
   optim::QpOptions qp;
 
   LtvOptions() {
@@ -41,6 +48,10 @@ struct LtvOptions {
     // (|du| <= 1), so unit-scale tolerances converge quickly.
     qp.eps_abs = 1e-4;
     qp.eps_rel = 1e-4;
+    // P's diagonal is |g_u| T-scaled and drifts by ~1e-6 between
+    // converged SQP rounds; tolerate that drift before paying a
+    // refactorisation (termination still tests the exact data).
+    qp.kkt_refactor_tol = 1e-8;
   }
 };
 
@@ -61,7 +72,9 @@ class LtvOtemController final : public ControllerIface {
     size_t qp_iterations = 0;   ///< ADMM iterations, summed over rounds
     bool qp_converged = false;  ///< last round's QP converged
     size_t sqp_rounds = 0;
-    size_t qp_rho_updates = 0;  ///< ADMM refactorisations, summed
+    size_t qp_rho_updates = 0;  ///< adaptive-rho rebalances, summed
+    size_t qp_warm_hits = 0;    ///< QP rounds seeded from a warm start
+    size_t kkt_refactorizations = 0;  ///< Cholesky factorisations paid
     double primal_residual = 0.0;  ///< last round's QP
     double dual_residual = 0.0;
     bool fallback = false;      ///< cold start (no usable warm start)
@@ -83,7 +96,14 @@ class LtvOtemController final : public ControllerIface {
 
   optim::Vector warm_z_;
   bool have_warm_ = false;
+  // Terminal ADMM iterates of the most recent QP round, threaded into
+  // the next round (same alignment) and the next control step (shifted
+  // one period, see shift_qp_warm_start()).
+  optim::QpWarmStart qp_warm_;
+  bool have_qp_warm_ = false;
   SolveInfo info_;
+
+  void shift_qp_warm_start(size_t n, size_t nu, size_t rows);
 
   // Persistent solver + per-solve workspace: the controller runs every
   // simulated second, so the QP matrices, sensitivity stack and scratch

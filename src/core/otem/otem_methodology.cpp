@@ -116,10 +116,14 @@ void register_otem_methodologies(MethodologyRegistry& registry) {
         make_forecast(cfg.get_string("forecast", "perfect")));
   });
   registry.add("otem-ltv", [](const SystemSpec& spec, const Config& cfg) {
+    LtvOptions ltv;
+    // A/B switch for the receding-horizon QP warm start (on by
+    // default); docs/PERFORMANCE.md shows the comparison workflow.
+    ltv.warm_start = cfg.get_bool("ltv.warm_start", true);
     return std::make_unique<OtemMethodology>(
         spec,
-        std::make_unique<LtvOtemController>(spec,
-                                            MpcOptions::from_config(cfg)),
+        std::make_unique<LtvOtemController>(
+            spec, MpcOptions::from_config(cfg), ltv),
         make_forecast(cfg.get_string("forecast", "perfect")));
   });
 }

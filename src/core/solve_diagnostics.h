@@ -20,7 +20,9 @@ struct SolveDiagnostics {
   size_t iterations = 0;     ///< NLP inner iterations (shooting path)
   size_t sqp_rounds = 0;     ///< linearise-solve-apply rounds (LTV path)
   size_t qp_iterations = 0;  ///< ADMM iterations, summed over rounds
-  size_t qp_rho_updates = 0; ///< ADMM refactorisations, summed
+  size_t qp_rho_updates = 0; ///< adaptive-rho rebalances, summed
+  size_t qp_warm_hits = 0;   ///< QP rounds seeded from a warm start
+  size_t kkt_refactorizations = 0;  ///< Cholesky factorisations paid
 
   double cost = 0.0;                  ///< objective at the accepted point
   double constraint_violation = 0.0;  ///< max_i c_i (shooting path)

@@ -8,8 +8,41 @@
 
 namespace otem::optim {
 
+namespace {
+
+/// Exact elementwise equality (including shape) — the gate for reusing
+/// the cached Gram matrix / factorisation. Bitwise comparison keeps the
+/// reuse decision deterministic.
+bool same_values(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  const size_t count = a.rows() * a.cols();
+  for (size_t i = 0; i < count; ++i)
+    if (pa[i] != pb[i]) return false;
+  return true;
+}
+
+/// max_ij |a_ij - b_ij| for same-shaped matrices.
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  const double* pa = a.data();
+  const double* pb = b.data();
+  const size_t count = a.rows() * a.cols();
+  double m = 0.0;
+  for (size_t i = 0; i < count; ++i)
+    m = std::max(m, std::abs(pa[i] - pb[i]));
+  return m;
+}
+
+}  // namespace
+
 QpResult QpSolver::solve(const QpProblem& problem,
                          const QpOptions& options) {
+  return solve(problem, options, QpWarmStart{});
+}
+
+QpResult QpSolver::solve(const QpProblem& problem, const QpOptions& options,
+                         const QpWarmStart& warm) {
   const size_t n = problem.q.size();
   const size_t m = problem.l.size();
   // Cheap O(1) dimension-consistency checks come first; everything
@@ -28,20 +61,70 @@ QpResult QpSolver::solve(const QpProblem& problem,
   OTEM_REQUIRE(problem.p.is_symmetric(1e-9), "QP: P must be symmetric");
 #endif
 
-  // KKT matrix K = P + sigma I + rho A^T A. A^T A is cached so an
-  // adaptive-rho update is a scaled in-place add, not a rebuild.
-  problem.a.gram_into(ata_);
-  double rho = options.rho;
-  kkt_ = problem.p;
-  for (size_t i = 0; i < n; ++i) kkt_(i, i) += options.sigma;
-  kkt_.add_scaled(ata_, rho);
-  chol_.factor(kkt_);
-
-  x_.assign(n, 0.0);
-  z_.assign(m, 0.0);
-  y_.assign(m, 0.0);
-
   QpResult result;
+
+  double rho = warm.rho > 0.0 ? std::clamp(warm.rho, 1e-6, 1e6)
+                              : options.rho;
+
+  // KKT matrix K = P + sigma I + rho A^T A, assembled incrementally
+  // against whatever the previous solve left behind. Receding-horizon
+  // callers re-solve with identical A (and often near-identical P)
+  // every step, so the Gram product and the Cholesky are the two big
+  // costs worth skipping.
+  const bool same_a = factored_ && same_values(a_cached_, problem.a);
+  if (!same_a) {
+    problem.a.gram_into(ata_);
+    a_cached_ = problem.a;
+  }
+  const bool kkt_compatible =
+      same_a && factored_ && sigma_cached_ == options.sigma &&
+      p_cached_.rows() == n && p_cached_.cols() == n;
+  if (kkt_compatible && rho == rho_cached_ &&
+      max_abs_diff(p_cached_, problem.p) <= options.kkt_refactor_tol) {
+    // Full reuse: the cached factorisation is (within tolerance) this
+    // problem's KKT matrix. Termination below tests residuals of the
+    // true problem data, so a tolerated P drift only affects
+    // convergence speed, never the answer. Note p_cached_ keeps the P
+    // baked into the factor, so drift cannot accumulate across solves.
+  } else if (kkt_compatible) {
+    // In-place update: K += (P - P_old) + (rho - rho_old) A^T A.
+    kkt_.add_scaled(p_cached_, -1.0);
+    kkt_.add_scaled(problem.p, 1.0);
+    if (rho != rho_cached_) kkt_.add_scaled(ata_, rho - rho_cached_);
+    p_cached_ = problem.p;
+    rho_cached_ = rho;
+    factored_ = false;
+    chol_.factor(kkt_);
+    factored_ = true;
+    ++result.kkt_refactorizations;
+  } else {
+    kkt_ = problem.p;
+    for (size_t i = 0; i < n; ++i) kkt_(i, i) += options.sigma;
+    kkt_.add_scaled(ata_, rho);
+    p_cached_ = problem.p;
+    sigma_cached_ = options.sigma;
+    rho_cached_ = rho;
+    factored_ = false;
+    chol_.factor(kkt_);
+    factored_ = true;
+    ++result.kkt_refactorizations;
+  }
+
+  // Iterate seeds: a usable warm start replays the previous solution
+  // (z as the projection of A x keeps the z-iterate feasible), anything
+  // else cold-starts at zero.
+  result.warm_started = warm.x.size() == n && warm.y.size() == m;
+  if (result.warm_started) {
+    x_ = warm.x;
+    y_ = warm.y;
+    problem.a.multiply_vector_into(x_, z_);
+    for (size_t i = 0; i < m; ++i)
+      z_[i] = std::clamp(z_[i], problem.l[i], problem.u[i]);
+  } else {
+    x_.assign(n, 0.0);
+    z_.assign(m, 0.0);
+    y_.assign(m, 0.0);
+  }
   for (size_t it = 0; it < options.max_iterations; ++it) {
     // x-update: solve K x = sigma x - q + A^T (rho z - y), in place in
     // rhs_ (which therefore holds x_new after the solve).
@@ -128,8 +211,12 @@ QpResult QpSolver::solve(const QpProblem& problem,
           // KKT matrix in place and refactorise into existing storage.
           kkt_.add_scaled(ata_, rho_new - rho);
           rho = rho_new;
+          rho_cached_ = rho;
+          factored_ = false;
           chol_.factor(kkt_);
+          factored_ = true;
           ++result.rho_updates;
+          ++result.kkt_refactorizations;
         }
       }
     }

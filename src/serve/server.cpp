@@ -78,6 +78,7 @@ bool is_output_override(const std::string& key) {
 Server::Server(const ServerOptions& options)
     : options_(options),
       cache_(options.cache_bytes, registry_),
+      run_instruments_(registry_),
       pool_(std::make_unique<exec::ThreadPool>(options.threads)),
       latency_us_(registry_.histogram("serve.request.latency_us",
                                       obs::latency_buckets_us())),
@@ -260,8 +261,12 @@ std::string Server::handle_run(const Request& req, double t0_us) {
   exec::TaskHandle handle = pool_->submit([&] {
     queue_wait_us_.record(obs::now_us() - enqueued_us);
     const core::SystemSpec spec = core::SystemSpec::from_config(merged);
+    // Aggregate this run's sim/solver telemetry into the server
+    // registry: the metrics method then reports warm-start hits,
+    // ADMM iteration distributions etc. across every served run.
+    sim::DiagnosticsSink diagnostics(run_instruments_);
     const sim::ScenarioOutcome outcome =
-        sim::run_scenario(scenario, spec, merged, {}, token);
+        sim::run_scenario(scenario, spec, merged, {&diagnostics}, token);
     Json result = Json::object();
     result.set("methodology", scenario.methodology);
     result.set("steps", outcome.power.size());

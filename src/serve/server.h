@@ -50,6 +50,7 @@
 #include "obs/metrics.h"
 #include "serve/cache.h"
 #include "serve/protocol.h"
+#include "sim/obs_sink.h"
 
 namespace otem::serve {
 
@@ -132,6 +133,10 @@ class Server {
 
   obs::MetricsRegistry registry_;
   ResultCache cache_;
+  /// One pre-resolved sim/solver instrument bundle shared by every run
+  /// request (sharded instruments make concurrent runs safe), so the
+  /// metrics method surfaces solver.qp_warm_hits & co fleet-wide.
+  sim::DiagnosticsSink::Instruments run_instruments_;
   std::unique_ptr<exec::ThreadPool> pool_;
 
   std::atomic<bool> stop_{false};

@@ -12,6 +12,9 @@ DiagnosticsSink::Instruments::Instruments(obs::MetricsRegistry& registry,
       fallbacks(registry.counter(prefix + "solver.fallbacks")),
       nonconverged(registry.counter(prefix + "solver.nonconverged")),
       rho_updates(registry.counter(prefix + "solver.qp_rho_updates")),
+      warm_hits(registry.counter(prefix + "solver.qp_warm_hits")),
+      kkt_refactorizations(
+          registry.counter(prefix + "solver.kkt_refactorizations")),
       qloss(registry.gauge(prefix + "sim.qloss_percent")),
       duration(registry.gauge(prefix + "sim.duration_s")),
       step_latency_us(registry.histogram(prefix + "sim.step_latency_us",
@@ -22,6 +25,9 @@ DiagnosticsSink::Instruments::Instruments(obs::MetricsRegistry& registry,
                                     obs::iteration_buckets())),
       qp_iterations(registry.histogram(prefix + "solver.qp_iterations",
                                        obs::iteration_buckets())),
+      qp_iterations_cold(
+          registry.histogram(prefix + "solver.qp_iterations_cold",
+                             obs::iteration_buckets())),
       primal_residual(registry.histogram(prefix + "solver.primal_residual",
                                          obs::residual_buckets())),
       dual_residual(registry.histogram(prefix + "solver.dual_residual",
@@ -54,13 +60,22 @@ void DiagnosticsSink::record(const StepSample& sample) {
   if (s.fallback) ++local_.fallbacks;
   if (!s.converged) ++local_.nonconverged;
   local_.rho_updates += s.qp_rho_updates;
+  local_.warm_hits += s.qp_warm_hits;
+  local_.kkt_refactorizations += s.kkt_refactorizations;
   instruments_.solve_latency_us.record(s.solve_time_us);
   // The two transcriptions report different inner-loop counts; record
   // whichever ran so the histograms stay per-solver-family.
   if (s.iterations)
     instruments_.iterations.record(static_cast<double>(s.iterations));
-  if (s.qp_iterations)
+  if (s.qp_iterations) {
     instruments_.qp_iterations.record(static_cast<double>(s.qp_iterations));
+    // The cold slice: fallback steps ran with no warm start, so the
+    // gap between this histogram's mean and the overall mean is the
+    // iteration saving the warm start buys.
+    if (s.fallback)
+      instruments_.qp_iterations_cold.record(
+          static_cast<double>(s.qp_iterations));
+  }
   if (s.primal_residual > 0.0)
     instruments_.primal_residual.record(s.primal_residual);
   if (s.dual_residual > 0.0)
@@ -77,6 +92,9 @@ void DiagnosticsSink::end(const core::PlantState&) {
   if (local_.nonconverged)
     instruments_.nonconverged.add(local_.nonconverged);
   if (local_.rho_updates) instruments_.rho_updates.add(local_.rho_updates);
+  if (local_.warm_hits) instruments_.warm_hits.add(local_.warm_hits);
+  if (local_.kkt_refactorizations)
+    instruments_.kkt_refactorizations.add(local_.kkt_refactorizations);
   instruments_.qloss.set(local_.qloss_percent);
   instruments_.duration.set(static_cast<double>(local_.steps) * dt_);
 }
@@ -90,7 +108,7 @@ void JsonlEventSink::begin(const RunContext& ctx) {
   dt_ = ctx.dt;
   Json e = Json::object();
   e.set("event", "run_begin");
-  e.set("schema", "otem.events.v1");
+  e.set("schema", "otem.events.v2");
   e.set("steps", ctx.steps);
   e.set("dt_s", ctx.dt);
   e.set("t_battery0_k", ctx.initial.t_battery_k);
@@ -126,6 +144,8 @@ Json JsonlEventSink::step_event(const StepSample& sample, double dt) {
     solve.set("sqp_rounds", s.sqp_rounds);
     solve.set("qp_iterations", s.qp_iterations);
     solve.set("qp_rho_updates", s.qp_rho_updates);
+    solve.set("qp_warm_hits", s.qp_warm_hits);
+    solve.set("kkt_refactorizations", s.kkt_refactorizations);
     solve.set("cost", s.cost);
     solve.set("constraint_violation", s.constraint_violation);
     solve.set("primal_residual", s.primal_residual);

@@ -11,8 +11,9 @@
 //
 // JsonlEventSink streams one structured event line per step (plus a
 // run_begin/run_end envelope) to disk through obs::JsonlWriter — O(1)
-// memory in mission length, schema "otem.events.v1" pinned by
-// tests/test_obs.cpp.
+// memory in mission length, schema "otem.events.v2" pinned by
+// tests/test_obs.cpp (v2 added solve.qp_warm_hits and
+// solve.kkt_refactorizations).
 #pragma once
 
 #include <memory>
@@ -27,12 +28,18 @@ namespace otem::sim {
 /// Metric catalogue (all names carry the constructor's prefix):
 ///   counters    sim.steps, sim.infeasible_steps, solver.solves,
 ///               solver.fallbacks, solver.nonconverged,
-///               solver.qp_rho_updates
+///               solver.qp_rho_updates, solver.qp_warm_hits,
+///               solver.kkt_refactorizations
 ///   gauges      sim.qloss_percent, sim.duration_s
 ///   histograms  sim.step_latency_us, solver.latency_us,
 ///               solver.iterations, solver.qp_iterations,
-///               solver.primal_residual, solver.dual_residual,
-///               solver.constraint_violation
+///               solver.qp_iterations_cold, solver.primal_residual,
+///               solver.dual_residual, solver.constraint_violation
+///
+/// solver.qp_iterations_cold is the fallback-step (cold-start) slice of
+/// solver.qp_iterations: mean(qp_iterations_cold) - mean(warm steps)
+/// is the per-step ADMM iteration saving the warm start buys (see
+/// docs/PERFORMANCE.md).
 class DiagnosticsSink final : public StepSink {
  public:
   /// One step in 64 is wall-clock timed for sim.step_latency_us; the
@@ -42,7 +49,7 @@ class DiagnosticsSink final : public StepSink {
   static constexpr size_t kTimingStride = 64;
 
   /// The resolved instrument references for one name prefix. Resolving
-  /// takes 15 mutex-guarded registry lookups — a fleet shares ONE
+  /// takes 18 mutex-guarded registry lookups — a fleet shares ONE
   /// bundle across all its missions instead of resolving per mission.
   struct Instruments {
     explicit Instruments(obs::MetricsRegistry& registry,
@@ -53,12 +60,15 @@ class DiagnosticsSink final : public StepSink {
     obs::Counter& fallbacks;
     obs::Counter& nonconverged;
     obs::Counter& rho_updates;
+    obs::Counter& warm_hits;
+    obs::Counter& kkt_refactorizations;
     obs::Gauge& qloss;
     obs::Gauge& duration;
     obs::Histogram& step_latency_us;
     obs::Histogram& solve_latency_us;
     obs::Histogram& iterations;
     obs::Histogram& qp_iterations;
+    obs::Histogram& qp_iterations_cold;
     obs::Histogram& primal_residual;
     obs::Histogram& dual_residual;
     obs::Histogram& constraint_violation;
@@ -101,13 +111,15 @@ class DiagnosticsSink final : public StepSink {
     std::uint64_t fallbacks = 0;
     std::uint64_t nonconverged = 0;
     std::uint64_t rho_updates = 0;
+    std::uint64_t warm_hits = 0;
+    std::uint64_t kkt_refactorizations = 0;
     double qloss_percent = 0.0;
   };
   Local local_;
 };
 
 /// One JSON object per line:
-///   {"event":"run_begin","schema":"otem.events.v1",...}
+///   {"event":"run_begin","schema":"otem.events.v2",...}
 ///   {"event":"step","k":0,...,"solve":{...}}   (solve only when present)
 ///   {"event":"run_end",...}
 /// `every` decimates: only steps with k % every == 0 emit a line

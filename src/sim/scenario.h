@@ -66,7 +66,7 @@ struct Scenario {
   /// When non-empty, attach a DiagnosticsSink and write the metrics
   /// snapshot (schema otem.metrics.v1) here after the run.
   std::string metrics_out;
-  /// When non-empty, stream per-step events (schema otem.events.v1)
+  /// When non-empty, stream per-step events (schema otem.events.v2)
   /// here; events_every decimates the step events.
   std::string events_jsonl;
   size_t events_every = 1;

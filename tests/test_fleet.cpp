@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/error.h"
+#include "core/otem/ltv_controller.h"
 #include "core/otem/otem_methodology.h"
 #include "core/parallel_methodology.h"
 #include "sim/fleet.h"
@@ -78,6 +79,44 @@ TEST(Fleet, ThreadedIsBitIdenticalToSerial) {
               b.missions[i].result.energy_hees_j);
     EXPECT_EQ(a.missions[i].result.max_t_battery_k,
               b.missions[i].result.max_t_battery_k);
+  }
+}
+
+TEST(Fleet, LtvWarmStartsStayBitIdenticalAcrossThreads) {
+  // Warm-started ADMM carries solver state across steps INSIDE a
+  // mission; each mission owns its controller and solver, so execution
+  // width and repetition must still not change a single bit.
+  const core::SystemSpec spec = default_spec();
+  const auto ltv_factory = [](const core::SystemSpec& s) {
+    core::MpcOptions mpc;
+    mpc.horizon = 8;
+    return std::make_unique<core::OtemMethodology>(
+        s, std::make_unique<core::LtvOtemController>(s, mpc));
+  };
+  FleetOptions serial = small_fleet(3);
+  serial.min_duration_s = 60.0;
+  serial.max_duration_s = 120.0;
+  serial.threads = 1;
+  FleetOptions threaded = serial;
+  threaded.threads = 4;
+  const FleetResult a = evaluate_fleet(spec, ltv_factory, serial);
+  const FleetResult b = evaluate_fleet(spec, ltv_factory, threaded);
+  const FleetResult c = evaluate_fleet(spec, ltv_factory, threaded);
+  EXPECT_EQ(a.qloss_percent.mean, b.qloss_percent.mean);
+  EXPECT_EQ(a.average_power_w.mean, b.average_power_w.mean);
+  ASSERT_EQ(a.missions.size(), b.missions.size());
+  for (size_t i = 0; i < a.missions.size(); ++i) {
+    EXPECT_EQ(a.missions[i].result.qloss_percent,
+              b.missions[i].result.qloss_percent);
+    EXPECT_EQ(a.missions[i].result.energy_hees_j,
+              b.missions[i].result.energy_hees_j);
+    EXPECT_EQ(a.missions[i].result.max_t_battery_k,
+              b.missions[i].result.max_t_battery_k);
+    // Repeat with the same width: warm-start state resets per run.
+    EXPECT_EQ(b.missions[i].result.qloss_percent,
+              c.missions[i].result.qloss_percent);
+    EXPECT_EQ(b.missions[i].result.energy_hees_j,
+              c.missions[i].result.energy_hees_j);
   }
 }
 

@@ -172,6 +172,69 @@ TEST(LtvController, ClosedLoopComparableToShooting) {
   EXPECT_LT(rl.qloss_percent, rs.qloss_percent * 2.5 + 1e-5);
 }
 
+TEST(LtvController, WarmStartNeverIncreasesIterationsOnRecedingHorizon) {
+  // Two controllers walk the same receding-horizon sequence — identical
+  // states and sliding load windows — one with ADMM warm starts, one
+  // without. The warm controller must never pay more total ADMM
+  // iterations on a step and must win overall, without changing the
+  // controls beyond QP tolerance.
+  const SystemSpec spec = default_spec();
+  const size_t horizon = 12;
+  LtvOptions cold_opt;
+  cold_opt.warm_start = false;
+  LtvOtemController warm_ctrl(spec, opts(horizon));
+  LtvOtemController cold_ctrl(spec, opts(horizon), cold_opt);
+
+  Rng rng(5);
+  std::vector<double> load(horizon + 40);
+  for (auto& p : load) p = rng.uniform(5000.0, 45000.0);
+
+  PlantState x;
+  x.t_battery_k = 302.0;
+  x.t_coolant_k = 300.0;
+  size_t warm_total = 0, cold_total = 0;
+  for (size_t step = 0; step + horizon <= load.size(); ++step) {
+    const std::vector<double> window(load.begin() + step,
+                                     load.begin() + step + horizon);
+    const auto uw = warm_ctrl.solve(x, window);
+    const auto uc = cold_ctrl.solve(x, window);
+    ASSERT_LE(warm_ctrl.last_solve().qp_iterations,
+              cold_ctrl.last_solve().qp_iterations)
+        << "step " << step;
+    warm_total += warm_ctrl.last_solve().qp_iterations;
+    cold_total += cold_ctrl.last_solve().qp_iterations;
+    // Same problem to QP tolerance: controls agree loosely. The bound
+    // is wide because each controller warm-starts its SQP from its OWN
+    // incumbent plan, so per-round tolerance drift compounds over the
+    // sequence — this catches gross divergence, not ulp noise.
+    EXPECT_NEAR(uw.p_cap_bus_w, uc.p_cap_bus_w,
+                0.1 * spec.ultracap.max_power_w + 1.0)
+        << "step " << step;
+    // Drift the state a little so every window is a fresh problem (but
+    // both controllers see the same state).
+    x.t_battery_k += rng.uniform(-0.05, 0.05);
+    x.soc_percent = std::min(100.0, std::max(20.0, x.soc_percent - 0.01));
+  }
+  EXPECT_LT(warm_total, cold_total);
+  EXPECT_GT(warm_ctrl.last_solve().qp_warm_hits, 0u);
+  EXPECT_EQ(cold_ctrl.last_solve().qp_warm_hits, 0u);
+}
+
+TEST(LtvController, ResetColdStartsAndReportsFallback) {
+  const SystemSpec spec = default_spec();
+  LtvOtemController ctrl(spec, opts(10));
+  const std::vector<double> load(10, 25000.0);
+  PlantState x;
+  (void)ctrl.solve(x, load);
+  EXPECT_TRUE(ctrl.last_solve().fallback);  // first-ever solve is cold
+  (void)ctrl.solve(x, load);
+  EXPECT_FALSE(ctrl.last_solve().fallback);
+  EXPECT_GT(ctrl.last_solve().qp_warm_hits, 0u);
+  ctrl.reset();
+  (void)ctrl.solve(x, load);
+  EXPECT_TRUE(ctrl.last_solve().fallback);  // reset() drops the iterates
+}
+
 TEST(LtvController, SoeFloorRespectedInClosedLoop) {
   const SystemSpec spec = default_spec();
   const sim::Simulator sim(spec);

@@ -5,7 +5,7 @@
 // detection, and the thread-safe logger.
 //
 // Two golden tests pin the externally visible schemas byte-for-byte:
-// "otem.metrics.v1" (metrics_out= snapshots) and "otem.events.v1"
+// "otem.metrics.v1" (metrics_out= snapshots) and "otem.events.v2"
 // (events_jsonl= step lines). Downstream tooling parses these files —
 // a change here is a breaking change and must bump the schema string.
 #include <gtest/gtest.h>
@@ -229,6 +229,8 @@ TEST(Events, StepEventGoldenLine) {
   rec.solve.sqp_rounds = 2;
   rec.solve.qp_iterations = 120;
   rec.solve.qp_rho_updates = 3;
+  rec.solve.qp_warm_hits = 2;
+  rec.solve.kkt_refactorizations = 4;
   rec.solve.cost = 1.5;
   rec.solve.constraint_violation = 0.001;
   rec.solve.primal_residual = 0.0005;
@@ -242,7 +244,7 @@ TEST(Events, StepEventGoldenLine) {
   const sim::StepSample sample{2, rec, state, 0.25, 0.5, 12.5};
   const std::string got =
       sim::JsonlEventSink::step_event(sample, 1.0).dump(0);
-  // Pinned byte-for-byte: one events_jsonl= line ("otem.events.v1").
+  // Pinned byte-for-byte: one events_jsonl= line ("otem.events.v2").
   const std::string want =
       "{\"event\":\"step\",\"k\":2,\"t_s\":2,"
       "\"p_load_w\":12000,\"p_cooler_w\":350,\"p_cap_w\":500,"
@@ -252,7 +254,8 @@ TEST(Events, StepEventGoldenLine) {
       "\"step_us\":12.5,"
       "\"solve\":{\"converged\":true,\"fallback\":false,"
       "\"iterations\":40,\"sqp_rounds\":2,\"qp_iterations\":120,"
-      "\"qp_rho_updates\":3,\"cost\":1.5,"
+      "\"qp_rho_updates\":3,\"qp_warm_hits\":2,"
+      "\"kkt_refactorizations\":4,\"cost\":1.5,"
       "\"constraint_violation\":0.001,\"primal_residual\":0.0005,"
       "\"dual_residual\":2e-05,\"latency_us\":850}}";
   EXPECT_EQ(got, want);
@@ -329,6 +332,21 @@ TEST(DiagnosticsSink, CapturesSolverDiagnosticsEndToEnd) {
   EXPECT_GT(snap.histograms.at("solver.latency_us").sum, 0.0);
   EXPECT_GT(snap.histograms.at("solver.qp_iterations").count, 0u);
   EXPECT_GT(snap.histograms.at("solver.primal_residual").count, 0u);
+  // Warm-start telemetry: the first step cold-starts (1 fallback, its
+  // qp_iterations land in the cold histogram), every later SQP round is
+  // warm, and each solve pays at least one factorisation per round.
+  EXPECT_EQ(snap.counters.at("solver.fallbacks"), 1u);
+  EXPECT_EQ(snap.histograms.at("solver.qp_iterations_cold").count, 1u);
+  EXPECT_GT(snap.counters.at("solver.qp_warm_hits"), steps);
+  EXPECT_GE(snap.counters.at("solver.kkt_refactorizations"), steps);
+  // The cold step must not out-iterate the average warm step — the
+  // whole point of the warm start.
+  const obs::Histogram::Snapshot& qp_all =
+      snap.histograms.at("solver.qp_iterations");
+  const obs::Histogram::Snapshot& qp_cold =
+      snap.histograms.at("solver.qp_iterations_cold");
+  EXPECT_GT(qp_cold.sum / static_cast<double>(qp_cold.count),
+            qp_all.sum / static_cast<double>(qp_all.count));
   EXPECT_DOUBLE_EQ(snap.gauges.at("sim.duration_s"),
                    static_cast<double>(steps) * 1.0);
   EXPECT_GT(snap.gauges.at("sim.qloss_percent"), 0.0);
@@ -337,7 +355,7 @@ TEST(DiagnosticsSink, CapturesSolverDiagnosticsEndToEnd) {
   const std::vector<std::string> lines = read_lines(events);
   ASSERT_EQ(lines.size(), 2 + (steps + 9) / 10);
   EXPECT_EQ(lines.front().rfind("{\"event\":\"run_begin\","
-                                "\"schema\":\"otem.events.v1\"",
+                                "\"schema\":\"otem.events.v2\"",
                                 0),
             0u);
   EXPECT_EQ(lines[1].rfind("{\"event\":\"step\",\"k\":0,", 0), 0u);
