@@ -1,0 +1,34 @@
+"""Shared helpers for the bench/check_*.py CI gates.
+
+Lives next to the check scripts; `python3 bench/check_foo.py` puts this
+directory on sys.path, so the scripts just `import bench_json`.
+"""
+
+import json
+import sys
+
+
+def load_release_bench(path):
+    """Load a google-benchmark JSON file, refusing non-Release builds.
+
+    perf_solver / perf_fleet stamp context.repo_build_type with how the
+    repo's own code was compiled ("release" iff NDEBUG). The stock
+    context.library_build_type key only reports how the google-benchmark
+    LIBRARY was built (debug on many distros), which is why a debug
+    artifact once slipped into the committed baselines. Any JSON without
+    a "release" stamp — including pre-stamp artifacts — is rejected, so
+    a stale or unoptimised file can never pass a perf gate again.
+    """
+    with open(path) as f:
+        data = json.load(f)
+    build = data.get("context", {}).get("repo_build_type")
+    if build != "release":
+        print(
+            f"error: {path} was measured from a "
+            f"'{build or 'unknown (pre-stamp artifact)'}' build of this "
+            "repo, not 'release'.\nRegenerate it from a Release tree "
+            "(bench/run_benchmarks.sh enforces this).",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+    return data

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Fail when the banded KKT path stops being O(H) per ADMM iteration.
+
+Reads a google-benchmark JSON file (as written by perf_solver with
+--benchmark_out) and inspects the `stage_ops_per_iter` counter of the
+warm BM_LtvControlStep/{horizon}/1 rows: the number of fixed-size
+stage-block kernel applications (block Cholesky factor + solve sweeps,
+stage matvecs) each ADMM iteration pays. On the block-tridiagonal
+factorisation this count is linear in the horizon by construction, so
+the normalised cost stage_ops_per_iter / horizon must be the SAME
+constant at every horizon. A superlinear regression — someone sneaking
+a dense operation back onto the hot path — shows up as that constant
+growing with H and fails the gate.
+
+The gate runs on exact operation COUNTS, not wall-clock: counts are
+machine-independent, so loaded CI runners can't flake it (same policy
+as check_warm_start.py).
+
+Also asserts the dense oracle rows (BM_LtvControlStepDense), when
+present, report zero stage ops — the counter must not leak across
+paths. Solution agreement between the two paths is property-tested in
+tests/test_banded_kkt.cpp, which the solver-perf-smoke CI job runs
+alongside this gate.
+
+Usage: check_banded.py BENCH_solver.json [--max-ratio-spread 1.35]
+
+Exit code 1 when the per-horizon constants spread by more than
+--max-ratio-spread (max/min), when fewer than two horizons are present
+(a renamed benchmark can't silently disable the gate), or when the JSON
+was not produced from a Release build of this repo.
+"""
+
+import argparse
+import re
+import sys
+
+import bench_json
+
+NAME_RE = re.compile(r"^(BM_LtvControlStep(?:Dense)?)/(\d+)/1\b")
+
+
+def collect(benchmarks):
+    """bench name -> {horizon -> stage_ops_per_iter}."""
+    out = {}
+    for b in benchmarks:
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregate rows
+        m = NAME_RE.match(b["name"])
+        if not m or "stage_ops_per_iter" not in b:
+            continue
+        out.setdefault(m.group(1), {})[int(m.group(2))] = float(
+            b["stage_ops_per_iter"])
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench_json")
+    ap.add_argument("--max-ratio-spread", type=float, default=1.35)
+    args = ap.parse_args()
+
+    data = bench_json.load_release_bench(args.bench_json)
+    rows = collect(data["benchmarks"])
+
+    banded = rows.get("BM_LtvControlStep", {})
+    if len(banded) < 2:
+        print("error: need warm BM_LtvControlStep rows with a "
+              "stage_ops_per_iter counter at >= 2 horizons in "
+              f"{args.bench_json}", file=sys.stderr)
+        return 1
+
+    failed = False
+    print(f"{'horizon':>7}  {'ops/iter':>10}  {'ops/iter/H':>10}")
+    constants = {}
+    for horizon in sorted(banded):
+        ops = banded[horizon]
+        if ops <= 0.0:
+            print(f"error: horizon {horizon} reports no stage block ops "
+                  "— the banded path did not run", file=sys.stderr)
+            return 1
+        constants[horizon] = ops / horizon
+        print(f"{horizon:>7}  {ops:>10.1f}  {constants[horizon]:>10.2f}")
+
+    spread = max(constants.values()) / min(constants.values())
+    print(f"per-horizon constant spread (max/min): {spread:.3f} "
+          f"(budget {args.max_ratio_spread:g})")
+    if spread > args.max_ratio_spread:
+        print("error: stage block ops per iteration are not growing "
+              "linearly in the horizon", file=sys.stderr)
+        failed = True
+
+    for horizon, ops in sorted(rows.get("BM_LtvControlStepDense",
+                                        {}).items()):
+        if ops != 0.0:
+            print(f"error: dense path reports {ops} stage block ops at "
+                  f"horizon {horizon}; the counter leaked", file=sys.stderr)
+            failed = True
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

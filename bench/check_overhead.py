@@ -12,13 +12,16 @@ Usage: check_overhead.py BENCH_fleet.json [--max-percent 5.0]
 When the file was produced with --benchmark_repetitions, the MINIMUM
 real_time per benchmark is used: the min is the least noisy statistic
 for "how fast can this go", which is what an overhead ratio needs.
-Exit code 1 when any thread count blows the budget.
+Exit code 1 when any thread count blows the budget, or when the JSON
+was not produced from a Release build of this repo
+(context.repo_build_type — see bench_json.load_release_bench).
 """
 
 import argparse
-import json
 import re
 import sys
+
+import bench_json
 
 NAME_RE = re.compile(r"^(BM_FleetEvaluate(?:Metrics)?)/(\d+)")
 NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -46,8 +49,7 @@ def main():
     ap.add_argument("--max-percent", type=float, default=5.0)
     args = ap.parse_args()
 
-    with open(args.bench_json) as f:
-        data = json.load(f)
+    data = bench_json.load_release_bench(args.bench_json)
     best = best_times(data["benchmarks"])
 
     base = best.get("BM_FleetEvaluate", {})

@@ -14,14 +14,17 @@ machine-independent, so the gate doesn't flake on loaded CI runners.
 
 Usage: check_warm_start.py BENCH_solver.json [--min-percent 25.0]
 
-Exit code 1 when any horizon misses the bar (or the pairs are absent,
-so a renamed benchmark can't silently disable the gate).
+Exit code 1 when any horizon misses the bar, when the pairs are absent
+(so a renamed benchmark can't silently disable the gate), or when the
+JSON was not produced from a Release build of this repo
+(context.repo_build_type — see bench_json.load_release_bench).
 """
 
 import argparse
-import json
 import re
 import sys
+
+import bench_json
 
 NAME_RE = re.compile(r"^BM_LtvControlStep/(\d+)/([01])\b")
 
@@ -51,8 +54,7 @@ def main():
     ap.add_argument("--min-percent", type=float, default=25.0)
     args = ap.parse_args()
 
-    with open(args.bench_json) as f:
-        data = json.load(f)
+    data = bench_json.load_release_bench(args.bench_json)
     rows = collect(data["benchmarks"])
     pairs = {h: v for h, v in rows.items() if 0 in v and 1 in v}
     if not pairs:

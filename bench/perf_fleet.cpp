@@ -220,4 +220,18 @@ BENCHMARK(BM_QpSolveWarm)->Arg(10)->Arg(30)->Arg(60);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Same stamp as perf_solver: how THIS repo was compiled, which the
+  // bench/check_*.py gates require to be "release" (the stock
+  // library_build_type key only describes the benchmark library).
+#ifdef NDEBUG
+  benchmark::AddCustomContext("repo_build_type", "release");
+#else
+  benchmark::AddCustomContext("repo_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

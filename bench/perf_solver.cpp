@@ -177,11 +177,12 @@ BENCHMARK(BM_QpSolveSequence)
 // coupled to it, exactly as shipped). The acceptance criterion lives
 // here: warm (Arg 1) must cut median ADMM iterations per step by
 // >= 25 % against cold at the same horizon.
-void BM_LtvControlStep(benchmark::State& state) {
+void ltv_control_step(benchmark::State& state, optim::KktSolveMode mode) {
   const size_t horizon = static_cast<size_t>(state.range(0));
   const bool warm = state.range(1) != 0;
   LtvOptions opt;
   opt.warm_start = warm;
+  opt.qp.kkt_mode = mode;
   MpcOptions mpc;
   mpc.horizon = horizon;
   LtvOtemController ctrl(spec(), mpc, opt);
@@ -190,6 +191,7 @@ void BM_LtvControlStep(benchmark::State& state) {
   x.t_battery_k = 303.0;
   x.t_coolant_k = 301.0;
   std::vector<double> iters, refactors;
+  double stage_ops_total = 0.0;
   size_t step = 0;
   std::vector<double> window(horizon);
   for (auto _ : state) {
@@ -199,6 +201,8 @@ void BM_LtvControlStep(benchmark::State& state) {
     iters.push_back(static_cast<double>(ctrl.last_solve().qp_iterations));
     refactors.push_back(
         static_cast<double>(ctrl.last_solve().kkt_refactorizations));
+    stage_ops_total +=
+        static_cast<double>(ctrl.last_solve().stage_block_ops);
     ++step;
   }
   double iter_total = 0.0, refactor_total = 0.0;
@@ -209,6 +213,15 @@ void BM_LtvControlStep(benchmark::State& state) {
   state.counters["admm_iters_median"] = median_of(iters);
   state.counters["kkt_refactor_mean"] = benchmark::Counter(
       refactor_total, benchmark::Counter::kAvgIterations);
+  // Fixed-size block-kernel applications per ADMM iteration: exact,
+  // machine-independent, and linear in the horizon on the banded path
+  // (always 0 on the dense path) — what bench/check_banded.py gates on.
+  state.counters["stage_ops_per_iter"] =
+      iter_total > 0.0 ? stage_ops_total / iter_total : 0.0;
+}
+
+void BM_LtvControlStep(benchmark::State& state) {
+  ltv_control_step(state, optim::KktSolveMode::kBanded);
 }
 BENCHMARK(BM_LtvControlStep)
     ->Args({10, 0})
@@ -219,6 +232,34 @@ BENCHMARK(BM_LtvControlStep)
     ->Args({60, 1})
     ->Unit(benchmark::kMillisecond);
 
+// The dense condensed-KKT path on the same sequence — the correctness
+// oracle's cost, kept measured so the banded speedup stays visible in
+// BENCH_solver.json (same counters, same workload).
+void BM_LtvControlStepDense(benchmark::State& state) {
+  ltv_control_step(state, optim::KktSolveMode::kDense);
+}
+BENCHMARK(BM_LtvControlStepDense)
+    ->Args({10, 1})
+    ->Args({30, 1})
+    ->Args({60, 1})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // How THIS repo's code was compiled (the stock library_build_type
+  // context key reports the google-benchmark library's own build, which
+  // is debug on many distros). bench/check_*.py refuse baselines whose
+  // repo_build_type is not "release", so an unoptimised artifact can
+  // never be committed as a perf baseline again.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("repo_build_type", "release");
+#else
+  benchmark::AddCustomContext("repo_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,8 +9,12 @@
 # guard reads CMakeCache.txt because the JSON's own
 # context.library_build_type reports how the google-benchmark LIBRARY
 # was built (preinstalled as debug here), not how this repo's code was
-# compiled. Pass --allow-debug to measure a debug build anyway
-# (throwaway local profiling only — never commit those).
+# compiled. The bench binaries additionally self-stamp
+# context.repo_build_type ("release" iff compiled with NDEBUG), and
+# every bench/check_*.py gate refuses JSON without a "release" stamp —
+# so even a file produced by bypassing this script can't become a
+# committed baseline. Pass --allow-debug to measure a debug build
+# anyway (throwaway local profiling only — the gates will reject it).
 #
 # BENCH_fleet.json (perf_fleet):
 #   - BM_FleetEvaluate/N        fleet wall-clock at N threads (N=1 serial)
@@ -23,16 +27,25 @@
 #   - BM_MpcForward[Backward]/h rollout + adjoint micro-costs
 #   - BM_OtemSolve/h            full augmented-Lagrangian control steps
 #   - BM_QpSolveSequence/{n,w}  receding-horizon QP, cold (w=0) vs warm
-#   - BM_LtvControlStep/{h,w}   LTV-QP control step, cold vs warm —
+#   - BM_LtvControlStep/{h,w}   LTV-QP control step (banded KKT, the
+#                               production path), cold vs warm —
 #                               admm_iters_mean / admm_iters_median are
-#                               what bench/check_warm_start.py gates on
+#                               what bench/check_warm_start.py gates on;
+#                               stage_ops_per_iter is what
+#                               bench/check_banded.py gates on
+#   - BM_LtvControlStepDense/{h,1}  the dense condensed-KKT oracle on
+#                               the same workload (the banded speedup's
+#                               denominator)
 # Derive the headline numbers as
 #   fleet speedup  = real_time(threads=1) / real_time(threads=8)
 #   QP ns per iter = 1e9 / items_per_second
 #   warm-start win = 1 - admm_iters_median(w=1) / admm_iters_median(w=0)
+#   banded speedup = real_time(BM_LtvControlStepDense/h/1)
+#                    / real_time(BM_LtvControlStep/h/1)
 # CI gates:
 #   python3 bench/check_overhead.py BENCH_fleet.json     (< 5% overhead)
 #   python3 bench/check_warm_start.py BENCH_solver.json  (>= 25% fewer iters)
+#   python3 bench/check_banded.py BENCH_solver.json      (O(H) block ops)
 set -euo pipefail
 
 ALLOW_DEBUG=0

@@ -120,6 +120,13 @@ void register_otem_methodologies(MethodologyRegistry& registry) {
     // A/B switch for the receding-horizon QP warm start (on by
     // default); docs/PERFORMANCE.md shows the comparison workflow.
     ltv.warm_start = cfg.get_bool("ltv.warm_start", true);
+    // KKT backend: "banded" (stage-structured O(H) solve, default) or
+    // "dense" (condensed oracle path).
+    const std::string kkt = cfg.get_string("ltv.kkt", "banded");
+    OTEM_REQUIRE(kkt == "banded" || kkt == "dense",
+                 "ltv.kkt must be 'banded' or 'dense'");
+    ltv.qp.kkt_mode = kkt == "dense" ? optim::KktSolveMode::kDense
+                                     : optim::KktSolveMode::kBanded;
     return std::make_unique<OtemMethodology>(
         spec,
         std::make_unique<LtvOtemController>(

@@ -23,6 +23,12 @@ struct SolveDiagnostics {
   size_t qp_rho_updates = 0; ///< adaptive-rho rebalances, summed
   size_t qp_warm_hits = 0;   ///< QP rounds seeded from a warm start
   size_t kkt_refactorizations = 0;  ///< Cholesky factorisations paid
+  /// Fixed-size stage-block kernel applications, summed over rounds
+  /// (banded KKT path; 0 when the dense path or shooting solver ran).
+  size_t stage_block_ops = 0;
+  /// QP rounds whose active-set polish was accepted (banded KKT path
+  /// with QpOptions::polish; see QpResult::polished).
+  size_t qp_polish_hits = 0;
 
   double cost = 0.0;                  ///< objective at the accepted point
   double constraint_violation = 0.0;  ///< max_i c_i (shooting path)

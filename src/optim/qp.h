@@ -43,6 +43,16 @@ struct QpProblem {
   Vector u;   ///< m (may contain +inf)
 };
 
+/// Backend for the ADMM x-update linear system.
+///  * kDense — condensed KKT, dense Cholesky (O(n^3) factor, O(n^2)
+///    solve). What QpSolver always does; the correctness oracle.
+///  * kBanded — stage-structured block-tridiagonal KKT factored in O(H)
+///    fixed-size block operations (optim/ltv_qp.h). Consumed by callers
+///    that own a stage-wise transcription (core::LtvOtemController);
+///    QpSolver itself ignores it, since a dense QpProblem carries no
+///    stage structure to exploit.
+enum class KktSolveMode { kDense, kBanded };
+
 struct QpOptions {
   size_t max_iterations = 4000;
   double rho = 0.1;
@@ -61,6 +71,18 @@ struct QpOptions {
   /// this trades (bounded) convergence speed, never accuracy. 0 demands
   /// an exact P match.
   double kkt_refactor_tol = 0.0;
+  /// KKT backend selector (see KktSolveMode). Structure-aware callers
+  /// route their solves through LtvQpSolver when set to kBanded.
+  KktSolveMode kkt_mode = KktSolveMode::kDense;
+  /// Solution polish (banded path only; QpSolver ignores it). After
+  /// ADMM converges, one stiff equality solve on the active set the
+  /// terminal duals identify snaps the iterates to the active-set-exact
+  /// optimum — a few O(H) block operations that buy orders of magnitude
+  /// in solution accuracy, so callers can run ADMM at a loose eps
+  /// without the solution noise. The polished iterates are accepted
+  /// only when BOTH residuals improve; otherwise the ADMM iterates
+  /// stand (so polish can only help). See LtvQpSolver::polish().
+  bool polish = false;
 };
 
 /// Initial iterates for solve() — typically the previous solution of a
@@ -87,6 +109,15 @@ struct QpResult {
   /// Cholesky factorisations this solve paid for (initial + adaptive
   /// rho). 0 means the cached factorisation was reused outright.
   size_t kkt_refactorizations = 0;
+  /// Fixed-size stage-block kernel applications (banded path only;
+  /// always 0 from the dense QpSolver). Exact and machine-independent —
+  /// bench/check_banded.py gates on this growing linearly in horizon.
+  size_t stage_block_ops = 0;
+  /// QpOptions::polish ran and the polished iterates were accepted
+  /// (both residuals improved). The polish factorisation is NOT counted
+  /// in kkt_refactorizations — that field measures ADMM KKT reuse — but
+  /// its block work is included in stage_block_ops.
+  bool polished = false;
 };
 
 /// Reusable ADMM solver. Keep one alive per controller: the workspace

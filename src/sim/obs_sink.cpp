@@ -15,6 +15,8 @@ DiagnosticsSink::Instruments::Instruments(obs::MetricsRegistry& registry,
       warm_hits(registry.counter(prefix + "solver.qp_warm_hits")),
       kkt_refactorizations(
           registry.counter(prefix + "solver.kkt_refactorizations")),
+      stage_block_ops(registry.counter(prefix + "solver.stage_block_ops")),
+      qp_polish_hits(registry.counter(prefix + "solver.qp_polish_hits")),
       qloss(registry.gauge(prefix + "sim.qloss_percent")),
       duration(registry.gauge(prefix + "sim.duration_s")),
       step_latency_us(registry.histogram(prefix + "sim.step_latency_us",
@@ -62,6 +64,8 @@ void DiagnosticsSink::record(const StepSample& sample) {
   local_.rho_updates += s.qp_rho_updates;
   local_.warm_hits += s.qp_warm_hits;
   local_.kkt_refactorizations += s.kkt_refactorizations;
+  local_.stage_block_ops += s.stage_block_ops;
+  local_.qp_polish_hits += s.qp_polish_hits;
   instruments_.solve_latency_us.record(s.solve_time_us);
   // The two transcriptions report different inner-loop counts; record
   // whichever ran so the histograms stay per-solver-family.
@@ -95,6 +99,10 @@ void DiagnosticsSink::end(const core::PlantState&) {
   if (local_.warm_hits) instruments_.warm_hits.add(local_.warm_hits);
   if (local_.kkt_refactorizations)
     instruments_.kkt_refactorizations.add(local_.kkt_refactorizations);
+  if (local_.stage_block_ops)
+    instruments_.stage_block_ops.add(local_.stage_block_ops);
+  if (local_.qp_polish_hits)
+    instruments_.qp_polish_hits.add(local_.qp_polish_hits);
   instruments_.qloss.set(local_.qloss_percent);
   instruments_.duration.set(static_cast<double>(local_.steps) * dt_);
 }
@@ -146,6 +154,9 @@ Json JsonlEventSink::step_event(const StepSample& sample, double dt) {
     solve.set("qp_rho_updates", s.qp_rho_updates);
     solve.set("qp_warm_hits", s.qp_warm_hits);
     solve.set("kkt_refactorizations", s.kkt_refactorizations);
+    // Banded KKT path only; 0 (and absent) on the dense/shooting paths.
+    if (s.stage_block_ops) solve.set("stage_block_ops", s.stage_block_ops);
+    if (s.qp_polish_hits) solve.set("qp_polish_hits", s.qp_polish_hits);
     solve.set("cost", s.cost);
     solve.set("constraint_violation", s.constraint_violation);
     solve.set("primal_residual", s.primal_residual);

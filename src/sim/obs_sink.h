@@ -29,7 +29,8 @@ namespace otem::sim {
 ///   counters    sim.steps, sim.infeasible_steps, solver.solves,
 ///               solver.fallbacks, solver.nonconverged,
 ///               solver.qp_rho_updates, solver.qp_warm_hits,
-///               solver.kkt_refactorizations
+///               solver.kkt_refactorizations, solver.stage_block_ops,
+///               solver.qp_polish_hits
 ///   gauges      sim.qloss_percent, sim.duration_s
 ///   histograms  sim.step_latency_us, solver.latency_us,
 ///               solver.iterations, solver.qp_iterations,
@@ -49,7 +50,7 @@ class DiagnosticsSink final : public StepSink {
   static constexpr size_t kTimingStride = 64;
 
   /// The resolved instrument references for one name prefix. Resolving
-  /// takes 18 mutex-guarded registry lookups — a fleet shares ONE
+  /// takes 20 mutex-guarded registry lookups — a fleet shares ONE
   /// bundle across all its missions instead of resolving per mission.
   struct Instruments {
     explicit Instruments(obs::MetricsRegistry& registry,
@@ -62,6 +63,8 @@ class DiagnosticsSink final : public StepSink {
     obs::Counter& rho_updates;
     obs::Counter& warm_hits;
     obs::Counter& kkt_refactorizations;
+    obs::Counter& stage_block_ops;
+    obs::Counter& qp_polish_hits;
     obs::Gauge& qloss;
     obs::Gauge& duration;
     obs::Histogram& step_latency_us;
@@ -113,6 +116,8 @@ class DiagnosticsSink final : public StepSink {
     std::uint64_t rho_updates = 0;
     std::uint64_t warm_hits = 0;
     std::uint64_t kkt_refactorizations = 0;
+    std::uint64_t stage_block_ops = 0;
+    std::uint64_t qp_polish_hits = 0;
     double qloss_percent = 0.0;
   };
   Local local_;

@@ -120,6 +120,42 @@ TEST(Fleet, LtvWarmStartsStayBitIdenticalAcrossThreads) {
   }
 }
 
+TEST(Fleet, BandedKktStaysBitIdenticalAcrossThreads) {
+  // The banded KKT path adds per-solver persistent stage workspace
+  // (block factors, ADMM iterates) on top of the warm-start state; each
+  // mission still owns its controller, so execution width must not
+  // change a single bit. Pinned to kBanded explicitly so the test keeps
+  // its meaning if the LtvOptions default ever changes.
+  const core::SystemSpec spec = default_spec();
+  const auto banded_factory = [](const core::SystemSpec& s) {
+    core::MpcOptions mpc;
+    mpc.horizon = 8;
+    core::LtvOptions ltv;
+    ltv.qp.kkt_mode = optim::KktSolveMode::kBanded;
+    return std::make_unique<core::OtemMethodology>(
+        s, std::make_unique<core::LtvOtemController>(s, mpc, ltv));
+  };
+  FleetOptions serial = small_fleet(3);
+  serial.min_duration_s = 60.0;
+  serial.max_duration_s = 120.0;
+  serial.threads = 1;
+  FleetOptions threaded = serial;
+  threaded.threads = 4;
+  const FleetResult a = evaluate_fleet(spec, banded_factory, serial);
+  const FleetResult b = evaluate_fleet(spec, banded_factory, threaded);
+  EXPECT_EQ(a.qloss_percent.mean, b.qloss_percent.mean);
+  EXPECT_EQ(a.average_power_w.mean, b.average_power_w.mean);
+  ASSERT_EQ(a.missions.size(), b.missions.size());
+  for (size_t i = 0; i < a.missions.size(); ++i) {
+    EXPECT_EQ(a.missions[i].result.qloss_percent,
+              b.missions[i].result.qloss_percent);
+    EXPECT_EQ(a.missions[i].result.energy_hees_j,
+              b.missions[i].result.energy_hees_j);
+    EXPECT_EQ(a.missions[i].result.max_t_battery_k,
+              b.missions[i].result.max_t_battery_k);
+  }
+}
+
 TEST(Fleet, SingleMissionHasZeroSpread) {
   const core::SystemSpec spec = default_spec();
   const FleetResult r =
