@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fail when the batched plant path loses its throughput edge.
+
+Reads a google-benchmark JSON file (as written by perf_models with
+--benchmark_out) and compares BM_PlantScalarStep (missions stepped one
+at a time through the scalar Simulator loop) against BM_PlantBatchStep/L
+(the same missions in SoA lockstep through a PlantBatch at L lanes).
+Both report items/s = mission-steps/s, so the ratio is a direct
+single-thread throughput comparison. The contract — enforced in CI — is
+that the BEST lane width clears the scalar path by at least the given
+factor (default 1.5x). Per-lane-width ratios are printed for the record;
+only the best one gates, since the 1-lane row exists to measure the
+batching overhead, not to win.
+
+Usage: check_batch.py BENCH_models.json [--min-ratio 1.5]
+
+When the file was produced with --benchmark_repetitions, the MAXIMUM
+items_per_second per benchmark is used (least-noisy "how fast can this
+go" statistic). Exit code 1 when the best batched width misses the
+ratio, or when the JSON was not produced from a Release build of this
+repo (context.repo_build_type — see bench_json.load_release_bench).
+"""
+
+import argparse
+import re
+import sys
+
+import bench_json
+
+BATCH_RE = re.compile(r"^BM_PlantBatchStep/(\d+)")
+
+
+def best_throughputs(benchmarks):
+    """(scalar items/s, {lanes -> max items/s}) over iteration runs."""
+    scalar = 0.0
+    batch = {}
+    for b in benchmarks:
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # skip mean/median/stddev aggregate rows
+        ips = float(b.get("items_per_second", 0.0))
+        if b["name"].startswith("BM_PlantScalarStep"):
+            scalar = max(scalar, ips)
+            continue
+        m = BATCH_RE.match(b["name"])
+        if m:
+            lanes = int(m.group(1))
+            batch[lanes] = max(batch.get(lanes, 0.0), ips)
+    return scalar, batch
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench_json")
+    ap.add_argument("--min-ratio", type=float, default=1.5)
+    args = ap.parse_args()
+
+    data = bench_json.load_release_bench(args.bench_json)
+    scalar, batch = best_throughputs(data["benchmarks"])
+    if scalar <= 0.0 or not batch:
+        print("error: no BM_PlantScalarStep / BM_PlantBatchStep rows in "
+              f"{args.bench_json}", file=sys.stderr)
+        return 1
+
+    print(f"scalar: {scalar / 1e6:.3f} M mission-steps/s")
+    print(f"{'lanes':>5}  {'Msteps/s':>9}  {'vs scalar':>9}")
+    best_ratio = 0.0
+    for lanes in sorted(batch):
+        ratio = batch[lanes] / scalar
+        best_ratio = max(best_ratio, ratio)
+        print(f"{lanes:>5}  {batch[lanes] / 1e6:>9.3f}  {ratio:>8.2f}x")
+    if best_ratio < args.min_ratio:
+        print(f"error: best batched throughput is {best_ratio:.2f}x scalar, "
+              f"below the {args.min_ratio:g}x gate", file=sys.stderr)
+        return 1
+    print(f"best batched width clears scalar by {best_ratio:.2f}x "
+          f"(gate: {args.min_ratio:g}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Gate: the SoA lane loops must still auto-vectorize.
+
+Reads a build log produced with -fopt-info-vec (GCC prints one
+"optimized: ... loop vectorized ..." remark per vectorized loop,
+prefixed with the source path) and requires at least one vectorized
+loop in every core lane-kernel translation unit. A refactor that
+reintroduces a libm call, an unspeculatable load or data-dependent
+control flow into a lane loop silently drops the batch tier back to
+scalar speed — the remark disappearing is the earliest, cheapest
+signal of that regression.
+
+Usage: check_vectorization.py BUILD_LOG [--require FILE ...]
+"""
+
+import argparse
+import re
+import sys
+
+# Translation units holding the batched step_lanes()/power_lanes()
+# kernels (see docs/ARCHITECTURE.md, "Batched plant layer").
+DEFAULT_REQUIRED = [
+    "src/thermal/cooling_system.cpp",
+    "src/battery/battery_model.cpp",
+    "src/battery/rc_model.cpp",
+    "src/ultracap/ultracap_model.cpp",
+    "src/vehicle/powertrain.cpp",
+    "src/hees/parallel_arch.cpp",
+]
+
+REMARK = re.compile(r"^(?P<file>\S+?):\d+:\d+: optimized:.*loop vectorized")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("build_log", help="build output captured with -fopt-info-vec")
+    ap.add_argument(
+        "--require",
+        action="append",
+        default=None,
+        metavar="FILE",
+        help="source file that must show a vectorized loop "
+        "(repeatable; defaults to the core lane-kernel TUs)",
+    )
+    args = ap.parse_args()
+    required = args.require or DEFAULT_REQUIRED
+
+    vectorized = set()
+    with open(args.build_log) as f:
+        for line in f:
+            m = REMARK.match(line.strip())
+            if m:
+                vectorized.add(m.group("file"))
+
+    if not vectorized:
+        print("no 'loop vectorized' remarks found at all - was the build "
+              "run with -fopt-info-vec?")
+        return 1
+
+    failed = []
+    for req in required:
+        # Remark paths may be absolute or relative; match on suffix.
+        hit = any(v == req or v.endswith("/" + req) for v in vectorized)
+        print(f"{'ok  ' if hit else 'MISS'}  {req}")
+        if not hit:
+            failed.append(req)
+
+    if failed:
+        print(f"\n{len(failed)} lane-kernel TU(s) lost vectorization: "
+              + ", ".join(failed))
+        return 1
+    print(f"\nall {len(required)} lane-kernel TUs report vectorized loops")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -94,6 +94,34 @@ BENCHMARK(BM_FleetEvaluateMetrics)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/// The batched counterpart: each worker owns one PlantBatch stepping
+/// `lanes` missions in lockstep through the SoA plant kernels. Results
+/// are bit-identical to BM_FleetEvaluate's (tests/test_plant_batch.cpp
+/// pins that); this measures the throughput the lockstep layout buys.
+void BM_FleetEvaluateBatch(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const size_t lanes = static_cast<size_t>(state.range(1));
+  const core::SystemSpec base = spec();
+  sim::FleetOptions options = fleet_options(threads);
+  options.batch_lanes = lanes;
+  const auto factory = [](const core::SystemSpec& s, size_t n) {
+    return core::make_batch_methodology("parallel", s, n);
+  };
+  for (auto _ : state) {
+    const sim::FleetResult r =
+        sim::evaluate_fleet_batched(base, factory, options);
+    benchmark::DoNotOptimize(r.qloss_percent.mean);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["lanes"] = static_cast<double>(lanes);
+}
+BENCHMARK(BM_FleetEvaluateBatch)
+    ->Args({1, 16})
+    ->Args({2, 8})
+    ->Args({4, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 // --- obs primitives ----------------------------------------------------
 // The per-event costs underlying the fleet overhead: a sharded counter
 // add, a histogram record (binary search + 5 atomics), and the scoped

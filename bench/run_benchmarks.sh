@@ -20,9 +20,14 @@
 #   - BM_FleetEvaluate/N        fleet wall-clock at N threads (N=1 serial)
 #   - BM_FleetEvaluateMetrics/N the same fleet with a metrics registry
 #                               attached (instrumentation overhead)
+#   - BM_FleetEvaluateBatch/N/L the SoA batched fleet path at N threads
+#                               with L-lane PlantBatches per worker
 #   - BM_ObsCounterAdd etc.     obs primitive micro-costs
 #   - BM_QpSolveCold/h          one-shot QP solves, items/s = ADMM iter/s
 #   - BM_QpSolveWarm/h          persistent-workspace QP solves
+# (perf_models carries BM_PlantScalarStep / BM_PlantBatchStep/L, the
+# single-thread mission-steps/s pair bench/check_batch.py gates on in
+# CI; it is not part of the committed baselines.)
 # BENCH_solver.json (perf_solver):
 #   - BM_MpcForward[Backward]/h rollout + adjoint micro-costs
 #   - BM_OtemSolve/h            full augmented-Lagrangian control steps
@@ -46,6 +51,8 @@
 #   python3 bench/check_overhead.py BENCH_fleet.json     (< 5% overhead)
 #   python3 bench/check_warm_start.py BENCH_solver.json  (>= 25% fewer iters)
 #   python3 bench/check_banded.py BENCH_solver.json      (O(H) block ops)
+#   python3 bench/check_batch.py <perf_models json>      (>= 1.5x scalar)
+#   python3 bench/check_vectorization.py <build log>     (lane loops SIMD)
 set -euo pipefail
 
 ALLOW_DEBUG=0

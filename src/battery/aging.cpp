@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "battery/cell_math.h"
 #include "common/constants.h"
 #include "common/error.h"
 
@@ -17,9 +18,13 @@ double CapacityFadeModel::loss_rate_percent_per_s(
   OTEM_REQUIRE(temp_k > 100.0, "temperature must be in kelvin");
   if (cell_discharge_current_a <= 0.0) return 0.0;
   const double c_rate = cell_discharge_current_a / cell_.capacity_ah;
-  const double arrhenius =
-      std::exp(-cell_.l2 / (constants::kGasConstant * temp_k));
-  return cell_.l1 * arrhenius * std::pow(c_rate, cell_.l3);
+  const double arrhenius = cellmath::fade_arrhenius(cell_, temp_k);
+  // pow(x, 1) == x exactly (IEEE 754), so the l3 == 1 shortcut is
+  // bit-identical — and it is what lets the batched lane kernel stay
+  // branch-free at the default fade exponent.
+  const double powed =
+      cell_.l3 == 1.0 ? c_rate : std::pow(c_rate, cell_.l3);
+  return cell_.l1 * arrhenius * powed;
 }
 
 double CapacityFadeModel::loss_rate_from_pack_current(double pack_current_a,

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "battery/cell_math.h"
 #include "common/constants.h"
 #include "common/error.h"
+#include "common/fast_math.h"
 
 namespace otem::battery {
 
@@ -14,23 +16,14 @@ PackModel::PackModel(PackParams params) : params_(std::move(params)) {
 }
 
 double PackModel::cell_open_circuit_voltage(double soc_percent) const {
-  const CellParams& c = params_.cell;
-  const double s = std::clamp(soc_percent, 0.0, 100.0) / 100.0;
-  const double s2 = s * s;
-  return c.v1 * std::exp(c.v2 * s) + c.v3 * s2 * s2 + c.v4 * s2 * s +
-         c.v5 * s2 + c.v6 * s + c.v7;
+  return cellmath::voc(params_.cell, soc_percent);
 }
 
 double PackModel::cell_internal_resistance(double soc_percent,
                                            double temp_k) const {
-  const CellParams& c = params_.cell;
   OTEM_REQUIRE(temp_k > 100.0, "battery temperature must be in kelvin");
-  const double s = std::clamp(soc_percent, 0.0, 100.0) / 100.0;
-  const double r25 = c.r1 * std::exp(c.r2 * s) + c.r3;
-  const double arrhenius =
-      std::exp(c.resistance_activation_j_mol / constants::kGasConstant *
-               (1.0 / temp_k - 1.0 / c.ref_temp_k));
-  return r25 * arrhenius;
+  return cellmath::r25(params_.cell, soc_percent) *
+         cellmath::r_arrhenius(params_.cell, temp_k);
 }
 
 double PackModel::open_circuit_voltage(double soc_percent) const {
@@ -47,7 +40,7 @@ double PackModel::open_circuit_voltage_dsoc(double soc_percent) const {
   const CellParams& c = params_.cell;
   const double s = std::clamp(soc_percent, 0.0, 100.0) / 100.0;
   const double s2 = s * s;
-  const double dcell_ds = c.v1 * c.v2 * std::exp(c.v2 * s) +
+  const double dcell_ds = c.v1 * c.v2 * fastmath::exp(c.v2 * s) +
                           4.0 * c.v3 * s2 * s + 3.0 * c.v4 * s2 +
                           2.0 * c.v5 * s + c.v6;
   // Chain rule: s = soc/100.
@@ -58,10 +51,8 @@ double PackModel::internal_resistance_dsoc(double soc_percent,
                                            double temp_k) const {
   const CellParams& c = params_.cell;
   const double s = std::clamp(soc_percent, 0.0, 100.0) / 100.0;
-  const double arrhenius =
-      std::exp(c.resistance_activation_j_mol / constants::kGasConstant *
-               (1.0 / temp_k - 1.0 / c.ref_temp_k));
-  const double dr25_ds = c.r1 * c.r2 * std::exp(c.r2 * s);
+  const double arrhenius = cellmath::r_arrhenius(c, temp_k);
+  const double dr25_ds = c.r1 * c.r2 * fastmath::exp(c.r2 * s);
   return dr25_ds * arrhenius / 100.0 * params_.series / params_.parallel;
 }
 
@@ -133,6 +124,16 @@ double PackModel::soc_rate(double i) const {
   // Eq. (1): SoC_t = SoC_0 - 100 * integral(I / C_bat); C_bat in
   // ampere-seconds here.
   return -100.0 * i / (capacity_ah() * 3600.0);
+}
+
+void PackModel::step_soc_lanes(double* soc_percent, const double* i_a,
+                               double dt, size_t n) const {
+  const double cap_as = capacity_ah() * 3600.0;
+  double* __restrict__ soc = soc_percent;
+  const double* __restrict__ i = i_a;
+  for (size_t l = 0; l < n; ++l) {
+    soc[l] = std::clamp(soc[l] + (-100.0 * i[l] / cap_as) * dt, 0.0, 100.0);
+  }
 }
 
 PackModel::EnergySplit PackModel::energy_for_step(double soc_percent,

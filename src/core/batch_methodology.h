@@ -1,0 +1,105 @@
+// batch_methodology.h — structure-of-arrays plant state and the
+// lockstep batch counterpart of the Methodology interface.
+//
+// A BatchMethodology advances MANY missions one plant step at a time
+// through flat loops over contiguous per-field lane arrays (PlantLanes)
+// instead of one mission through scalar state. The per-lane arithmetic
+// is the exact scalar-path expressions (see the step_lanes kernels in
+// thermal/battery/ultracap/hees), so a batch run is bit-identical to
+// the scalar Methodology oracle — tests/test_plant_batch.cpp pins that.
+//
+// Lanes are independent missions sharing one SystemSpec "shape"; only
+// the ambient temperature (the fleet's per-mission draw) may differ per
+// lane. Lane lifecycle (activation, retirement, backfill) lives in
+// sim::PlantBatch; this layer only steps whatever lanes are marked
+// active.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/methodology.h"
+#include "core/system_spec.h"
+
+namespace otem::core {
+
+/// Structure-of-arrays plant state: one contiguous arena holding the
+/// four state fields as lane-indexed arrays [tb | tc | soe | soc].
+/// Field pointers are stable for the life of the object, so kernels
+/// can cache them across steps; the arena is reused across batches.
+class PlantLanes {
+ public:
+  explicit PlantLanes(size_t lanes)
+      : lanes_(lanes), arena_(4 * lanes, 0.0) {}
+
+  size_t lanes() const { return lanes_; }
+
+  double* t_battery_k() { return arena_.data(); }
+  double* t_coolant_k() { return arena_.data() + lanes_; }
+  double* soe_percent() { return arena_.data() + 2 * lanes_; }
+  double* soc_percent() { return arena_.data() + 3 * lanes_; }
+  const double* t_battery_k() const { return arena_.data(); }
+  const double* t_coolant_k() const { return arena_.data() + lanes_; }
+  const double* soe_percent() const { return arena_.data() + 2 * lanes_; }
+  const double* soc_percent() const { return arena_.data() + 3 * lanes_; }
+
+  /// AoS view of one lane (StepRecord::state_after, sink delivery).
+  PlantState gather(size_t lane) const {
+    PlantState s;
+    s.t_battery_k = t_battery_k()[lane];
+    s.t_coolant_k = t_coolant_k()[lane];
+    s.soe_percent = soe_percent()[lane];
+    s.soc_percent = soc_percent()[lane];
+    return s;
+  }
+
+  /// Load one lane from an AoS state (lane activation/backfill).
+  void scatter(size_t lane, const PlantState& s) {
+    t_battery_k()[lane] = s.t_battery_k;
+    t_coolant_k()[lane] = s.t_coolant_k;
+    soe_percent()[lane] = s.soe_percent;
+    soc_percent()[lane] = s.soc_percent;
+  }
+
+ private:
+  size_t lanes_;
+  std::vector<double> arena_;
+};
+
+/// Lockstep batch strategy: the batch analogue of core::Methodology.
+/// Implementations exist for the reactive baselines (parallel, dual) —
+/// solver-driven methodologies (otem-ltv etc.) have no batch form and
+/// keep using the scalar path.
+class BatchMethodology {
+ public:
+  virtual ~BatchMethodology() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Fixed lane count chosen at construction.
+  virtual size_t lanes() const = 0;
+
+  /// Re-arm one lane for a fresh mission: clears any per-lane
+  /// controller state and records the mission's ambient temperature.
+  /// The caller scatters the initial PlantState separately.
+  virtual void reset_lane(size_t lane, double ambient_k) = 0;
+
+  /// Advance every active lane by one plant step. `p_e_w[l]` is lane
+  /// l's power request; lanes with `active[l] == 0` are skipped
+  /// (active == nullptr means all lanes live). For each active lane,
+  /// `rec[l]` is filled exactly as the scalar Methodology::step would.
+  virtual void step_lanes(PlantLanes& state, const double* p_e_w,
+                          const unsigned char* active, double dt,
+                          StepRecord* rec) = 0;
+};
+
+/// Build the batch counterpart of the named methodology, or nullptr if
+/// the methodology has no lockstep form (callers then fall back to the
+/// scalar path). Names match MethodologyRegistry ("parallel", "dual").
+std::unique_ptr<BatchMethodology> make_batch_methodology(
+    const std::string& name, const SystemSpec& spec, size_t lanes,
+    const Config& cfg = Config());
+
+}  // namespace otem::core

@@ -1,0 +1,160 @@
+#include "core/reactive_batch.h"
+
+#include "common/error.h"
+
+namespace otem::core {
+
+// --- ReactiveBatchBase --------------------------------------------------
+
+ReactiveBatchBase::ReactiveBatchBase(const SystemSpec& spec, size_t lanes)
+    : cooling_(spec.make_cooling()),
+      n_(lanes),
+      ambient_(lanes, spec.ambient_k),
+      t_inlet_(lanes, 0.0),
+      q_(lanes, 0.0),
+      arch_out_(lanes) {
+  OTEM_REQUIRE(lanes >= 1, "batch methodology needs >= 1 lane");
+}
+
+void ReactiveBatchBase::thermal_tier_and_commit(PlantLanes& state,
+                                                const double* p_e_w,
+                                                const unsigned char* active,
+                                                double dt, StepRecord* rec) {
+  if (dt != matrix_dt_) {
+    matrix_ = cooling_.step_matrix(dt);
+    matrix_dt_ = dt;
+  }
+  double* tb = state.t_battery_k();
+  double* tc = state.t_coolant_k();
+  double* soc = state.soc_percent();
+  double* soe = state.soe_percent();
+
+  // SIMD tier: inlet from the PRE-step coolant temperature, then the
+  // affine thermal sweep — same order as the scalar methodologies.
+  cooling_.passive_inlet_lanes(tc, ambient_.data(), t_inlet_.data(), n_);
+  for (size_t l = 0; l < n_; ++l) q_[l] = arch_out_[l].q_bat_w;
+  thermal::CoolingSystem::step_lanes(matrix_, tb, tc, q_.data(),
+                                     t_inlet_.data(), n_);
+
+  for (size_t l = 0; l < n_; ++l) {
+    if (active && !active[l]) continue;
+    const hees::ArchStep& a = arch_out_[l];
+    soc[l] = a.soc_next;
+    soe[l] = a.soe_next;
+    StepRecord r;
+    r.p_load_w = p_e_w[l];
+    r.t_inlet_k = t_inlet_[l];
+    r.i_bat_a = a.i_bat_a;
+    r.i_cap_a = a.i_cap_a;
+    r.q_bat_w = a.q_bat_w;
+    r.e_bat_j = a.e_bat_j;
+    r.e_cap_j = a.e_cap_j;
+    r.e_loss_j = a.e_loss_j;
+    r.qloss_percent = a.qloss_percent;
+    r.feasible = a.feasible;
+    r.unmet_w = a.unmet_bus_w;
+    r.state_after = state.gather(l);
+    rec[l] = r;
+  }
+}
+
+// --- ParallelBatchMethodology -------------------------------------------
+
+ParallelBatchMethodology::ParallelBatchMethodology(const SystemSpec& spec,
+                                                   size_t lanes)
+    : ReactiveBatchBase(spec, lanes), arch_(spec.make_parallel_arch()) {}
+
+void ParallelBatchMethodology::reset_lane(size_t lane, double ambient_k) {
+  OTEM_REQUIRE(lane < n_, "lane index out of range");
+  ambient_[lane] = ambient_k;
+}
+
+void ParallelBatchMethodology::step_lanes(PlantLanes& state,
+                                          const double* p_e_w,
+                                          const unsigned char* active,
+                                          double dt, StepRecord* rec) {
+  arch_.step_lanes(state.soc_percent(), state.soe_percent(),
+                   state.t_battery_k(), p_e_w, dt, arch_out_.data(), n_,
+                   active);
+  thermal_tier_and_commit(state, p_e_w, active, dt, rec);
+}
+
+// --- DualBatchMethodology -----------------------------------------------
+
+DualBatchMethodology::DualBatchMethodology(const SystemSpec& spec,
+                                           size_t lanes,
+                                           DualPolicyParams policy)
+    : ReactiveBatchBase(spec, lanes),
+      arch_(spec.make_dual_arch()),
+      policy_(policy),
+      venting_(lanes, 0),
+      mode_(lanes, hees::DualMode::kBatteryOnly) {
+  if (policy_.hot_threshold_k <= 0.0)
+    policy_.hot_threshold_k = spec.thermal.max_battery_temp_k - 4.0;
+  arch_.set_recharge_power_w(policy_.recharge_power_w);
+}
+
+void DualBatchMethodology::reset_lane(size_t lane, double ambient_k) {
+  OTEM_REQUIRE(lane < n_, "lane index out of range");
+  ambient_[lane] = ambient_k;
+  venting_[lane] = 0;
+  mode_[lane] = hees::DualMode::kBatteryOnly;
+}
+
+void DualBatchMethodology::step_lanes(PlantLanes& state, const double* p_e_w,
+                                      const unsigned char* active, double dt,
+                                      StepRecord* rec) {
+  const double* tb = state.t_battery_k();
+  const double* soe = state.soe_percent();
+
+  // Per-lane switching policy [16] on the PRE-step state — the exact
+  // branch structure of DualMethodology::step.
+  for (size_t l = 0; l < n_; ++l) {
+    if (active && !active[l]) continue;
+    const double tbl = tb[l];
+    bool venting = venting_[l] != 0;
+    if (venting) {
+      if (tbl < policy_.hot_threshold_k - policy_.cool_band_k ||
+          soe[l] <= policy_.min_soe_percent)
+        venting = false;
+    } else if (tbl > policy_.hot_threshold_k &&
+               soe[l] > policy_.min_soe_percent) {
+      venting = true;
+    }
+    venting_[l] = venting ? 1 : 0;
+
+    const bool bank_low = soe[l] < policy_.recharge_below_percent;
+    if (venting) {
+      mode_[l] = (p_e_w[l] >= policy_.vent_load_min_w || p_e_w[l] < 0.0)
+                     ? hees::DualMode::kUltracapOnly
+                     : hees::DualMode::kBatteryOnly;
+    } else if (bank_low && p_e_w[l] < 0.0) {
+      mode_[l] = hees::DualMode::kUltracapOnly;
+    } else if (bank_low && p_e_w[l] < policy_.recharge_load_max_w &&
+               tbl < policy_.hot_threshold_k) {
+      mode_[l] = hees::DualMode::kRecharge;
+    } else {
+      mode_[l] = hees::DualMode::kBatteryOnly;
+    }
+  }
+
+  arch_.step_lanes(state.soc_percent(), state.soe_percent(),
+                   state.t_battery_k(), p_e_w, mode_.data(), dt,
+                   arch_out_.data(), n_, active);
+  thermal_tier_and_commit(state, p_e_w, active, dt, rec);
+}
+
+// --- factory ------------------------------------------------------------
+
+std::unique_ptr<BatchMethodology> make_batch_methodology(
+    const std::string& name, const SystemSpec& spec, size_t lanes,
+    const Config& cfg) {
+  if (name == "parallel")
+    return std::make_unique<ParallelBatchMethodology>(spec, lanes);
+  if (name == "dual")
+    return std::make_unique<DualBatchMethodology>(
+        spec, lanes, DualPolicyParams::from_config(cfg));
+  return nullptr;  // no lockstep form — caller uses the scalar path
+}
+
+}  // namespace otem::core

@@ -3,9 +3,150 @@
 #include <algorithm>
 #include <cmath>
 
+#include "battery/cell_math.h"
 #include "common/error.h"
 
 namespace otem::hees {
+namespace {
+
+// Loop-invariant parameters of one architecture, gathered once per
+// step()/step_lanes() call so the substep kernel below is pure
+// arithmetic on doubles.
+struct SubstepCtx {
+  const battery::CellParams* cell;
+  double series;          ///< pack series count
+  double strings;         ///< pack parallel string count
+  double r_c;             ///< ultracap branch resistance [ohm]
+  double v_ref;           ///< pack reference voltage [V]
+  double e_cap_capacity;  ///< bank energy capacity [J]
+  double cap_as;          ///< pack charge capacity [A s]
+};
+
+struct SubstepOut {
+  double soc_next;
+  double soe_next;
+  double rb_next;  ///< pack resistance at soc_next (next substep's rb)
+  double i_b;
+  double i_c;
+  double e_bat_h;
+  double e_cap_h;
+  double e_loss_h;
+  double q_heat_h;
+  double qloss_h;
+  double unmet_h;
+  double infeasible;  ///< 1.0 when clamped or drained, else 0.0
+};
+
+// One electro-chemical substep of the permanently-parallel HEES
+// circuit, shared by the scalar step() loop and the SoA lane sweep in
+// step_lanes(). Branch-free on the value path — every decision is a
+// select — so the compiler can vectorize a lane loop around it, while
+// the scalar path inlines the exact same expressions in the same
+// association order. That sharing is what makes the batched plant
+// bit-identical to the scalar oracle (tests/test_plant_batch.cpp).
+//
+// `rb` must be the pack resistance at (soc, t_battery_k); the kernel
+// returns the resistance at soc_next so callers chain substeps without
+// recomputing it (the heat term needs it anyway).
+//
+// kAssumeUnitFade elides the std::pow fallback for the fade exponent —
+// a libm call the if-converter cannot mask away, which would otherwise
+// keep the lane sweep scalar. Callers may only instantiate it as true
+// after checking l3 == 1.0, where pow(x, 1) == x exactly (IEEE 754)
+// makes the two instantiations bit-identical.
+template <bool kAssumeUnitFade>
+inline SubstepOut parallel_substep(const SubstepCtx& x, double arr_r,
+                                   double arr_fade, double soc, double soe,
+                                   double rb, double t_battery_k,
+                                   double p_load_w, double h, double dt) {
+  const battery::CellParams& c = *x.cell;
+  SubstepOut o;
+
+  // Every parameter a conditional arm touches is loaded into a local
+  // up front, and every FP expression is computed unconditionally with
+  // the ternaries reduced to pure value selects. GCC's if-converter
+  // refuses to speculate loads or divisions that only execute on one
+  // side of a branch ("tree could trap"), and one such statement is
+  // enough to keep the whole lane sweep scalar.
+  const double series = x.series;
+  const double strings = x.strings;
+  const double r_c = x.r_c;
+  const double l1 = c.l1;
+  const double cap_ah = c.capacity_ah;
+
+  const double vb = series * battery::cellmath::voc(c, soc);
+  const double vc = x.v_ref * std::sqrt(std::clamp(soe, 0.0, 100.0) / 100.0);
+
+  // Eqs. (10)-(13) with a resistive ultracap branch:
+  //   I_b = (V_b - V_l)/R_b,  I_c = (V_c - V_l)/R_c,
+  //   I_b + I_c = I_l = P_l / V_l
+  // giving G V_l^2 - S V_l + P = 0 with G = 1/R_b + 1/R_c and
+  // S = V_b/R_b + V_c/R_c. The physical operating point is the
+  // high-voltage root. A bank at the 100 % ceiling cannot absorb
+  // charge: its branch opens and surplus regen goes to the brakes.
+  const bool cap_open = soe >= 100.0 && p_load_w < 0.0;
+  const double inv_rc = 1.0 / r_c;
+  const double vc_over_rc = vc / r_c;
+  const double g = 1.0 / rb + (cap_open ? 0.0 : inv_rc);
+  const double s = vb / rb + (cap_open ? 0.0 : vc_over_rc);
+  const double disc = s * s - 4.0 * g * p_load_w;
+  // disc < 0: peak-power clamp. Delivered power at the clamp is
+  // s^2/(4g); the rest is unmet. The max() keeps the untaken sqrt arm
+  // NaN-free so the select stays value-safe under vectorization.
+  const bool clamped = disc < 0.0;
+  const double root = std::sqrt(std::max(disc, 0.0));
+  const double v_peak = s / (2.0 * g);
+  const double v_root = (s + root) / (2.0 * g);
+  const double v_l = clamped ? v_peak : v_root;
+  const double unmet_full = (p_load_w - s * s / (4.0 * g)) * h / dt;
+  o.unmet_h = clamped ? unmet_full : 0.0;
+
+  const double i_b = (vb - v_l) / rb;
+  const double i_c_full = (vc - v_l) / r_c;
+  const double i_c_raw = cap_open ? 0.0 : i_c_full;
+  // A drained bank cannot source current.
+  const bool drained = soe <= 0.0 && i_c_raw > 0.0;
+  const double i_c = drained ? 0.0 : i_c_raw;
+  o.infeasible = clamped || drained ? 1.0 : 0.0;
+
+  // Stored-energy flow out of the capacitor plates (loss in R_c is
+  // external to the storage).
+  const double p_cap = vc * i_c;
+
+  // State updates (same expressions as BankModel/PackModel steps).
+  o.soe_next =
+      std::clamp(soe - 100.0 * p_cap * h / x.e_cap_capacity, 0.0, 100.0);
+  o.soc_next = std::clamp(soc + (-100.0 * i_b / x.cap_as) * h, 0.0, 100.0);
+  o.rb_next =
+      battery::cellmath::r25(c, o.soc_next) * arr_r * series / strings;
+
+  // Bookkeeping.
+  o.e_bat_h = vb * i_b * h;
+  o.e_cap_h = p_cap * h;
+  o.e_loss_h = (i_b * i_b * rb + i_c * i_c * r_c) * h;
+  // Heat at the updated SoC (Eq. 4): Joule term plus entropic term.
+  const double joule = i_b * i_b * o.rb_next;
+  const double entropic = i_b * t_battery_k * c.dvoc_dtemp * series;
+  o.q_heat_h = (joule + entropic) * h;
+  // Capacity fade (Eq. 5) on the discharging half-cycles. Mirrors
+  // CapacityFadeModel::loss_rate_percent_per_s including the
+  // pow(x, 1) == x shortcut (exact per IEEE 754) that keeps the lane
+  // loop free of libm calls at the default fade exponent.
+  const double cell_i = std::max(i_b, 0.0) / strings;
+  const double c_rate = cell_i / cap_ah;
+  const double powed = kAssumeUnitFade
+                           ? c_rate
+                           : (c.l3 == 1.0 ? c_rate : std::pow(c_rate, c.l3));
+  const double rate_full = l1 * arr_fade * powed;
+  const double rate = cell_i <= 0.0 ? 0.0 : rate_full;
+  o.qloss_h = rate * h;
+
+  o.i_b = i_b;
+  o.i_c = i_c;
+  return o;
+}
+
+}  // namespace
 
 ParallelArchitecture::ParallelArchitecture(battery::PackModel battery,
                                            ultracap::BankModel ultracap,
@@ -17,12 +158,11 @@ ParallelArchitecture::ParallelArchitecture(battery::PackModel battery,
       r_c_(cap_path_resistance) {
   OTEM_ENSURE(v_ref_ > 0.0, "pack reference voltage must be positive");
   OTEM_REQUIRE(r_c_ > 0.0, "ultracap path resistance must be positive");
+  const double vr = ultracap_.params().rated_voltage;
+  c_eff_ = ultracap_.params().capacitance_f * (vr / v_ref_) * (vr / v_ref_);
 }
 
-double ParallelArchitecture::effective_capacitance() const {
-  const double vr = ultracap_.params().rated_voltage;
-  return ultracap_.params().capacitance_f * (vr / v_ref_) * (vr / v_ref_);
-}
+double ParallelArchitecture::effective_capacitance() const { return c_eff_; }
 
 double ParallelArchitecture::cap_bus_voltage(double soe_percent) const {
   return v_ref_ * std::sqrt(std::clamp(soe_percent, 0.0, 100.0) / 100.0);
@@ -38,20 +178,28 @@ ArchStep ParallelArchitecture::step(double soc_percent, double soe_percent,
                                     double t_battery_k, double p_load_w,
                                     double dt) const {
   OTEM_REQUIRE(dt > 0.0, "step duration must be positive");
+  OTEM_REQUIRE(t_battery_k > 100.0, "battery temperature must be in kelvin");
 
-  ArchStep out;
-  out.soc_next = soc_percent;
-  out.soe_next = soe_percent;
+  const battery::CellParams& c = battery_.params().cell;
+  const SubstepCtx x{&c,
+                     static_cast<double>(battery_.params().series),
+                     static_cast<double>(battery_.params().parallel),
+                     r_c_,
+                     v_ref_,
+                     ultracap_.energy_capacity_j(),
+                     battery_.capacity_ah() * 3600.0};
+  const double arr_r = battery::cellmath::r_arrhenius(c, t_battery_k);
+  const double arr_fade = battery::cellmath::fade_arrhenius(c, t_battery_k);
 
   // Sub-step sizing from the (R_b + R_c) C_eff relaxation constant.
-  const double rb0 = battery_.internal_resistance(soc_percent, t_battery_k);
-  const double tau =
-      std::max((rb0 + r_c_) * effective_capacitance(), 1e-3);
+  double rb =
+      battery::cellmath::r25(c, soc_percent) * arr_r * x.series / x.strings;
+  const double tau = std::max((rb + r_c_) * effective_capacitance(), 1e-3);
   const int substeps =
       std::clamp(static_cast<int>(std::ceil(dt / (tau / 5.0))), 1, 200);
   const double h = dt / substeps;
 
-  const double e_cap_capacity = ultracap_.energy_capacity_j();
+  ArchStep out;
   double q_heat_accum = 0.0;
   double i_bat_accum = 0.0;
   double i_cap_accum = 0.0;
@@ -60,56 +208,20 @@ ArchStep ParallelArchitecture::step(double soc_percent, double soe_percent,
   double soe = soe_percent;
 
   for (int k = 0; k < substeps; ++k) {
-    const double vb = battery_.open_circuit_voltage(soc);
-    const double rb = battery_.internal_resistance(soc, t_battery_k);
-    const double vc = cap_bus_voltage(soe);
-
-    // Eqs. (10)-(13) with a resistive ultracap branch:
-    //   I_b = (V_b - V_l)/R_b,  I_c = (V_c - V_l)/R_c,
-    //   I_b + I_c = I_l = P_l / V_l
-    // giving G V_l^2 - S V_l + P = 0 with G = 1/R_b + 1/R_c and
-    // S = V_b/R_b + V_c/R_c. The physical operating point is the
-    // high-voltage root. A bank at the 100 % ceiling cannot absorb
-    // charge: its branch opens and surplus regen goes to the brakes.
-    const bool cap_open = soe >= 100.0 && p_load_w < 0.0;
-    const double g = 1.0 / rb + (cap_open ? 0.0 : 1.0 / r_c_);
-    const double s = vb / rb + (cap_open ? 0.0 : vc / r_c_);
-    const double disc = s * s - 4.0 * g * p_load_w;
-    double v_l;
-    if (disc >= 0.0) {
-      v_l = (s + std::sqrt(disc)) / (2.0 * g);
-    } else {
-      v_l = s / (2.0 * g);  // peak-power clamp
-      out.feasible = false;
-      // Delivered power at the clamp is s^2/(4g); the rest is unmet.
-      out.unmet_bus_w += (p_load_w - s * s / (4.0 * g)) * h / dt;
-    }
-
-    const double i_b = (vb - v_l) / rb;
-    double i_c = cap_open ? 0.0 : (vc - v_l) / r_c_;
-    // A drained bank cannot source current.
-    if (soe <= 0.0 && i_c > 0.0) {
-      i_c = 0.0;
-      out.feasible = false;
-    }
-
-    // Stored-energy flow out of the capacitor plates (loss in R_c is
-    // external to the storage).
-    const double p_cap = vc * i_c;
-
-    // State updates.
-    soe = std::clamp(soe - 100.0 * p_cap * h / e_cap_capacity, 0.0, 100.0);
-    soc = battery_.step_soc(soc, i_b, h);
-
-    // Bookkeeping.
-    out.e_bat_j += vb * i_b * h;
-    out.e_cap_j += p_cap * h;
-    out.e_loss_j += (i_b * i_b * rb + i_c * i_c * r_c_) * h;
-    q_heat_accum += battery_.heat_generation(soc, t_battery_k, i_b) * h;
-    out.qloss_percent += fade_.loss_for_step(
-        std::max(i_b, 0.0) / battery_.params().parallel, t_battery_k, h);
-    i_bat_accum += i_b * h;
-    i_cap_accum += i_c * h;
+    const SubstepOut r = parallel_substep<false>(
+        x, arr_r, arr_fade, soc, soe, rb, t_battery_k, p_load_w, h, dt);
+    soc = r.soc_next;
+    soe = r.soe_next;
+    rb = r.rb_next;
+    out.e_bat_j += r.e_bat_h;
+    out.e_cap_j += r.e_cap_h;
+    out.e_loss_j += r.e_loss_h;
+    out.unmet_bus_w += r.unmet_h;
+    out.qloss_percent += r.qloss_h;
+    if (r.infeasible != 0.0) out.feasible = false;
+    q_heat_accum += r.q_heat_h;
+    i_bat_accum += r.i_b * h;
+    i_cap_accum += r.i_c * h;
   }
 
   out.soc_next = soc;
@@ -118,6 +230,116 @@ ArchStep ParallelArchitecture::step(double soc_percent, double soe_percent,
   out.i_bat_a = i_bat_accum / dt;
   out.i_cap_a = i_cap_accum / dt;
   return out;
+}
+
+void ParallelArchitecture::step_lanes(const double* soc_percent,
+                                      const double* soe_percent,
+                                      const double* t_battery_k,
+                                      const double* p_load_w, double dt,
+                                      ArchStep* out, size_t n,
+                                      const unsigned char* active) const {
+  OTEM_REQUIRE(dt > 0.0, "step duration must be positive");
+
+  const battery::CellParams& c = battery_.params().cell;
+  const SubstepCtx x{&c,
+                     static_cast<double>(battery_.params().series),
+                     static_cast<double>(battery_.params().parallel),
+                     r_c_,
+                     v_ref_,
+                     ultracap_.energy_capacity_j(),
+                     battery_.capacity_ah() * 3600.0};
+  const double c_eff = c_eff_;
+  // A non-unit fade exponent would need std::pow inside the sweep, so
+  // that (never-used-in-practice) configuration runs scalar per lane.
+  // Lanes that need more than one substep (dt > tau/5) likewise fall
+  // back to the scalar step(); at the plant's 1 s step tau is O(100 s)
+  // and the paper's l3 is 1, so in practice every lane takes the flat
+  // sweep below.
+  if (c.l3 != 1.0) {
+    for (size_t l = 0; l < n; ++l) {
+      if (active && !active[l]) {
+        out[l] = ArchStep{};
+        continue;
+      }
+      out[l] = step(soc_percent[l], soe_percent[l], t_battery_k[l],
+                    p_load_w[l], dt);
+    }
+    return;
+  }
+
+  constexpr size_t kChunk = 64;
+  double soc_n[kChunk], soe_n[kChunk], ib[kChunk], ic[kChunk];
+  double e_bat[kChunk], e_cap[kChunk], e_loss[kChunk], unmet[kChunk];
+  double qloss[kChunk], q_heat[kChunk], infeasible[kChunk], slow[kChunk];
+
+  for (size_t base = 0; base < n; base += kChunk) {
+    const size_t m = std::min(kChunk, n - base);
+    const double* __restrict__ soc_in = soc_percent + base;
+    const double* __restrict__ soe_in = soe_percent + base;
+    const double* __restrict__ t_in = t_battery_k + base;
+    const double* __restrict__ p_in = p_load_w + base;
+
+    // Pass 1 — the SIMD sweep. Every lane runs the full single-substep
+    // physics unconditionally (parked lanes compute on their stale
+    // state and the scatter pass discards those results; fastmath::exp
+    // clamps, so stale inputs stay non-trapping), keeping the loop
+    // free of data-dependent control flow so it vectorizes.
+    for (size_t l = 0; l < m; ++l) {
+      const double soc = soc_in[l];
+      const double soe = soe_in[l];
+      const double t = t_in[l];
+      const double p = p_in[l];
+      const double arr_r = battery::cellmath::r_arrhenius(c, t);
+      const double arr_fade = battery::cellmath::fade_arrhenius(c, t);
+      const double rb =
+          battery::cellmath::r25(c, soc) * arr_r * x.series / x.strings;
+      const double tau = std::max((rb + x.r_c) * c_eff, 1e-3);
+      slow[l] = dt <= tau / 5.0 ? 0.0 : 1.0;
+
+      const SubstepOut r = parallel_substep<true>(x, arr_r, arr_fade, soc,
+                                                  soe, rb, t, p, dt, dt);
+      soc_n[l] = r.soc_next;
+      soe_n[l] = r.soe_next;
+      ib[l] = r.i_b;
+      ic[l] = r.i_c;
+      e_bat[l] = r.e_bat_h;
+      e_cap[l] = r.e_cap_h;
+      e_loss[l] = r.e_loss_h;
+      unmet[l] = r.unmet_h;
+      qloss[l] = r.qloss_h;
+      q_heat[l] = r.q_heat_h;
+      infeasible[l] = r.infeasible;
+    }
+
+    // Pass 2 — scalar scatter into the AoS ArchStep outputs, mirroring
+    // the scalar loop's accumulate-from-zero order so every field is
+    // bit-identical to step() at one substep.
+    for (size_t l = 0; l < m; ++l) {
+      const size_t lane = base + l;
+      if (active && !active[lane]) {
+        out[lane] = ArchStep{};
+        continue;
+      }
+      if (slow[l] != 0.0) {
+        out[lane] = step(soc_in[l], soe_in[l], t_in[l], p_in[l], dt);
+        continue;
+      }
+      OTEM_REQUIRE(t_in[l] > 100.0, "battery temperature must be in kelvin");
+      ArchStep& o = out[lane];
+      o = ArchStep{};
+      o.soc_next = soc_n[l];
+      o.soe_next = soe_n[l];
+      o.e_bat_j += e_bat[l];
+      o.e_cap_j += e_cap[l];
+      o.e_loss_j += e_loss[l];
+      o.unmet_bus_w += unmet[l];
+      o.qloss_percent += qloss[l];
+      o.feasible = infeasible[l] == 0.0;
+      o.q_bat_w = (0.0 + q_heat[l]) / dt;
+      o.i_bat_a = (0.0 + ib[l] * dt) / dt;
+      o.i_cap_a = (0.0 + ic[l] * dt) / dt;
+    }
+  }
 }
 
 }  // namespace otem::hees

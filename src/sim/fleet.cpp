@@ -1,12 +1,14 @@
 #include "sim/fleet.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/error.h"
 #include "common/rng.h"
 #include "exec/thread_pool.h"
 #include "sim/obs_sink.h"
+#include "sim/plant_batch.h"
 #include "sim/step_sink.h"
 #include "vehicle/drive_cycle.h"
 #include "vehicle/powertrain.h"
@@ -54,17 +56,11 @@ struct MissionDraw {
   double duration_s = 0.0;
   double soe0 = 0.0;
 };
-}  // namespace
 
-FleetResult evaluate_fleet(
-    const core::SystemSpec& base_spec,
-    const std::function<std::unique_ptr<core::Methodology>(
-        const core::SystemSpec&)>& factory,
-    const FleetOptions& options) {
+std::vector<MissionDraw> draw_missions(const FleetOptions& options) {
   OTEM_REQUIRE(options.missions >= 1, "fleet needs at least one mission");
   OTEM_REQUIRE(options.ambient_min_k <= options.ambient_max_k,
                "fleet ambient range is inverted");
-
   Rng rng(options.seed);
   std::vector<MissionDraw> draws(options.missions);
   for (MissionDraw& d : draws) {
@@ -73,6 +69,36 @@ FleetResult evaluate_fleet(
     d.duration_s = rng.uniform(options.min_duration_s, options.max_duration_s);
     d.soe0 = rng.uniform(options.soe0_min, options.soe0_max);
   }
+  return draws;
+}
+
+// Serial, mission-order reduction shared by the scalar and batched
+// paths, so accumulation is bit-identical regardless of which thread
+// (or lane) finished first.
+void reduce_fleet(FleetResult& out, const FleetOptions& options) {
+  std::vector<double> qloss, power, tb;
+  qloss.reserve(options.missions);
+  power.reserve(options.missions);
+  tb.reserve(options.missions);
+  for (const MissionOutcome& mission : out.missions) {
+    qloss.push_back(mission.result.qloss_percent);
+    power.push_back(mission.result.average_power_w);
+    tb.push_back(mission.result.max_t_battery_k);
+    out.total_violation_s += mission.result.thermal_violation_s;
+    out.total_unserved_j += mission.result.unserved_energy_j;
+  }
+  out.qloss_percent = stats_of(qloss);
+  out.average_power_w = stats_of(power);
+  out.max_t_battery_k = stats_of(tb);
+}
+}  // namespace
+
+FleetResult evaluate_fleet(
+    const core::SystemSpec& base_spec,
+    const std::function<std::unique_ptr<core::Methodology>(
+        const core::SystemSpec&)>& factory,
+    const FleetOptions& options) {
+  const std::vector<MissionDraw> draws = draw_missions(options);
 
   FleetResult out;
   out.missions.resize(options.missions);
@@ -148,23 +174,127 @@ FleetResult evaluate_fleet(
       },
       options.threads);
 
-  // Reduce serially in mission order so accumulation is bit-identical
-  // regardless of which thread finished first.
-  std::vector<double> qloss, power, tb;
-  qloss.reserve(options.missions);
-  power.reserve(options.missions);
-  tb.reserve(options.missions);
-  for (const MissionOutcome& mission : out.missions) {
-    qloss.push_back(mission.result.qloss_percent);
-    power.push_back(mission.result.average_power_w);
-    tb.push_back(mission.result.max_t_battery_k);
-    out.total_violation_s += mission.result.thermal_violation_s;
-    out.total_unserved_j += mission.result.unserved_energy_j;
+  reduce_fleet(out, options);
+  return out;
+}
+
+FleetResult evaluate_fleet_batched(
+    const core::SystemSpec& base_spec,
+    const std::function<std::unique_ptr<core::BatchMethodology>(
+        const core::SystemSpec&, size_t lanes)>& batch_factory,
+    const FleetOptions& options) {
+  OTEM_REQUIRE(options.batch_lanes >= 1, "fleet needs >= 1 batch lane");
+  const std::vector<MissionDraw> draws = draw_missions(options);
+
+  FleetResult out;
+  out.missions.resize(options.missions);
+
+  std::unique_ptr<DiagnosticsSink::Instruments> shared_instruments;
+  if (options.metrics)
+    shared_instruments = std::make_unique<DiagnosticsSink::Instruments>(
+        *options.metrics, options.metrics_prefix);
+
+  // One slot per mission, pre-sized so addresses stay stable while a
+  // PlantBatch borrows them. A slot is prepared (route, load, sinks)
+  // by the worker that claims it, just before its lane activates.
+  struct MissionSlot {
+    BatchMission mission;
+    MetricsAccumulator metrics;
+    std::unique_ptr<CsvStreamSink> telemetry;
+    std::unique_ptr<DiagnosticsSink> fleet_diag;
+    std::unique_ptr<obs::MetricsRegistry> local;
+    std::unique_ptr<DiagnosticsSink> local_diag;
+  };
+  std::vector<MissionSlot> slots(options.missions);
+
+  auto prepare = [&](size_t m) -> BatchMission* {
+    const MissionDraw& d = draws[m];
+    MissionOutcome& mission = out.missions[m];
+    mission.route_seed = d.route_seed;
+    mission.ambient_k = d.ambient_k;
+
+    MissionSlot& slot = slots[m];
+    slot.mission.spec = base_spec;
+    slot.mission.spec.ambient_k = d.ambient_k;
+
+    const TimeSeries speed = vehicle::generate_synthetic(
+        d.route_seed, d.duration_s, options.max_speed_mps);
+    slot.mission.load =
+        vehicle::Powertrain(slot.mission.spec.vehicle).power_trace(speed);
+    mission.duration_s = slot.mission.load.duration();
+    mission.distance_m = vehicle::stats_of(speed).distance_m;
+
+    slot.mission.initial.t_battery_k = d.ambient_k;  // soaked
+    slot.mission.initial.t_coolant_k = d.ambient_k;
+    slot.mission.initial.soe_percent = d.soe0;
+
+    slot.mission.sinks = {&slot.metrics};
+    if (!options.telemetry_csv_prefix.empty()) {
+      slot.telemetry = std::make_unique<CsvStreamSink>(
+          options.telemetry_csv_prefix + "mission_" + std::to_string(m) +
+          ".csv");
+      slot.mission.sinks.push_back(slot.telemetry.get());
+    }
+    if (shared_instruments) {
+      slot.fleet_diag =
+          std::make_unique<DiagnosticsSink>(*shared_instruments);
+      slot.mission.sinks.push_back(slot.fleet_diag.get());
+    }
+    if (!options.metrics_json_prefix.empty()) {
+      slot.local = std::make_unique<obs::MetricsRegistry>();
+      slot.local_diag = std::make_unique<DiagnosticsSink>(*slot.local);
+      slot.mission.sinks.push_back(slot.local_diag.get());
+    }
+    return &slot.mission;
+  };
+
+  // One PlantBatch per worker; workers claim missions from a shared
+  // cursor. Lane packing therefore depends on thread timing, but each
+  // mission's arithmetic touches only its own lane, so results are
+  // independent of the packing (and of the thread count).
+  size_t workers =
+      options.threads ? options.threads : exec::default_concurrency();
+  workers = std::max<size_t>(1, std::min(workers, options.missions));
+
+  std::atomic<size_t> cursor{0};
+  std::vector<PlantBatchCounters> counters(workers);
+  exec::parallel_for(
+      workers,
+      [&](size_t w) {
+        PlantBatch batch(batch_factory(base_spec, options.batch_lanes));
+        batch.run([&]() -> BatchMission* {
+          const size_t m = cursor.fetch_add(1, std::memory_order_relaxed);
+          return m < options.missions ? prepare(m) : nullptr;
+        });
+        counters[w] = batch.counters();
+      },
+      workers);
+
+  for (size_t m = 0; m < options.missions; ++m) {
+    out.missions[m].result = slots[m].metrics.take();
+    if (slots[m].local)
+      obs::write_metrics_json(options.metrics_json_prefix + "mission_" +
+                                  std::to_string(m) + ".metrics.json",
+                              *slots[m].local);
   }
 
-  out.qloss_percent = stats_of(qloss);
-  out.average_power_w = stats_of(power);
-  out.max_t_battery_k = stats_of(tb);
+  if (options.metrics) {
+    PlantBatchCounters total;
+    for (const PlantBatchCounters& c : counters) {
+      total.batch_steps += c.batch_steps;
+      total.lane_steps += c.lane_steps;
+      total.backfills += c.backfills;
+      total.missions += c.missions;
+    }
+    options.metrics->counter(options.metrics_prefix + "batch_lanes_active")
+        .add(total.lane_steps);
+    options.metrics->counter(options.metrics_prefix + "batch_backfills")
+        .add(total.backfills);
+    options.metrics->counter(options.metrics_prefix + "batch_steps")
+        .add(total.batch_steps);
+  }
+
+  reduce_fleet(out, options);
   return out;
 }
 

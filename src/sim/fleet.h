@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/batch_methodology.h"
 #include "core/system_spec.h"
 #include "obs/metrics.h"
 #include "sim/simulator.h"
@@ -61,6 +62,11 @@ struct FleetOptions {
   /// When non-empty, each mission additionally aggregates into its own
   /// registry and writes "<prefix>mission_<index>.metrics.json".
   std::string metrics_json_prefix;
+
+  /// Lane width for evaluate_fleet_batched: each worker thread owns one
+  /// PlantBatch stepping this many missions in lockstep (8-64 is the
+  /// sweet spot; see docs/PERFORMANCE.md). Ignored by evaluate_fleet.
+  size_t batch_lanes = 16;
 };
 
 /// Summary statistics of one metric across the fleet.
@@ -96,6 +102,26 @@ FleetResult evaluate_fleet(
     const core::SystemSpec& base_spec,
     const std::function<std::unique_ptr<core::Methodology>(
         const core::SystemSpec&)>& factory,
+    const FleetOptions& options = {});
+
+/// Batched counterpart of evaluate_fleet: same mission draws, same
+/// per-mission results bit for bit (tests/test_plant_batch.cpp pins
+/// this for any lane/thread count), but each worker thread owns one
+/// PlantBatch stepping `options.batch_lanes` missions in lockstep
+/// through the SoA plant kernels, retiring finished lanes and
+/// backfilling from a shared mission queue. `batch_factory` is called
+/// once per worker with the BASE spec (per-mission ambient is applied
+/// per lane) and must return a non-null BatchMethodology — only
+/// methodologies with a lockstep form (parallel, dual) qualify.
+///
+/// When options.metrics is set, utilization counters are added under
+/// options.metrics_prefix: "batch_lanes_active" (mission steps served),
+/// "batch_backfills" and "batch_steps" (lockstep sweeps). Unlike
+/// mission results, these depend on lane packing and thread count.
+FleetResult evaluate_fleet_batched(
+    const core::SystemSpec& base_spec,
+    const std::function<std::unique_ptr<core::BatchMethodology>(
+        const core::SystemSpec&, size_t lanes)>& batch_factory,
     const FleetOptions& options = {});
 
 }  // namespace otem::sim

@@ -89,18 +89,39 @@ StepMatrix CoolingSystem::step_matrix(double dt) const {
 ThermalState CoolingSystem::step(const ThermalState& s, double q_bat_w,
                                  double t_inlet_k, double dt) const {
   const StepMatrix m = step_matrix(dt);
-  ThermalState out;
-  out.t_battery_k = m.m00 * s.t_battery_k + m.m01 * s.t_coolant_k +
-                    m.bi0 * t_inlet_k + m.bq0 * q_bat_w;
-  out.t_coolant_k = m.m10 * s.t_battery_k + m.m11 * s.t_coolant_k +
-                    m.bi1 * t_inlet_k + m.bq1 * q_bat_w;
+  ThermalState out = s;
+  apply_step(m, out.t_battery_k, out.t_coolant_k, q_bat_w, t_inlet_k);
   return out;
+}
+
+void CoolingSystem::step_lanes(const StepMatrix& m, double* t_battery_k,
+                               double* t_coolant_k, const double* q_bat_w,
+                               const double* t_inlet_k, size_t n) {
+  double* __restrict__ tb = t_battery_k;
+  double* __restrict__ tc = t_coolant_k;
+  const double* __restrict__ q = q_bat_w;
+  const double* __restrict__ ti = t_inlet_k;
+  for (size_t l = 0; l < n; ++l) {
+    apply_step(m, tb[l], tc[l], q[l], ti[l]);
+  }
 }
 
 double CoolingSystem::passive_inlet(double t_coolant_k,
                                     double t_ambient_k) const {
   return t_coolant_k -
          params_.passive_effectiveness * (t_coolant_k - t_ambient_k);
+}
+
+void CoolingSystem::passive_inlet_lanes(const double* t_coolant_k,
+                                        const double* t_ambient_k,
+                                        double* t_inlet_k, size_t n) const {
+  const double eps = params_.passive_effectiveness;
+  const double* __restrict__ tc = t_coolant_k;
+  const double* __restrict__ amb = t_ambient_k;
+  double* __restrict__ ti = t_inlet_k;
+  for (size_t l = 0; l < n; ++l) {
+    ti[l] = tc[l] - eps * (tc[l] - amb[l]);
+  }
 }
 
 double CoolingSystem::inlet_for_power(double t_coolant_k, double t_ambient_k,

@@ -56,15 +56,17 @@ PackThermalModel::State PackThermalModel::step_distributed(
 
   // Sweep in flow order: each segment sees the (time-midpoint) coolant
   // temperature of its upstream neighbour as its inlet, which upwinds
-  // the advection implicitly.
+  // the advection implicitly. The affine coefficients depend only on
+  // params and dt, so hoist them out of the segment loop.
+  const StepMatrix m = segment_system_.step_matrix(dt);
   double inlet_mid = t_inlet_k;
   for (int i = 0; i < segments_; ++i) {
-    const ThermalState seg{s.t_cell_k[i], s.t_coolant_k[i]};
-    const ThermalState out =
-        segment_system_.step(seg, q_w[i], inlet_mid, dt);
-    next.t_cell_k[i] = out.t_battery_k;
-    next.t_coolant_k[i] = out.t_coolant_k;
-    inlet_mid = 0.5 * (s.t_coolant_k[i] + out.t_coolant_k);
+    double tb = s.t_cell_k[i];
+    double tc = s.t_coolant_k[i];
+    apply_step(m, tb, tc, q_w[i], inlet_mid);
+    next.t_cell_k[i] = tb;
+    next.t_coolant_k[i] = tc;
+    inlet_mid = 0.5 * (s.t_coolant_k[i] + tc);
   }
   return next;
 }

@@ -66,17 +66,49 @@ double Powertrain::power_request(double v_mps, double a_mps2,
   return p_bus + params_.accessory_power_w;
 }
 
+void Powertrain::power_lanes(const double* v_mps, const double* a_mps2,
+                             double* p_bus_w, size_t n,
+                             double grade_rad) const {
+  // Hoisted road-load constants, associated exactly as in wheel_force
+  // so per-sample results match the scalar path bit for bit.
+  const double k_inertial = params_.mass_kg * params_.rotating_mass_factor;
+  const double k_rolling = params_.mass_kg * constants::kGravity *
+                           params_.rolling_resistance * std::cos(grade_rad);
+  const double k_aero = 0.5 * constants::kAirDensity *
+                        params_.drag_coefficient * params_.frontal_area_m2;
+  const double f_grade =
+      params_.mass_kg * constants::kGravity * std::sin(grade_rad);
+  const double p_motor_max = params_.max_motor_power_w;
+  const double p_regen_min = -params_.max_regen_power_w;
+  const double eta_regen = params_.regen_efficiency;
+  const double inv_eta = params_.traction_efficiency;
+  const double p_acc = params_.accessory_power_w;
+  const double* __restrict__ vv = v_mps;
+  const double* __restrict__ aa = a_mps2;
+  double* __restrict__ out = p_bus_w;
+  for (size_t k = 0; k < n; ++k) {
+    const double v = vv[k];
+    const double force = k_inertial * aa[k] +
+                         k_rolling * (v > 0.01 ? 1.0 : 0.0) +
+                         k_aero * v * v + f_grade;
+    const double p_wheel = force * v;
+    const double drive = std::min(p_wheel, p_motor_max) / inv_eta;
+    const double brake = std::max(p_wheel * eta_regen, p_regen_min);
+    out[k] = (p_wheel >= 0.0 ? drive : brake) + p_acc;
+  }
+}
+
 TimeSeries Powertrain::power_trace(const TimeSeries& speed,
                                    double grade_rad) const {
   OTEM_REQUIRE(!speed.empty(), "power trace of empty speed trace");
-  std::vector<double> out;
-  out.reserve(speed.size());
-  for (size_t k = 0; k < speed.size(); ++k) {
-    const double v = speed[k];
-    const double a =
-        k == 0 ? 0.0 : (speed[k] - speed[k - 1]) / speed.dt();
-    out.push_back(power_request(v, a, grade_rad));
+  const size_t n = speed.size();
+  const double dt = speed.dt();
+  std::vector<double> accel(n, 0.0);
+  for (size_t k = 1; k < n; ++k) {
+    accel[k] = (speed[k] - speed[k - 1]) / dt;
   }
+  std::vector<double> out(n);
+  power_lanes(speed.values().data(), accel.data(), out.data(), n, grade_rad);
   return TimeSeries(speed.dt(), std::move(out), speed.t0());
 }
 

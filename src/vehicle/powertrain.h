@@ -11,6 +11,8 @@
 // Algorithm 1.
 #pragma once
 
+#include <cstddef>
+
 #include "common/config.h"
 #include "common/timeseries.h"
 
@@ -45,6 +47,14 @@ class Powertrain {
   /// Electric power request at the DC bus [W] (discharge +, regen -).
   double power_request(double v_mps, double a_mps2,
                        double grade_rad = 0.0) const;
+
+  /// Batched power_request over n samples/lanes. The road-load
+  /// constants and trig terms are loop invariants and both branch arms
+  /// are evaluated then selected, so the loop vectorizes while staying
+  /// bit-identical to the scalar path. Backs power_trace and the
+  /// batched fleet demand evaluation.
+  void power_lanes(const double* v_mps, const double* a_mps2,
+                   double* p_bus_w, size_t n, double grade_rad = 0.0) const;
 
   /// Power-request trace for a speed trace (acceleration from finite
   /// differences). Same sampling as the input.

@@ -1,0 +1,432 @@
+// Bit-identity and lifecycle tests for the structure-of-arrays batched
+// plant layer: per-model lane kernels, PlantBatch lane
+// retirement/backfill, arena reuse, and the batched fleet path against
+// the scalar oracle. "Bit-identical" here means EXPECT_EQ on doubles —
+// no tolerance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/batch_methodology.h"
+#include "core/dual_methodology.h"
+#include "core/parallel_methodology.h"
+#include "core/reactive_batch.h"
+#include "battery/rc_model.h"
+#include "obs/metrics.h"
+#include "sim/fleet.h"
+#include "sim/plant_batch.h"
+#include "sim/simulator.h"
+#include "sim/step_sink.h"
+#include "vehicle/drive_cycle.h"
+#include "vehicle/powertrain.h"
+
+namespace otem::sim {
+namespace {
+
+core::SystemSpec default_spec() {
+  return core::SystemSpec::from_config(Config());
+}
+
+// --- per-model lane kernels ---------------------------------------------
+
+TEST(PlantBatchKernels, ThermalStepLanesBitIdentical) {
+  const core::SystemSpec spec = default_spec();
+  const thermal::CoolingSystem cooling = spec.make_cooling();
+  const double dt = 1.0;
+  const thermal::StepMatrix m = cooling.step_matrix(dt);
+
+  constexpr size_t kLanes = 17;  // odd on purpose: exercises the tail
+  std::vector<double> tb(kLanes), tc(kLanes), q(kLanes), amb(kLanes),
+      ti(kLanes);
+  for (size_t l = 0; l < kLanes; ++l) {
+    tb[l] = 290.0 + 1.7 * static_cast<double>(l);
+    tc[l] = 288.0 + 1.3 * static_cast<double>(l);
+    q[l] = 250.0 * static_cast<double>(l);
+    amb[l] = 283.0 + 0.9 * static_cast<double>(l);
+  }
+
+  cooling.passive_inlet_lanes(tc.data(), amb.data(), ti.data(), kLanes);
+  for (size_t l = 0; l < kLanes; ++l)
+    EXPECT_EQ(ti[l], cooling.passive_inlet(tc[l], amb[l])) << "lane " << l;
+
+  std::vector<double> tb_batch = tb, tc_batch = tc;
+  thermal::CoolingSystem::step_lanes(m, tb_batch.data(), tc_batch.data(),
+                                     q.data(), ti.data(), kLanes);
+  for (size_t l = 0; l < kLanes; ++l) {
+    const thermal::ThermalState out =
+        cooling.step({tb[l], tc[l]}, q[l], ti[l], dt);
+    EXPECT_EQ(tb_batch[l], out.t_battery_k) << "lane " << l;
+    EXPECT_EQ(tc_batch[l], out.t_coolant_k) << "lane " << l;
+  }
+}
+
+TEST(PlantBatchKernels, StorageLaneKernelsBitIdentical) {
+  const core::SystemSpec spec = default_spec();
+  const battery::PackModel pack = spec.make_battery();
+  const battery::TransientPackModel transient(spec.battery,
+                                              battery::RcParams{});
+  const ultracap::BankModel bank = spec.make_ultracap();
+  const double dt = 1.0;
+
+  constexpr size_t kLanes = 13;
+  std::vector<double> soc(kLanes), i_a(kLanes), v1(kLanes), soe(kLanes),
+      p_w(kLanes);
+  for (size_t l = 0; l < kLanes; ++l) {
+    soc[l] = 20.0 + 6.0 * static_cast<double>(l);
+    i_a[l] = -80.0 + 15.0 * static_cast<double>(l);
+    v1[l] = -2.0 + 0.4 * static_cast<double>(l);
+    soe[l] = 15.0 + 6.5 * static_cast<double>(l);
+    p_w[l] = -30000.0 + 7000.0 * static_cast<double>(l);
+  }
+
+  std::vector<double> soc_batch = soc;
+  pack.step_soc_lanes(soc_batch.data(), i_a.data(), dt, kLanes);
+  for (size_t l = 0; l < kLanes; ++l)
+    EXPECT_EQ(soc_batch[l], pack.step_soc(soc[l], i_a[l], dt)) << l;
+
+  std::vector<double> v1_batch = v1;
+  transient.step_v1_lanes(v1_batch.data(), i_a.data(), dt, kLanes);
+  for (size_t l = 0; l < kLanes; ++l)
+    EXPECT_EQ(v1_batch[l], transient.step_v1(v1[l], i_a[l], dt)) << l;
+
+  std::vector<double> soe_batch = soe;
+  bank.step_soe_lanes(soe_batch.data(), p_w.data(), dt, kLanes);
+  for (size_t l = 0; l < kLanes; ++l)
+    EXPECT_EQ(soe_batch[l], bank.step_soe(soe[l], p_w[l], dt)) << l;
+}
+
+TEST(PlantBatchKernels, PowertrainLanesBitIdentical) {
+  const core::SystemSpec spec = default_spec();
+  const vehicle::Powertrain pt = spec.make_powertrain();
+
+  constexpr size_t kSamples = 23;
+  std::vector<double> v(kSamples), a(kSamples), p(kSamples);
+  for (size_t k = 0; k < kSamples; ++k) {
+    v[k] = 0.005 * static_cast<double>(k) +
+           (k % 3 == 0 ? 0.0 : 1.4 * static_cast<double>(k));
+    a[k] = -3.0 + 0.3 * static_cast<double>(k);
+  }
+  const double grade = 0.02;
+  pt.power_lanes(v.data(), a.data(), p.data(), kSamples, grade);
+  for (size_t k = 0; k < kSamples; ++k)
+    EXPECT_EQ(p[k], pt.power_request(v[k], a[k], grade)) << "sample " << k;
+}
+
+TEST(PlantBatchKernels, ParallelArchStepLanesBitIdentical) {
+  const core::SystemSpec spec = default_spec();
+  const hees::ParallelArchitecture arch = spec.make_parallel_arch();
+
+  constexpr size_t kLanes = 9;
+  std::vector<double> soc(kLanes), soe(kLanes), tb(kLanes), p(kLanes);
+  std::vector<unsigned char> active(kLanes, 1);
+  active[4] = 0;  // one parked lane mid-array
+  for (size_t l = 0; l < kLanes; ++l) {
+    soc[l] = 40.0 + 6.0 * static_cast<double>(l);
+    soe[l] = 25.0 + 8.0 * static_cast<double>(l);
+    tb[l] = 285.0 + 3.0 * static_cast<double>(l);
+    p[l] = -20000.0 + 9000.0 * static_cast<double>(l);
+  }
+  std::vector<hees::ArchStep> out(kLanes);
+  arch.step_lanes(soc.data(), soe.data(), tb.data(), p.data(), 1.0,
+                  out.data(), kLanes, active.data());
+  for (size_t l = 0; l < kLanes; ++l) {
+    if (!active[l]) {
+      EXPECT_EQ(out[l].q_bat_w, 0.0);
+      continue;
+    }
+    const hees::ArchStep ref = arch.step(soc[l], soe[l], tb[l], p[l], 1.0);
+    EXPECT_EQ(out[l].soc_next, ref.soc_next) << l;
+    EXPECT_EQ(out[l].soe_next, ref.soe_next) << l;
+    EXPECT_EQ(out[l].q_bat_w, ref.q_bat_w) << l;
+    EXPECT_EQ(out[l].i_bat_a, ref.i_bat_a) << l;
+    EXPECT_EQ(out[l].e_loss_j, ref.e_loss_j) << l;
+    EXPECT_EQ(out[l].qloss_percent, ref.qloss_percent) << l;
+    EXPECT_EQ(out[l].feasible, ref.feasible) << l;
+  }
+}
+
+// --- end-to-end PlantBatch vs scalar oracle -----------------------------
+
+struct MissionCase {
+  std::uint64_t seed;
+  double duration_s;
+  double ambient_k;
+  double soe0;
+};
+
+BatchMission make_mission(const core::SystemSpec& base,
+                          const MissionCase& c) {
+  BatchMission m;
+  m.spec = base;
+  m.spec.ambient_k = c.ambient_k;
+  const TimeSeries speed = vehicle::generate_synthetic(c.seed, c.duration_s,
+                                                       30.0);
+  m.load = vehicle::Powertrain(m.spec.vehicle).power_trace(speed);
+  m.initial.t_battery_k = c.ambient_k;
+  m.initial.t_coolant_k = c.ambient_k;
+  m.initial.soe_percent = c.soe0;
+  return m;
+}
+
+RunResult scalar_oracle(const BatchMission& m, const std::string& name) {
+  RunOptions ropt;
+  ropt.record_trace = false;
+  ropt.initial = m.initial;
+  MetricsAccumulator metrics;
+  std::vector<StepSink*> sinks{&metrics};
+  std::unique_ptr<core::Methodology> meth;
+  if (name == "dual")
+    meth = std::make_unique<core::DualMethodology>(m.spec);
+  else
+    meth = std::make_unique<core::ParallelMethodology>(m.spec);
+  Simulator(m.spec).run_with_sinks(*meth, m.load, ropt, sinks);
+  return metrics.take();
+}
+
+void expect_same_result(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.duration_s, b.duration_s);
+  EXPECT_EQ(a.qloss_percent, b.qloss_percent);
+  EXPECT_EQ(a.energy_hees_j, b.energy_hees_j);
+  EXPECT_EQ(a.energy_battery_j, b.energy_battery_j);
+  EXPECT_EQ(a.energy_cap_j, b.energy_cap_j);
+  EXPECT_EQ(a.energy_loss_j, b.energy_loss_j);
+  EXPECT_EQ(a.average_power_w, b.average_power_w);
+  EXPECT_EQ(a.max_t_battery_k, b.max_t_battery_k);
+  EXPECT_EQ(a.thermal_violation_s, b.thermal_violation_s);
+  EXPECT_EQ(a.infeasible_steps, b.infeasible_steps);
+  EXPECT_EQ(a.unserved_energy_j, b.unserved_energy_j);
+  EXPECT_EQ(a.final_state.t_battery_k, b.final_state.t_battery_k);
+  EXPECT_EQ(a.final_state.t_coolant_k, b.final_state.t_coolant_k);
+  EXPECT_EQ(a.final_state.soc_percent, b.final_state.soc_percent);
+  EXPECT_EQ(a.final_state.soe_percent, b.final_state.soe_percent);
+}
+
+// Mixed occupancy + retirement + backfill: 7 missions of different
+// lengths through 3 lanes. Every mission must match its scalar run
+// exactly, and the lifecycle counters must add up.
+TEST(PlantBatch, MixedOccupancyRetireBackfillBitIdentical) {
+  const core::SystemSpec base = default_spec();
+  const std::vector<MissionCase> cases = {
+      {11, 180.0, 285.0, 95.0}, {12, 260.0, 308.0, 55.0},
+      {13, 140.0, 298.0, 80.0}, {14, 220.0, 313.0, 42.0},
+      {15, 200.0, 290.0, 100.0}, {16, 160.0, 301.0, 66.0},
+      {17, 240.0, 295.0, 71.0}};
+
+  std::vector<BatchMission> missions;
+  std::vector<MetricsAccumulator> metrics(cases.size());
+  size_t total_steps = 0;
+  for (size_t i = 0; i < cases.size(); ++i) {
+    missions.push_back(make_mission(base, cases[i]));
+    total_steps += missions[i].load.size();
+  }
+  for (size_t i = 0; i < cases.size(); ++i)
+    missions[i].sinks = {&metrics[i]};
+
+  PlantBatch batch(core::make_batch_methodology("parallel", base, 3));
+  ASSERT_EQ(batch.lanes(), 3u);
+  batch.run(missions);
+
+  EXPECT_EQ(batch.counters().missions, cases.size());
+  EXPECT_EQ(batch.counters().backfills, cases.size() - 3);
+  EXPECT_EQ(batch.counters().lane_steps, total_steps);
+  EXPECT_GE(batch.counters().batch_steps, 260u);  // longest mission length
+
+  for (size_t i = 0; i < cases.size(); ++i) {
+    SCOPED_TRACE("mission " + std::to_string(i));
+    expect_same_result(metrics[i].take(),
+                       scalar_oracle(missions[i], "parallel"));
+  }
+}
+
+TEST(PlantBatch, DualPolicyBitIdentical) {
+  core::SystemSpec base = default_spec();
+  const std::vector<MissionCase> cases = {
+      {21, 200.0, 312.0, 90.0},  // hot: exercises venting hysteresis
+      {22, 240.0, 286.0, 45.0},  // cool + low bank: exercises recharge
+      {23, 160.0, 305.0, 70.0}};
+
+  std::vector<BatchMission> missions;
+  std::vector<MetricsAccumulator> metrics(cases.size());
+  for (const MissionCase& c : cases) missions.push_back(make_mission(base, c));
+  for (size_t i = 0; i < cases.size(); ++i)
+    missions[i].sinks = {&metrics[i]};
+
+  PlantBatch batch(core::make_batch_methodology("dual", base, 2));
+  batch.run(missions);
+
+  for (size_t i = 0; i < cases.size(); ++i) {
+    SCOPED_TRACE("mission " + std::to_string(i));
+    expect_same_result(metrics[i].take(), scalar_oracle(missions[i], "dual"));
+  }
+}
+
+// The arena and lane scratch are reused across run() calls; the second
+// batch must be exactly as if it ran on a fresh PlantBatch.
+TEST(PlantBatch, ArenaReuseAcrossBatchesBitIdentical) {
+  const core::SystemSpec base = default_spec();
+  PlantBatch batch(core::make_batch_methodology("parallel", base, 2));
+
+  std::vector<BatchMission> first = {make_mission(base, {31, 150.0, 310.0, 50.0}),
+                                     make_mission(base, {32, 170.0, 305.0, 90.0}),
+                                     make_mission(base, {33, 130.0, 300.0, 60.0})};
+  std::vector<MetricsAccumulator> first_metrics(first.size());
+  for (size_t i = 0; i < first.size(); ++i)
+    first[i].sinks = {&first_metrics[i]};
+  batch.run(first);
+
+  std::vector<BatchMission> second = {make_mission(base, {41, 160.0, 287.0, 75.0}),
+                                      make_mission(base, {42, 140.0, 292.0, 85.0})};
+  std::vector<MetricsAccumulator> second_metrics(second.size());
+  for (size_t i = 0; i < second.size(); ++i)
+    second[i].sinks = {&second_metrics[i]};
+  batch.run(second);
+
+  EXPECT_EQ(batch.counters().missions, first.size() + second.size());
+  for (size_t i = 0; i < second.size(); ++i) {
+    SCOPED_TRACE("mission " + std::to_string(i));
+    expect_same_result(second_metrics[i].take(),
+                       scalar_oracle(second[i], "parallel"));
+  }
+}
+
+// The satellite-fix regression: a cool mission backfilled into a lane
+// previously occupied by a hot mission must not inherit the hot
+// occupant's max_t_battery_k (or any other per-run accumulator state).
+TEST(PlantBatch, BackfillDoesNotInheritExtrema) {
+  const core::SystemSpec base = default_spec();
+  std::vector<BatchMission> missions = {
+      make_mission(base, {51, 200.0, 313.0, 90.0}),  // hot occupant
+      make_mission(base, {52, 150.0, 284.0, 80.0})};  // cool backfill
+  std::vector<MetricsAccumulator> metrics(missions.size());
+  for (size_t i = 0; i < missions.size(); ++i)
+    missions[i].sinks = {&metrics[i]};
+
+  PlantBatch batch(core::make_batch_methodology("parallel", base, 1));
+  batch.run(missions);
+  ASSERT_EQ(batch.counters().backfills, 1u);
+
+  const RunResult hot = metrics[0].take();
+  const RunResult cool = metrics[1].take();
+  EXPECT_GE(hot.max_t_battery_k, 313.0);
+  // The cool mission peaks far below the hot lane's previous extremum…
+  EXPECT_LT(cool.max_t_battery_k, 300.0);
+  // …and matches its scalar oracle exactly.
+  expect_same_result(cool, scalar_oracle(missions[1], "parallel"));
+}
+
+// --- batched fleet ------------------------------------------------------
+
+FleetOptions small_fleet(size_t missions) {
+  FleetOptions f;
+  f.missions = missions;
+  f.seed = 77;
+  f.min_duration_s = 120.0;
+  f.max_duration_s = 260.0;
+  return f;
+}
+
+auto scalar_parallel_factory() {
+  return [](const core::SystemSpec& s) {
+    return std::make_unique<core::ParallelMethodology>(s);
+  };
+}
+
+auto batch_parallel_factory() {
+  return [](const core::SystemSpec& s, size_t lanes) {
+    return core::make_batch_methodology("parallel", s, lanes);
+  };
+}
+
+void expect_same_fleet(const FleetResult& a, const FleetResult& b) {
+  ASSERT_EQ(a.missions.size(), b.missions.size());
+  for (size_t i = 0; i < a.missions.size(); ++i) {
+    SCOPED_TRACE("mission " + std::to_string(i));
+    EXPECT_EQ(a.missions[i].route_seed, b.missions[i].route_seed);
+    EXPECT_EQ(a.missions[i].ambient_k, b.missions[i].ambient_k);
+    EXPECT_EQ(a.missions[i].duration_s, b.missions[i].duration_s);
+    EXPECT_EQ(a.missions[i].distance_m, b.missions[i].distance_m);
+    expect_same_result(a.missions[i].result, b.missions[i].result);
+  }
+  EXPECT_EQ(a.qloss_percent.mean, b.qloss_percent.mean);
+  EXPECT_EQ(a.qloss_percent.stddev, b.qloss_percent.stddev);
+  EXPECT_EQ(a.average_power_w.mean, b.average_power_w.mean);
+  EXPECT_EQ(a.max_t_battery_k.max, b.max_t_battery_k.max);
+  EXPECT_EQ(a.total_violation_s, b.total_violation_s);
+  EXPECT_EQ(a.total_unserved_j, b.total_unserved_j);
+}
+
+// The acceptance criterion: batched fleet evaluation is bit-identical
+// to the scalar oracle for ANY lane count and thread count.
+TEST(FleetBatched, BitIdenticalToScalarAcrossLanesAndThreads) {
+  const core::SystemSpec spec = default_spec();
+  FleetOptions scalar_opts = small_fleet(6);
+  scalar_opts.threads = 1;
+  const FleetResult oracle =
+      evaluate_fleet(spec, scalar_parallel_factory(), scalar_opts);
+
+  for (size_t lanes : {size_t{1}, size_t{8}}) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      SCOPED_TRACE("lanes " + std::to_string(lanes) + " threads " +
+                   std::to_string(threads));
+      FleetOptions opts = small_fleet(6);
+      opts.threads = threads;
+      opts.batch_lanes = lanes;
+      const FleetResult batched =
+          evaluate_fleet_batched(spec, batch_parallel_factory(), opts);
+      expect_same_fleet(oracle, batched);
+    }
+  }
+}
+
+TEST(FleetBatched, DualMethodologyBitIdentical) {
+  const core::SystemSpec spec = default_spec();
+  FleetOptions opts = small_fleet(4);
+  opts.threads = 1;
+  // Hot ambient band so the venting hysteresis actually fires.
+  opts.ambient_min_k = 305.0;
+  opts.ambient_max_k = 313.0;
+
+  const FleetResult oracle = evaluate_fleet(
+      spec,
+      [](const core::SystemSpec& s) {
+        return std::make_unique<core::DualMethodology>(s);
+      },
+      opts);
+
+  FleetOptions bopts = opts;
+  bopts.threads = 2;
+  bopts.batch_lanes = 3;
+  const FleetResult batched = evaluate_fleet_batched(
+      spec,
+      [](const core::SystemSpec& s, size_t lanes) {
+        return core::make_batch_methodology("dual", s, lanes);
+      },
+      bopts);
+  expect_same_fleet(oracle, batched);
+}
+
+TEST(FleetBatched, UtilizationCountersExposed) {
+  const core::SystemSpec spec = default_spec();
+  obs::MetricsRegistry registry;
+  FleetOptions opts = small_fleet(5);
+  opts.threads = 1;
+  opts.batch_lanes = 2;
+  opts.metrics = &registry;
+
+  evaluate_fleet_batched(spec, batch_parallel_factory(), opts);
+
+  // Every simulated mission step is one active lane-step, and the
+  // DiagnosticsSink per mission counts the same steps — the two
+  // counters must agree exactly.
+  EXPECT_EQ(registry.counter("fleet.batch_lanes_active").value(),
+            registry.counter("fleet.sim.steps").value());
+  // Single worker, 2 lanes, 5 missions: the first two fill, the other
+  // three backfill.
+  EXPECT_EQ(registry.counter("fleet.batch_backfills").value(), 3u);
+  EXPECT_GT(registry.counter("fleet.batch_steps").value(), 0u);
+}
+
+}  // namespace
+}  // namespace otem::sim
