@@ -3,9 +3,17 @@
 
 Reads a google-benchmark JSON file (as written by perf_fleet with
 --benchmark_out) and compares BM_FleetEvaluate/N (bare fleet) against
-BM_FleetEvaluateMetrics/N (same fleet with a shared MetricsRegistry,
-DiagnosticsSink per mission and step-loop timing on). The contract —
-enforced in CI — is that full instrumentation costs < 5 % wall-clock.
+its instrumented variants at the same thread count:
+
+  BM_FleetEvaluateMetrics/N — shared MetricsRegistry, DiagnosticsSink
+      per mission, step-loop timing on;
+  BM_FleetEvaluateTraced/N  — all of the above PLUS the span tracer
+      enabled (fleet.mission / sim.run / sim.step spans into the
+      per-thread flight-recorder rings).
+
+The contract — enforced in CI — is that each variant costs < 5 %
+wall-clock over the bare fleet. The measured delta is printed per
+variant and thread count.
 
 Usage: check_overhead.py BENCH_fleet.json [--max-percent 5.0]
 
@@ -23,8 +31,13 @@ import sys
 
 import bench_json
 
-NAME_RE = re.compile(r"^(BM_FleetEvaluate(?:Metrics)?)/(\d+)")
+NAME_RE = re.compile(r"^(BM_FleetEvaluate(?:Metrics|Traced)?)/(\d+)")
 NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+VARIANTS = [
+    ("BM_FleetEvaluateMetrics", "metrics"),
+    ("BM_FleetEvaluateTraced", "traced"),
+]
 
 
 def best_times(benchmarks):
@@ -53,25 +66,26 @@ def main():
     best = best_times(data["benchmarks"])
 
     base = best.get("BM_FleetEvaluate", {})
-    instrumented = best.get("BM_FleetEvaluateMetrics", {})
-    common = sorted(set(base) & set(instrumented))
-    if not common:
-        print("error: no BM_FleetEvaluate / BM_FleetEvaluateMetrics pairs "
+    compared = 0
+    failed = False
+    print(f"{'variant':>8}  {'threads':>7}  {'bare_ms':>10}  "
+          f"{'with_ms':>10}  {'overhead':>8}")
+    for bench_name, label in VARIANTS:
+        instrumented = best.get(bench_name, {})
+        for threads in sorted(set(base) & set(instrumented)):
+            compared += 1
+            t0, t1 = base[threads], instrumented[threads]
+            overhead = 100.0 * (t1 - t0) / t0
+            flag = ""
+            if overhead > args.max_percent:
+                failed = True
+                flag = f"  <-- exceeds {args.max_percent:g}% budget"
+            print(f"{label:>8}  {threads:>7}  {t0 / 1e6:>10.2f}  "
+                  f"{t1 / 1e6:>10.2f}  {overhead:>+7.2f}%{flag}")
+    if compared == 0:
+        print("error: no BM_FleetEvaluate vs instrumented-variant pairs "
               f"in {args.bench_json}", file=sys.stderr)
         return 1
-
-    failed = False
-    print(f"{'threads':>7}  {'bare_ms':>10}  {'metrics_ms':>10}  "
-          f"{'overhead':>8}")
-    for threads in common:
-        t0, t1 = base[threads], instrumented[threads]
-        overhead = 100.0 * (t1 - t0) / t0
-        flag = ""
-        if overhead > args.max_percent:
-            failed = True
-            flag = f"  <-- exceeds {args.max_percent:g}% budget"
-        print(f"{threads:>7}  {t0 / 1e6:>10.2f}  {t1 / 1e6:>10.2f}  "
-              f"{overhead:>+7.2f}%{flag}")
     return 1 if failed else 0
 
 

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Validate an otem.trace.v1 Chrome trace file.
+
+Used by the CI trace-smoke step: a short scenario is run with
+trace_out=<path>, then this script checks that the file is what
+chrome://tracing / ui.perfetto.dev expect —
+
+  - top-level object with schema "otem.trace.v1" and a non-empty
+    traceEvents array;
+  - every event is a complete-duration ("ph":"X") event carrying
+    name/cat/ts/dur/pid/tid, with ts/dur finite and dur >= 0;
+  - events within one tid nest consistently (a child span named by
+    args.parent starts and ends inside some other event's interval is
+    NOT checked exactly — overwritten flight-recorder rings may drop
+    parents — but args.id/args.parent/args.depth must be present);
+  - with --require NAME (repeatable), at least one event with that
+    exact name exists — CI requires the scenario.run -> ltv.solve ->
+    qp.factorize chain to prove every layer's spans survived to disk.
+
+Usage: check_trace.py TRACE.json [--require scenario.run ...]
+Exit code 1 on any violation, with a reason on stderr.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+REQUIRED_EVENT_FIELDS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+
+
+def fail(msg):
+    print(f"error: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace_json")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME",
+                    help="span name that must appear at least once")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace_json) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot load {args.trace_json}: {e}")
+
+    if not isinstance(doc, dict):
+        return fail("top level is not an object")
+    if doc.get("schema") != "otem.trace.v1":
+        return fail(f"schema is {doc.get('schema')!r}, "
+                    "expected 'otem.trace.v1'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail("traceEvents is missing or empty")
+
+    names = {}
+    for i, e in enumerate(events):
+        for field in REQUIRED_EVENT_FIELDS:
+            if field not in e:
+                return fail(f"event {i} lacks '{field}': {e}")
+        if e["ph"] != "X":
+            return fail(f"event {i} has ph={e['ph']!r}, expected 'X'")
+        if not (math.isfinite(e["ts"]) and math.isfinite(e["dur"])):
+            return fail(f"event {i} has non-finite ts/dur: {e}")
+        if e["dur"] < 0:
+            return fail(f"event {i} has negative dur: {e}")
+        span_args = e.get("args", {})
+        for field in ("id", "parent", "depth"):
+            if field not in span_args:
+                return fail(f"event {i} args lack '{field}': {e}")
+        names[e["name"]] = names.get(e["name"], 0) + 1
+
+    missing = [n for n in args.require if n not in names]
+    if missing:
+        return fail(f"required span name(s) absent: {', '.join(missing)}; "
+                    f"present: {', '.join(sorted(names))}")
+
+    total = sum(names.values())
+    print(f"ok: {total} events, {len(names)} distinct span names "
+          f"({', '.join(sorted(names))})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

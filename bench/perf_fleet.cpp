@@ -1,8 +1,10 @@
 // perf_fleet — google-benchmark timings for the execution subsystem:
 // fleet evaluation wall-clock at increasing thread counts (serial
 // baseline at threads=1), the same fleet with full instrumentation
-// attached (BM_FleetEvaluateMetrics — the <5 % overhead budget CI
-// enforces via bench/check_overhead.py), the ADMM QP hot path (cold
+// attached (BM_FleetEvaluateMetrics) and with the span tracer enabled
+// on top (BM_FleetEvaluateTraced) — both held to the <5 % overhead
+// budget CI enforces via bench/check_overhead.py — the ADMM QP hot
+// path (cold
 // one-shot vs a warm persistent QpSolver workspace, ns per ADMM
 // iteration), and the obs primitives themselves (counter add,
 // histogram record, scoped timer). bench/run_benchmarks.sh wraps this
@@ -16,7 +18,9 @@
 #include "core/parallel_methodology.h"
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/sketch.h"
 #include "obs/timer.h"
+#include "obs/trace.h"
 #include "optim/qp.h"
 #include "sim/fleet.h"
 
@@ -94,6 +98,38 @@ BENCHMARK(BM_FleetEvaluateMetrics)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/// The same fleet with the span tracer live on top of the metrics
+/// layer: every mission records fleet.mission / sim.run / sim.step
+/// spans into its thread's flight-recorder ring. CI compares this
+/// against BM_FleetEvaluate at the same thread count under the same
+/// <5 % budget (bench/check_overhead.py) — the cost of leaving the
+/// tracer ENABLED, not just compiled in.
+void BM_FleetEvaluateTraced(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const core::SystemSpec base = spec();
+  obs::MetricsRegistry registry;
+  sim::FleetOptions options = fleet_options(threads);
+  options.metrics = &registry;
+  obs::set_trace_enabled(true);
+  for (auto _ : state) {
+    const sim::FleetResult r =
+        sim::evaluate_fleet(base, parallel_factory(), options);
+    benchmark::DoNotOptimize(r.qloss_percent.mean);
+  }
+  obs::set_trace_enabled(false);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["spans_in_rings"] =
+      static_cast<double>(obs::TraceCollector().collect().size());
+  obs::trace_reset();
+}
+BENCHMARK(BM_FleetEvaluateTraced)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 /// The batched counterpart: each worker owns one PlantBatch stepping
 /// `lanes` missions in lockstep through the SoA plant kernels. Results
 /// are bit-identical to BM_FleetEvaluate's (tests/test_plant_batch.cpp
@@ -158,6 +194,36 @@ void BM_ObsScopedTimer(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsScopedTimer);
+
+void BM_ObsSketchRecord(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Sketch& s = registry.sketch("bench.sketch");
+  double v = 1.0;
+  for (auto _ : state) {
+    s.record(v);
+    v = v < 1e6 ? v * 1.7 : 1.0;
+  }
+}
+BENCHMARK(BM_ObsSketchRecord);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  obs::set_trace_enabled(true);
+  for (auto _ : state) {
+    const obs::TraceSpan span("bench.span");
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::set_trace_enabled(false);
+  obs::trace_reset();
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    const obs::TraceSpan span("bench.span_off");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
 
 void BM_ObsScopedTimerDisabled(benchmark::State& state) {
   obs::MetricsRegistry registry;

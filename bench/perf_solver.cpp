@@ -13,6 +13,8 @@
 #include "core/otem/ltv_controller.h"
 #include "core/otem/mpc_problem.h"
 #include "core/otem/otem_controller.h"
+#include "obs/sketch.h"
+#include "obs/timer.h"
 #include "optim/qp.h"
 
 namespace {
@@ -191,13 +193,19 @@ void ltv_control_step(benchmark::State& state, optim::KktSolveMode mode) {
   x.t_battery_k = 303.0;
   x.t_coolant_k = 301.0;
   std::vector<double> iters, refactors;
+  // Per-solve wall-clock into a quantile sketch: BENCH_solver.json
+  // then carries p50/p95/p99 solve latency per (horizon, warm) cell —
+  // the tail is what an every-second ECU deadline actually budgets.
+  obs::QuantileSketch latency_us;
   double stage_ops_total = 0.0;
   size_t step = 0;
   std::vector<double> window(horizon);
   for (auto _ : state) {
     const size_t base = step % 256;
     for (size_t k = 0; k < horizon; ++k) window[k] = p[base + k];
+    const double t0 = obs::now_us();
     benchmark::DoNotOptimize(ctrl.solve(x, window));
+    latency_us.add(obs::now_us() - t0);
     iters.push_back(static_cast<double>(ctrl.last_solve().qp_iterations));
     refactors.push_back(
         static_cast<double>(ctrl.last_solve().kkt_refactorizations));
@@ -218,6 +226,9 @@ void ltv_control_step(benchmark::State& state, optim::KktSolveMode mode) {
   // (always 0 on the dense path) — what bench/check_banded.py gates on.
   state.counters["stage_ops_per_iter"] =
       iter_total > 0.0 ? stage_ops_total / iter_total : 0.0;
+  state.counters["solve_p50_us"] = latency_us.quantile(0.50);
+  state.counters["solve_p95_us"] = latency_us.quantile(0.95);
+  state.counters["solve_p99_us"] = latency_us.quantile(0.99);
 }
 
 void BM_LtvControlStep(benchmark::State& state) {

@@ -20,9 +20,14 @@
 #   - BM_FleetEvaluate/N        fleet wall-clock at N threads (N=1 serial)
 #   - BM_FleetEvaluateMetrics/N the same fleet with a metrics registry
 #                               attached (instrumentation overhead)
+#   - BM_FleetEvaluateTraced/N  metrics + the span tracer enabled (the
+#                               tracing-on overhead check_overhead.py
+#                               also holds to the < 5% budget)
 #   - BM_FleetEvaluateBatch/N/L the SoA batched fleet path at N threads
 #                               with L-lane PlantBatches per worker
-#   - BM_ObsCounterAdd etc.     obs primitive micro-costs
+#   - BM_ObsCounterAdd etc.     obs primitive micro-costs, including
+#                               BM_ObsSketchRecord and the
+#                               BM_TraceSpan{Enabled,Disabled} pair
 #   - BM_QpSolveCold/h          one-shot QP solves, items/s = ADMM iter/s
 #   - BM_QpSolveWarm/h          persistent-workspace QP solves
 # (perf_models carries BM_PlantScalarStep / BM_PlantBatchStep/L, the
@@ -37,7 +42,10 @@
 #                               admm_iters_mean / admm_iters_median are
 #                               what bench/check_warm_start.py gates on;
 #                               stage_ops_per_iter is what
-#                               bench/check_banded.py gates on
+#                               bench/check_banded.py gates on;
+#                               solve_p50_us / solve_p95_us /
+#                               solve_p99_us are sketch-derived per-solve
+#                               latency quantiles (the ECU tail budget)
 #   - BM_LtvControlStepDense/{h,1}  the dense condensed-KKT oracle on
 #                               the same workload (the banded speedup's
 #                               denominator)

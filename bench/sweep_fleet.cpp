@@ -8,6 +8,7 @@
 
 #include "bench_common.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/fleet.h"
 
 using namespace otem;
@@ -30,6 +31,10 @@ int main(int argc, char** argv) {
   // "<method>." name prefix. Missions write the shared registry
   // concurrently — the sharded instruments are the point.
   const std::string metrics_out = cfg.get_string("metrics_out", "");
+  // "trace_out=fleet.trace.json" records fleet.mission / fleet.batch.*
+  // spans across the sweep into one otem.trace.v1 Chrome trace.
+  const std::string trace_out = cfg.get_string("trace_out", "");
+  if (!trace_out.empty()) obs::set_trace_enabled(true);
   obs::MetricsRegistry registry;
 
   bench::print_header(
@@ -79,6 +84,10 @@ int main(int argc, char** argv) {
   if (!metrics_out.empty()) {
     obs::write_metrics_json(metrics_out, registry);
     std::cout << "metrics snapshot written to " << metrics_out << "\n";
+  }
+  if (!trace_out.empty()) {
+    obs::TraceCollector().write_chrome_trace(trace_out);
+    std::cout << "trace written to " << trace_out << "\n";
   }
   bench::maybe_write_csv(cfg, "sweep_fleet", csv);
   return 0;

@@ -93,6 +93,10 @@ int cmd_run(const std::string& cycle, const Config& cfg) {
     std::printf("metrics snapshot written to %s\n", sc.metrics_out.c_str());
   if (!sc.events_jsonl.empty())
     std::printf("events streamed to %s\n", sc.events_jsonl.c_str());
+  if (!sc.trace_out.empty())
+    std::printf("trace written to %s (otem.trace.v1; load in "
+                "chrome://tracing or ui.perfetto.dev)\n",
+                sc.trace_out.c_str());
   if (cfg.has("report_json")) {
     const std::string path = cfg.get_string("report_json", "");
     sim::write_run_report(path, spec, sc.methodology, outcome.result,
@@ -147,7 +151,7 @@ int cmd_compare(const std::string& cycle, const Config& cfg) {
 bool is_serve_option(const std::string& key) {
   return key == "queue_depth" || key == "threads" || key == "cache_mb" ||
          key == "drain_timeout_s" || key == "max_frame_kb" ||
-         key == "metrics_out";
+         key == "metrics_out" || key == "trace_out";
 }
 
 int cmd_serve(const std::string& target, const Config& cfg) {
@@ -162,6 +166,7 @@ int cmd_serve(const std::string& target, const Config& cfg) {
   opts.max_frame_bytes = static_cast<size_t>(
       cfg.get_double("max_frame_kb", 1024.0) * 1024.0);
   opts.metrics_out = cfg.get_string("metrics_out", "");
+  opts.trace_out = cfg.get_string("trace_out", "");
   for (const std::string& key : cfg.keys()) {
     if (!is_serve_option(key)) opts.base.set(key, cfg.get_string(key, ""));
   }
@@ -238,13 +243,14 @@ int main(int argc, char** argv) {
           "       otem_cli methods\n"
           "       otem_cli run <cycle> [method=...] [repeats=N] "
           "[trace_csv=path] [report_json=path] [metrics_out=path] "
-          "[events_jsonl=path] [key=value...]\n"
+          "[events_jsonl=path] [trace_out=path] [key=value...]\n"
           "       otem_cli compare <cycle> [repeats=N] [metrics_out=path] "
           "[key=value...]\n"
           "       otem_cli serve <socket|--stdio> [queue_depth=N] "
           "[threads=N] [cache_mb=N] [drain_timeout_s=S] [metrics_out=path] "
-          "[key=value...]\n"
-          "       otem_cli request <socket> [rpc=run|ping|metrics|methods] "
+          "[trace_out=path] [key=value...]\n"
+          "       otem_cli request <socket> "
+          "[rpc=run|ping|metrics|stats|methods] "
           "[id=...] [deadline_ms=N] [cache=bypass] [key=value...]\n");
       return 1;
     }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace otem::core {
 
@@ -229,6 +230,7 @@ void LtvOtemController::assemble_banded_qp(
 
 MpcProblem::Controls LtvOtemController::solve(
     const PlantState& state, const std::vector<double>& p_e_window) {
+  const obs::TraceSpan solve_span("ltv.solve");
   problem_.set_window(state, p_e_window);
   const size_t n = problem_.options().horizon;
   const size_t nu = 2 * n;
@@ -273,6 +275,7 @@ MpcProblem::Controls LtvOtemController::solve(
   }
 
   for (size_t round = 0; round < options_.sqp_iterations; ++round) {
+    const obs::TraceSpan round_span("ltv.sqp_round");
     info_.cost = problem_.evaluate(z, c_);
     problem_.gradient(z, w0_, g_z_);
     const auto jac = problem_.linearize();

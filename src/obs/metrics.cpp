@@ -137,6 +137,18 @@ Histogram& MetricsRegistry::histogram(
   return *slot;
 }
 
+Sketch& MetricsRegistry::sketch(const std::string& name, size_t k) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = sketches_[name];
+  if (!slot) {
+    slot = std::make_unique<Sketch>(k);
+  } else {
+    OTEM_REQUIRE(slot->k() == k,
+                 "sketch re-registered with different k: " + name);
+  }
+  return *slot;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot out;
@@ -144,6 +156,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
   for (const auto& [name, h] : histograms_)
     out.histograms[name] = h->snapshot();
+  for (const auto& [name, s] : sketches_) out.sketches[name] = s->snapshot();
   return out;
 }
 
@@ -216,6 +229,22 @@ Json snapshot_to_json(const MetricsSnapshot& snapshot) {
     histograms.set(name, std::move(hj));
   }
   root.set("histograms", std::move(histograms));
+
+  Json sketches = Json::object();
+  for (const auto& [name, s] : snapshot.sketches) {
+    Json sj = Json::object();
+    sj.set("count", static_cast<double>(s.count));
+    sj.set("sum", s.sum);
+    sj.set("min", s.min);
+    sj.set("max", s.max);
+    sj.set("mean", s.count ? s.sum / static_cast<double>(s.count) : 0.0);
+    sj.set("p50", s.p50);
+    sj.set("p95", s.p95);
+    sj.set("p99", s.p99);
+    sj.set("p999", s.p999);
+    sketches.set(name, std::move(sj));
+  }
+  root.set("sketches", std::move(sketches));
   return root;
 }
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "obs/sketch.h"
 
 namespace otem::obs {
 
@@ -131,6 +132,7 @@ struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, Histogram::Snapshot> histograms;
+  std::map<std::string, Sketch::Snapshot> sketches;
 };
 
 /// Named instrument registry. Lookup/creation takes a mutex (do it once
@@ -149,6 +151,9 @@ class MetricsRegistry {
   /// otem::SimError otherwise).
   Histogram& histogram(const std::string& name,
                        const std::vector<double>& upper_edges);
+  /// Mergeable quantile sketch (obs/sketch.h); k must match on
+  /// re-registration (throws otem::SimError otherwise).
+  Sketch& sketch(const std::string& name, size_t k = kDefaultSketchK);
 
   MetricsSnapshot snapshot() const;
 
@@ -160,6 +165,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Sketch>> sketches_;
 };
 
 /// Common bucket ladders.
@@ -173,9 +179,11 @@ std::vector<double> residual_buckets();
 /// Stable JSON rendering of a snapshot (schema "otem.metrics.v1"):
 /// {"schema": ..., "counters": {name: n}, "gauges": {name: v},
 ///  "histograms": {name: {count,sum,min,max,mean,
-///                        buckets:[{le,count}...]}}}
+///                        buckets:[{le,count}...]}},
+///  "sketches": {name: {count,sum,min,max,mean,p50,p95,p99,p999}}}
 /// Bucket objects carry their inclusive upper edge `le`; the overflow
-/// bucket's edge is the string "inf". Names are sorted.
+/// bucket's edge is the string "inf". Names are sorted. The "sketches"
+/// section is additive (readers of the pre-sketch v1 shape ignore it).
 Json snapshot_to_json(const MetricsSnapshot& snapshot);
 
 /// snapshot() + snapshot_to_json() + write to `path`; throws

@@ -1,0 +1,165 @@
+#include "obs/sketch.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace otem::obs {
+
+// --- QuantileSketch -----------------------------------------------------
+
+QuantileSketch::QuantileSketch(size_t k) : k_(k) {
+  OTEM_REQUIRE(k_ >= 8, "quantile sketch needs k >= 8");
+}
+
+void QuantileSketch::add(double value) {
+  if (n_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++n_;
+  sum_ += value;
+  if (levels_.empty()) {
+    levels_.emplace_back();
+    parity_.push_back(0);
+    levels_[0].reserve(k_);
+  }
+  levels_[0].push_back(value);
+  for (size_t l = 0; l < levels_.size() && levels_[l].size() >= k_; ++l)
+    compact_level(l);
+}
+
+void QuantileSketch::compact_level(size_t level) {
+  if (level + 1 >= levels_.size()) {
+    levels_.emplace_back();
+    parity_.push_back(0);
+    levels_[level + 1].reserve(k_);
+  }
+  std::vector<double>& buf = levels_[level];
+  std::sort(buf.begin(), buf.end());
+  // Promote every second element of the even prefix (weight doubles, so
+  // total weight is conserved); an odd straggler stays behind at this
+  // level. The surviving parity alternates per level, which is what
+  // makes the selection deterministic without being systematically
+  // biased toward either rank side.
+  const size_t m = buf.size() & ~size_t{1};
+  std::vector<double>& up = levels_[level + 1];
+  for (size_t i = parity_[level]; i < m; i += 2) up.push_back(buf[i]);
+  parity_[level] ^= 1;
+  const bool straggler = buf.size() != m;
+  const double tail = straggler ? buf.back() : 0.0;
+  buf.clear();
+  if (straggler) buf.push_back(tail);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  OTEM_REQUIRE(k_ == other.k_,
+               "cannot merge quantile sketches with different k");
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  n_ += other.n_;
+  sum_ += other.sum_;
+  for (size_t l = 0; l < other.levels_.size(); ++l) {
+    if (other.levels_[l].empty()) continue;
+    while (l >= levels_.size()) {
+      levels_.emplace_back();
+      parity_.push_back(0);
+    }
+    levels_[l].insert(levels_[l].end(), other.levels_[l].begin(),
+                      other.levels_[l].end());
+  }
+  for (size_t l = 0; l < levels_.size(); ++l)
+    if (levels_[l].size() >= k_) compact_level(l);
+}
+
+double QuantileSketch::min() const { return n_ ? min_ : 0.0; }
+double QuantileSketch::max() const { return n_ ? max_ : 0.0; }
+
+double QuantileSketch::quantile(double q) const {
+  if (n_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  std::vector<std::pair<double, std::uint64_t>> items;
+  size_t total = 0;
+  for (const std::vector<double>& level : levels_) total += level.size();
+  items.reserve(total);
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    const std::uint64_t w = std::uint64_t{1} << l;
+    for (double v : levels_[l]) items.emplace_back(v, w);
+  }
+  std::sort(items.begin(), items.end());
+  const double target = q * static_cast<double>(n_);
+  double cum = 0.0;
+  for (const auto& [value, weight] : items) {
+    cum += static_cast<double>(weight);
+    if (cum >= target) return value;
+  }
+  return max_;
+}
+
+// --- Sketch (registry instrument) ---------------------------------------
+
+struct Sketch::Shard {
+  alignas(64) std::mutex mutex;
+  QuantileSketch sketch{kDefaultSketchK};
+};
+
+Sketch::Sketch(size_t k) : k_(k), shards_(new Shard[detail::kShards]) {
+  for (size_t i = 0; i < detail::kShards; ++i)
+    shards_[i].sketch = QuantileSketch(k);
+}
+
+Sketch::~Sketch() { delete[] shards_; }
+
+void Sketch::record(double value) {
+  if (!enabled()) return;
+  Shard& shard = shards_[detail::shard_index()];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.sketch.add(value);
+}
+
+void Sketch::merge_in(const QuantileSketch& worker) {
+  if (!enabled()) return;
+  Shard& shard = shards_[detail::shard_index()];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.sketch.merge(worker);
+}
+
+QuantileSketch Sketch::collect() const {
+  QuantileSketch out(k_);
+  for (size_t i = 0; i < detail::kShards; ++i) {
+    const std::lock_guard<std::mutex> lock(shards_[i].mutex);
+    out.merge(shards_[i].sketch);
+  }
+  return out;
+}
+
+Sketch::Snapshot Sketch::snapshot() const { return summarize(collect()); }
+
+Sketch::Snapshot summarize(const QuantileSketch& sketch) {
+  Sketch::Snapshot out;
+  out.count = sketch.count();
+  out.sum = sketch.sum();
+  out.min = sketch.min();
+  out.max = sketch.max();
+  out.p50 = sketch.quantile(0.50);
+  out.p95 = sketch.quantile(0.95);
+  out.p99 = sketch.quantile(0.99);
+  out.p999 = sketch.quantile(0.999);
+  return out;
+}
+
+}  // namespace otem::obs

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/trace.h"
 #include "optim/vector_ops.h"
 
 namespace otem::optim {
@@ -511,6 +512,7 @@ QpResult LtvQpSolver::solve(const LtvQpProblem& problem,
 QpResult LtvQpSolver::solve(const LtvQpProblem& problem,
                             const QpOptions& options,
                             const QpWarmStart& warm) {
+  const obs::TraceSpan solve_span("ltv_qp.solve");
   const size_t h = problem.horizon();
   OTEM_REQUIRE(h > 0, "LTV QP: empty horizon");
   const size_t n = problem.num_vars();
@@ -561,6 +563,7 @@ QpResult LtvQpSolver::solve(const LtvQpProblem& problem,
   // block cost the dense solver's in-place-update distinction buys
   // nothing here, but the kkt_refactorizations accounting is identical.
   auto refactor = [&](double rho_now) {
+    const obs::TraceSpan factor_span("ltv_qp.factorize");
     assemble_kkt(problem, options.sigma, rho_now);
     stage_ops += h;
     chol_.factor(kkt_diag_, kkt_sub_);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/trace.h"
 #include "optim/vector_ops.h"
 
 namespace otem::optim {
@@ -43,6 +44,7 @@ QpResult QpSolver::solve(const QpProblem& problem,
 
 QpResult QpSolver::solve(const QpProblem& problem, const QpOptions& options,
                          const QpWarmStart& warm) {
+  const obs::TraceSpan solve_span("qp.solve");
   const size_t n = problem.q.size();
   const size_t m = problem.l.size();
   // Cheap O(1) dimension-consistency checks come first; everything
@@ -94,7 +96,10 @@ QpResult QpSolver::solve(const QpProblem& problem, const QpOptions& options,
     p_cached_ = problem.p;
     rho_cached_ = rho;
     factored_ = false;
-    chol_.factor(kkt_);
+    {
+      const obs::TraceSpan factor_span("qp.factorize");
+      chol_.factor(kkt_);
+    }
     factored_ = true;
     ++result.kkt_refactorizations;
   } else {
@@ -105,7 +110,10 @@ QpResult QpSolver::solve(const QpProblem& problem, const QpOptions& options,
     sigma_cached_ = options.sigma;
     rho_cached_ = rho;
     factored_ = false;
-    chol_.factor(kkt_);
+    {
+      const obs::TraceSpan factor_span("qp.factorize");
+      chol_.factor(kkt_);
+    }
     factored_ = true;
     ++result.kkt_refactorizations;
   }
@@ -213,7 +221,10 @@ QpResult QpSolver::solve(const QpProblem& problem, const QpOptions& options,
           rho = rho_new;
           rho_cached_ = rho;
           factored_ = false;
-          chol_.factor(kkt_);
+          {
+            const obs::TraceSpan factor_span("qp.factorize");
+            chol_.factor(kkt_);
+          }
           factored_ = true;
           ++result.rho_updates;
           ++result.kkt_refactorizations;

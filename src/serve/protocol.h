@@ -3,7 +3,7 @@
 // One JSON object per line, both directions. Requests:
 //
 //   {"schema": "otem.serve.v1",
-//    "method": "run" | "ping" | "metrics" | "methods",
+//    "method": "run" | "ping" | "metrics" | "stats" | "methods",
 //    "id": <any JSON value, echoed back verbatim>,        (optional)
 //    "deadline_ms": <number>,                             (optional)
 //    "cache": "use" | "bypass",                           (optional)

@@ -18,6 +18,7 @@
 #include "core/methodology_registry.h"
 #include "core/system_spec.h"
 #include "obs/timer.h"
+#include "obs/trace.h"
 #include "serve/codec.h"
 #include "sim/report.h"
 #include "sim/scenario.h"
@@ -70,7 +71,21 @@ struct SignalGuard {
 bool is_output_override(const std::string& key) {
   return key == "trace_csv" || key == "metrics_out" ||
          key == "events_jsonl" || key == "report_json" ||
-         key == "record_trace";
+         key == "record_trace" || key == "trace_out";
+}
+
+/// One quantile-sketch snapshot as the `stats` method reports it.
+Json sketch_stats_json(const obs::Sketch::Snapshot& s) {
+  Json j = Json::object();
+  j.set("count", static_cast<double>(s.count));
+  j.set("mean", s.count ? s.sum / static_cast<double>(s.count) : 0.0);
+  j.set("min", s.min);
+  j.set("max", s.max);
+  j.set("p50", s.p50);
+  j.set("p95", s.p95);
+  j.set("p99", s.p99);
+  j.set("p999", s.p999);
+  return j;
 }
 
 }  // namespace
@@ -84,9 +99,12 @@ Server::Server(const ServerOptions& options)
                                       obs::latency_buckets_us())),
       queue_wait_us_(registry_.histogram("serve.queue.wait_us",
                                          obs::latency_buckets_us())),
+      latency_sketch_(registry_.sketch("serve.request.latency_us")),
+      queue_wait_sketch_(registry_.sketch("serve.queue.wait_us")),
       queue_depth_(registry_.gauge("serve.queue.depth")) {
   for (const std::string& key : options_.base.keys())
     base_pairs_.emplace_back(key, options_.base.get_string(key, ""));
+  if (!options_.trace_out.empty()) obs::set_trace_enabled(true);
 }
 
 bool Server::stopping() const {
@@ -153,9 +171,11 @@ std::string Server::oversized_response() {
 }
 
 std::string Server::handle_line(const std::string& line) {
+  const obs::TraceSpan request_span("serve.request");
   const double t0 = obs::now_us();
   Request req;
   try {
+    const obs::TraceSpan parse_span("serve.parse");
     req = parse_request(line);
   } catch (const SimError& e) {
     return error_response(Json(), ErrorCode::kBadRequest, e.what());
@@ -175,6 +195,26 @@ std::string Server::handle_line(const std::string& line) {
       return build_ok_response(
           req.id, false, obs::snapshot_to_json(registry_.snapshot()).dump(0));
     }
+    if (req.method == "stats") {
+      // Live introspection: exact latency / queue-wait quantiles from
+      // the sketches, plus per-name aggregates of the spans still in
+      // the flight-recorder rings (empty unless tracing is enabled).
+      Json result = Json::object();
+      result.set("latency_us", sketch_stats_json(latency_sketch_.snapshot()));
+      result.set("queue_wait_us",
+                 sketch_stats_json(queue_wait_sketch_.snapshot()));
+      Json spans = Json::object();
+      for (const obs::TraceCollector::SpanSummary& s :
+           obs::TraceCollector().summaries()) {
+        Json sj = Json::object();
+        sj.set("count", static_cast<double>(s.count));
+        sj.set("total_us", s.total_us);
+        sj.set("max_us", s.max_us);
+        spans.set(s.name, std::move(sj));
+      }
+      result.set("spans", std::move(spans));
+      return build_ok_response(req.id, false, result.dump(0));
+    }
     if (req.method == "methods") {
       Json names = Json::array();
       for (const std::string& name :
@@ -184,7 +224,16 @@ std::string Server::handle_line(const std::string& line) {
       result.set("methods", std::move(names));
       return build_ok_response(req.id, false, result.dump(0));
     }
-    if (req.method == "run") return handle_run(req, t0);
+    if (req.method == "run") {
+      // Latency is recorded HERE, on every completion path (success,
+      // cache hit, refusal, error) — and t0 is taken at frame entry, so
+      // it always includes queue wait and parse time.
+      const std::string response = handle_run(req);
+      const double latency = obs::now_us() - t0;
+      latency_us_.record(latency);
+      latency_sketch_.record(latency);
+      return response;
+    }
   } catch (const std::exception& e) {
     return error_response(req.id, ErrorCode::kInternal, e.what());
   }
@@ -192,7 +241,7 @@ std::string Server::handle_line(const std::string& line) {
                         "unknown method '" + req.method + "'");
 }
 
-std::string Server::handle_run(const Request& req, double t0_us) {
+std::string Server::handle_run(const Request& req) {
   // A private Config per request: base pairs first, then the request's
   // overrides on top. Never share a Config across sessions — copies
   // share their consumed-key set, which concurrent reads would race on.
@@ -226,10 +275,8 @@ std::string Server::handle_run(const Request& req, double t0_us) {
 
   bool claimed = false;
   if (!req.cache_bypass) {
-    if (std::optional<std::string> hit = cache_.lookup_or_begin(cache_key)) {
-      latency_us_.record(obs::now_us() - t0_us);
+    if (std::optional<std::string> hit = cache_.lookup_or_begin(cache_key))
       return build_ok_response(req.id, true, *hit);
-    }
     claimed = true;
   }
 
@@ -257,9 +304,14 @@ std::string Server::handle_run(const Request& req, double t0_us) {
 
   std::string result_json;
   const exec::StopToken token = source.token();
+  const obs::TraceSpan dispatch_span("serve.dispatch");
   const double enqueued_us = obs::now_us();
   exec::TaskHandle handle = pool_->submit([&] {
-    queue_wait_us_.record(obs::now_us() - enqueued_us);
+    const double wait_us = obs::now_us() - enqueued_us;
+    queue_wait_us_.record(wait_us);
+    queue_wait_sketch_.record(wait_us);
+    obs::trace_emit("serve.queue_wait", enqueued_us, wait_us);
+    const obs::TraceSpan run_span("serve.run");
     const core::SystemSpec spec = core::SystemSpec::from_config(merged);
     // Aggregate this run's sim/solver telemetry into the server
     // registry: the metrics method then reports warm-start hits,
@@ -279,7 +331,6 @@ std::string Server::handle_run(const Request& req, double t0_us) {
   try {
     handle.wait();
     if (claimed) cache_.fill(cache_key, result_json);
-    latency_us_.record(obs::now_us() - t0_us);
     response = build_ok_response(req.id, false, result_json);
   } catch (const SimCancelled& e) {
     if (claimed) cache_.abandon(cache_key);
@@ -363,6 +414,14 @@ void Server::shutdown_flush() {
                 options_.metrics_out);
     } catch (const std::exception& e) {
       log::error("serve: failed to flush metrics snapshot: ", e.what());
+    }
+  }
+  if (!options_.trace_out.empty()) {
+    try {
+      obs::TraceCollector().write_chrome_trace(options_.trace_out);
+      log::info("serve: trace written to ", options_.trace_out);
+    } catch (const std::exception& e) {
+      log::error("serve: failed to write trace: ", e.what());
     }
   }
 }

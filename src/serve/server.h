@@ -7,8 +7,8 @@
 //   admission queue — at most queue_depth run requests may be queued or
 //       executing at once; the rest are refused IMMEDIATELY with
 //       {"error":"overloaded"} rather than buffered into unbounded
-//       latency (clients retry with backoff). ping/metrics/methods are
-//       control-plane and never queue.
+//       latency (clients retry with backoff). ping/metrics/stats/
+//       methods are control-plane and never queue.
 //   dispatch       — admitted runs execute on an exec::ThreadPool via
 //       submit(); the session thread joins the handle, so slow clients
 //       only ever block themselves.
@@ -31,9 +31,15 @@
 // drive directly.
 //
 // Observability (registry(), all under serve.*): queue depth gauge,
-// request latency and queue-wait histograms, per-method request
+// request latency and queue-wait histograms AND quantile sketches
+// (latency covers every run completion path — success, cache hit and
+// error — and therefore includes queue wait), per-method request
 // counters, per-code error counters, cache hit/miss/coalesced/eviction
-// counters and byte/entry gauges, connection counter.
+// counters and byte/entry gauges, connection counter. The `stats`
+// method returns the live latency/queue-wait quantiles plus per-name
+// summaries of recently recorded trace spans; `trace_out` enables the
+// span tracer for the daemon's lifetime and writes an otem.trace.v1
+// Chrome trace on shutdown.
 #pragma once
 
 #include <atomic>
@@ -69,6 +75,10 @@ struct ServerOptions {
   /// When non-empty, the final metrics snapshot is written here on
   /// shutdown (schema otem.metrics.v1).
   std::string metrics_out;
+  /// When non-empty, span tracing is enabled for the daemon's lifetime
+  /// and a Chrome trace (schema otem.trace.v1) is written here on
+  /// shutdown.
+  std::string trace_out;
   /// Base key=value overrides applied under every request (the serve
   /// command line); request overrides win.
   Config base;
@@ -113,7 +123,7 @@ class Server {
   obs::MetricsRegistry& registry() { return registry_; }
 
  private:
-  std::string handle_run(const Request& request, double t0_us);
+  std::string handle_run(const Request& request);
   std::string error_response(const Json& id, ErrorCode code,
                              const std::string& message);
   void session_loop(int in_fd, int out_fd);
@@ -154,6 +164,10 @@ class Server {
 
   obs::Histogram& latency_us_;
   obs::Histogram& queue_wait_us_;
+  /// Sketch twins of the two histograms: exact-bucket-free p50/p95/p99
+  /// for the `stats` method and the otem.metrics.v1 "sketches" section.
+  obs::Sketch& latency_sketch_;
+  obs::Sketch& queue_wait_sketch_;
   obs::Gauge& queue_depth_;
 };
 

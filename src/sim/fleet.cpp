@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "exec/thread_pool.h"
+#include "obs/trace.h"
 #include "sim/obs_sink.h"
 #include "sim/plant_batch.h"
 #include "sim/step_sink.h"
@@ -115,6 +116,7 @@ FleetResult evaluate_fleet(
   exec::parallel_for(
       options.missions,
       [&](size_t m) {
+        const obs::TraceSpan mission_span("fleet.mission");
         const MissionDraw& d = draws[m];
         MissionOutcome& mission = out.missions[m];
         mission.route_seed = d.route_seed;
@@ -208,6 +210,9 @@ FleetResult evaluate_fleet_batched(
   std::vector<MissionSlot> slots(options.missions);
 
   auto prepare = [&](size_t m) -> BatchMission* {
+    // Lane packing/backfill: called whenever a worker's PlantBatch
+    // claims the next mission off the shared cursor.
+    const obs::TraceSpan prepare_span("fleet.batch.prepare");
     const MissionDraw& d = draws[m];
     MissionOutcome& mission = out.missions[m];
     mission.route_seed = d.route_seed;
@@ -261,6 +266,7 @@ FleetResult evaluate_fleet_batched(
   exec::parallel_for(
       workers,
       [&](size_t w) {
+        const obs::TraceSpan worker_span("fleet.batch.worker");
         PlantBatch batch(batch_factory(base_spec, options.batch_lanes));
         batch.run([&]() -> BatchMission* {
           const size_t m = cursor.fetch_add(1, std::memory_order_relaxed);

@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "core/methodology_registry.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/obs_sink.h"
 #include "sim/step_sink.h"
 #include "vehicle/drive_cycle.h"
@@ -44,6 +45,7 @@ Scenario Scenario::from_config(const Config& cfg) {
   const long every = cfg.get_long("events_every", 1);
   OTEM_REQUIRE(every >= 1, "events_every must be >= 1");
   sc.events_every = static_cast<size_t>(every);
+  sc.trace_out = cfg.get_string("trace_out", sc.trace_out);
   return sc;
 }
 
@@ -80,11 +82,32 @@ ScenarioOutcome run_scenario(const Scenario& scenario,
                       exec::StopToken());
 }
 
+namespace {
+/// Turns tracing on for a trace_out= run and restores the previous
+/// state on scope exit (exception-safe; concurrent runs that also
+/// enabled tracing are unaffected because enabling is idempotent and
+/// each run restores what IT saw).
+struct TraceEnableGuard {
+  bool active;
+  bool previous = false;
+  explicit TraceEnableGuard(bool enable) : active(enable) {
+    if (active) {
+      previous = obs::trace_enabled();
+      obs::set_trace_enabled(true);
+    }
+  }
+  ~TraceEnableGuard() {
+    if (active) obs::set_trace_enabled(previous);
+  }
+};
+}  // namespace
+
 ScenarioOutcome run_scenario(const Scenario& scenario,
                              const core::SystemSpec& base_spec,
                              const Config& cfg,
                              const std::vector<StepSink*>& extra_sinks,
                              const exec::StopToken& stop) {
+  const TraceEnableGuard trace_guard(!scenario.trace_out.empty());
   core::SystemSpec spec = base_spec;
   if (scenario.ambient_k > 0.0) spec.ambient_k = scenario.ambient_k;
 
@@ -131,12 +154,17 @@ ScenarioOutcome run_scenario(const Scenario& scenario,
   }
   for (StepSink* sink : extra_sinks) sinks.push_back(sink);
 
-  const Simulator simulator(spec);
-  simulator.run_with_sinks(*methodology, outcome.power, options, sinks);
+  {
+    const obs::TraceSpan run_span("scenario.run");
+    const Simulator simulator(spec);
+    simulator.run_with_sinks(*methodology, outcome.power, options, sinks);
+  }
   outcome.result = metrics.take();
   if (scenario.record_trace) outcome.result.trace = trace.take();
   if (!scenario.metrics_out.empty())
     obs::write_metrics_json(scenario.metrics_out, registry);
+  if (!scenario.trace_out.empty())
+    obs::TraceCollector().write_chrome_trace(scenario.trace_out);
   return outcome;
 }
 

@@ -23,6 +23,8 @@
 //   trace_csv=<path>                stream per-step telemetry to disk
 //   metrics_out=<path>              write an obs metrics snapshot (JSON)
 //   events_jsonl=<path> [events_every=N]   stream per-step JSONL events
+//   trace_out=<path>                enable span tracing for the run and
+//                                   write a Chrome trace (otem.trace.v1)
 #pragma once
 
 #include <cstdint>
@@ -70,6 +72,13 @@ struct Scenario {
   /// here; events_every decimates the step events.
   std::string events_jsonl;
   size_t events_every = 1;
+
+  /// When non-empty, turn span tracing on for this run and write the
+  /// flight recorder's contents as Chrome trace-event JSON (schema
+  /// otem.trace.v1) here afterwards. Tracing state is process-global:
+  /// concurrent runs share the recorder (their spans land on separate
+  /// tids), and the previous enable state is restored on return.
+  std::string trace_out;
 
   static Scenario from_config(const Config& cfg);
 };

@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "obs/trace.h"
 #include "sim/step_sink.h"
 
 namespace otem::sim {
@@ -60,6 +61,14 @@ void Simulator::run_with_sinks(core::Methodology& methodology,
       if (s) timing_stride = timing_stride ? std::gcd(timing_stride, s) : s;
     }
   }
+  // Tracing reuses the sampled step timings as sim.step spans — no
+  // extra clock reads on already-timed steps. When tracing is on but
+  // no sink asked for timing, sample at the diagnostics stride
+  // (DiagnosticsSink::kTimingStride) so a trace_out= run still shows
+  // the step cadence.
+  const bool tracing = obs::trace_enabled();
+  constexpr size_t kTraceStepStride = 64;
+  if (tracing && timing_stride == 0) timing_stride = kTraceStepStride;
 
   // Diagnostics sinks only want EVENTFUL samples; splitting the chain
   // once here keeps the per-step loop free of per-sink predicates.
@@ -67,6 +76,8 @@ void Simulator::run_with_sinks(core::Methodology& methodology,
   for (StepSink* sink : sinks)
     (sink->eventful_samples_only() ? eventful_only : every_step)
         .push_back(sink);
+
+  const obs::TraceSpan run_span("sim.run");
 
   double qloss_cum = 0.0;
   // next_timed tracks the multiples of timing_stride without a per-step
@@ -91,6 +102,7 @@ void Simulator::run_with_sinks(core::Methodology& methodology,
     const core::StepRecord rec =
         methodology.step(state, power_request[k], k, dt);
     const double step_us = timed ? obs::now_us() - t0 : 0.0;
+    if (timed && tracing) obs::trace_emit("sim.step", t0, step_us);
     qloss_cum += rec.qloss_percent;
     const double teb = want_teb
                            ? teb_.evaluate(state).combined()

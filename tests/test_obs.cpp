@@ -212,9 +212,34 @@ TEST(Metrics, SnapshotJsonGoldenSchema) {
       "\"histograms\":{\"lat\":{"
       "\"count\":3,\"sum\":12,\"min\":0.5,\"max\":9.5,\"mean\":4,"
       "\"buckets\":[{\"le\":1,\"count\":1},{\"le\":10,\"count\":2},"
-      "{\"le\":\"inf\",\"count\":0}]}}}";
+      "{\"le\":\"inf\",\"count\":0}]}},"
+      "\"sketches\":{}}";
   EXPECT_EQ(got, want);
 }
+
+#ifndef OTEM_OBS_DISABLED
+TEST(Metrics, SnapshotJsonGoldenSketchSection) {
+  obs::MetricsRegistry registry;
+  obs::Sketch& s = registry.sketch("lat_us");
+  for (int i = 1; i <= 4; ++i) s.record(static_cast<double>(i));
+  const std::string got =
+      obs::snapshot_to_json(registry.snapshot()).dump(0);
+  // Small enough that the sketch stores every sample exactly: the
+  // quantile walk returns the first value whose cumulative weight
+  // reaches q*n, so p50 of {1,2,3,4} is 2 and the tail quantiles hit
+  // the max. Pinned byte-for-byte alongside the main golden above —
+  // the "sketches" section is part of the otem.metrics.v1 contract.
+  const std::string want =
+      "{\"schema\":\"otem.metrics.v1\","
+      "\"counters\":{},"
+      "\"gauges\":{},"
+      "\"histograms\":{},"
+      "\"sketches\":{\"lat_us\":{"
+      "\"count\":4,\"sum\":10,\"min\":1,\"max\":4,\"mean\":2.5,"
+      "\"p50\":2,\"p95\":4,\"p99\":4,\"p999\":4}}}";
+  EXPECT_EQ(got, want);
+}
+#endif
 
 TEST(Events, StepEventGoldenLine) {
   core::StepRecord rec;

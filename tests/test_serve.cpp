@@ -18,6 +18,7 @@
 
 #include "common/config.h"
 #include "common/json.h"
+#include "obs/trace.h"
 #include "serve/cache.h"
 #include "serve/codec.h"
 #include "serve/protocol.h"
@@ -553,6 +554,115 @@ TEST(CacheKey, SpecOverridesLandInTheSortedTail) {
   EXPECT_EQ(key, canonical_scenario_key(
                      sim::Scenario::from_config(with_output), with_output));
 }
+
+// --- observability: queue wait, latency sketches, stats ---------------------
+
+#ifndef OTEM_OBS_DISABLED
+
+TEST(ServeObs, QueueWaitIsRecordedUnderLoad) {
+  // One pool thread + several concurrent admissions: all but the first
+  // run MUST sit in the pool queue, and that wait has to land in both
+  // the serve.queue.wait_us instruments and (because latency is
+  // measured from frame entry) the serve.request.latency_us ones.
+  ServerOptions opts = test_options();
+  opts.threads = 1;
+  opts.queue_depth = 4;
+  Server server(opts);
+
+  constexpr size_t kClients = 4;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t i = 0; i < kClients; ++i)
+    clients.emplace_back([&, i] {
+      // Distinct durations + cache bypass: every request computes.
+      const std::string req =
+          "{\"schema\":\"otem.serve.v1\",\"method\":\"run\",\"cache\":"
+          "\"bypass\",\"overrides\":{\"method\":\"parallel\","
+          "\"synthetic\":true,\"synthetic_duration_s\":" +
+          std::to_string(30 + i) + "}}";
+      const std::string resp = server.handle_line(req);
+      EXPECT_NE(resp.find("\"ok\":true"), std::string::npos) << resp;
+    });
+  for (std::thread& t : clients) t.join();
+
+  const obs::MetricsSnapshot snap = server.registry().snapshot();
+  const obs::Histogram::Snapshot& wait_hist =
+      snap.histograms.at("serve.queue.wait_us");
+  EXPECT_EQ(wait_hist.count, kClients);
+  EXPECT_GT(wait_hist.max, 0.0);
+
+  const obs::Sketch::Snapshot wait =
+      server.registry().sketch("serve.queue.wait_us").snapshot();
+  const obs::Sketch::Snapshot latency =
+      server.registry().sketch("serve.request.latency_us").snapshot();
+  EXPECT_EQ(wait.count, kClients);
+  EXPECT_EQ(latency.count, kClients);
+  // Serialized on one thread, the slowest request queued behind the
+  // others — its wait is non-trivial, and its end-to-end latency
+  // cannot be smaller than its own queue wait.
+  EXPECT_GT(wait.max, 0.0);
+  EXPECT_GE(latency.max, wait.max);
+}
+
+TEST(ServeObs, LatencyIsRecordedOnErrorPathsToo) {
+  ServerOptions opts = test_options();
+  Server server(opts);
+  const std::string resp = server.handle_line(
+      "{\"schema\":\"otem.serve.v1\",\"method\":\"run\","
+      "\"overrides\":{\"method\":\"no_such_strategy\"}}");
+  EXPECT_NE(resp.find("\"ok\":false"), std::string::npos) << resp;
+  EXPECT_EQ(
+      server.registry().sketch("serve.request.latency_us").snapshot().count,
+      1u);
+}
+
+TEST(ServeObs, StatsReportsNonTrivialQuantiles) {
+  Server server(test_options());
+  for (int i = 0; i < 3; ++i) {
+    const std::string resp = server.handle_line(short_run_request());
+    ASSERT_NE(resp.find("\"ok\":true"), std::string::npos) << resp;
+  }
+  const std::string stats = server.handle_line(
+      "{\"schema\":\"otem.serve.v1\",\"method\":\"stats\",\"id\":7}");
+  ASSERT_NE(stats.find("\"ok\":true"), std::string::npos) << stats;
+  const Json doc = Json::parse(stats);
+  const Json* result = doc.find("result");
+  ASSERT_NE(result, nullptr);
+  const Json* latency = result->find("latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->find("count")->as_number(), 3.0);
+  EXPECT_GT(latency->find("p50")->as_number(), 0.0);
+  EXPECT_GE(latency->find("p99")->as_number(),
+            latency->find("p50")->as_number());
+  ASSERT_NE(result->find("queue_wait_us"), nullptr);
+  ASSERT_NE(result->find("spans"), nullptr);
+}
+
+TEST(ServeObs, TraceOutEnablesSpansVisibleInStats) {
+  // Tracing is process-global state: restore it however the test ends.
+  struct TraceGuard {
+    ~TraceGuard() {
+      obs::set_trace_enabled(false);
+      obs::trace_reset();
+    }
+  } guard;
+  obs::trace_reset();
+  ServerOptions opts = test_options();
+  opts.trace_out = "/dev/null";  // enables tracing for the lifetime
+  Server server(opts);
+  const std::string resp = server.handle_line(short_run_request());
+  ASSERT_NE(resp.find("\"ok\":true"), std::string::npos) << resp;
+  const std::string stats = server.handle_line(
+      "{\"schema\":\"otem.serve.v1\",\"method\":\"stats\"}");
+  const Json doc = Json::parse(stats);
+  const Json* spans = doc.find("result")->find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_NE(spans->find("serve.request"), nullptr);
+  ASSERT_NE(spans->find("serve.run"), nullptr);
+  EXPECT_GT(spans->find("serve.request")->find("count")->as_number(), 0.0);
+}
+
+#endif  // OTEM_OBS_DISABLED
 
 // --- stdio transport --------------------------------------------------------
 
