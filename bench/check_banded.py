@@ -34,7 +34,7 @@ import argparse
 import re
 import sys
 
-import bench_json
+import checklib
 
 NAME_RE = re.compile(r"^(BM_LtvControlStep(?:Dense)?)/(\d+)/1\b")
 
@@ -42,9 +42,7 @@ NAME_RE = re.compile(r"^(BM_LtvControlStep(?:Dense)?)/(\d+)/1\b")
 def collect(benchmarks):
     """bench name -> {horizon -> stage_ops_per_iter}."""
     out = {}
-    for b in benchmarks:
-        if b.get("run_type", "iteration") != "iteration":
-            continue  # skip aggregate rows
+    for b in checklib.iteration_rows(benchmarks):
         m = NAME_RE.match(b["name"])
         if not m or "stage_ops_per_iter" not in b:
             continue
@@ -59,7 +57,7 @@ def main():
     ap.add_argument("--max-ratio-spread", type=float, default=1.35)
     args = ap.parse_args()
 
-    data = bench_json.load_release_bench(args.bench_json)
+    data = checklib.load_release_bench(args.bench_json)
     rows = collect(data["benchmarks"])
 
     banded = rows.get("BM_LtvControlStep", {})

@@ -18,14 +18,14 @@ When the file was produced with --benchmark_repetitions, the MAXIMUM
 items_per_second per benchmark is used (least-noisy "how fast can this
 go" statistic). Exit code 1 when the best batched width misses the
 ratio, or when the JSON was not produced from a Release build of this
-repo (context.repo_build_type — see bench_json.load_release_bench).
+repo (context.repo_build_type — see checklib.load_release_bench).
 """
 
 import argparse
 import re
 import sys
 
-import bench_json
+import checklib
 
 BATCH_RE = re.compile(r"^BM_PlantBatchStep/(\d+)")
 
@@ -34,9 +34,7 @@ def best_throughputs(benchmarks):
     """(scalar items/s, {lanes -> max items/s}) over iteration runs."""
     scalar = 0.0
     batch = {}
-    for b in benchmarks:
-        if b.get("run_type", "iteration") != "iteration":
-            continue  # skip mean/median/stddev aggregate rows
+    for b in checklib.iteration_rows(benchmarks):
         ips = float(b.get("items_per_second", 0.0))
         if b["name"].startswith("BM_PlantScalarStep"):
             scalar = max(scalar, ips)
@@ -54,7 +52,7 @@ def main():
     ap.add_argument("--min-ratio", type=float, default=1.5)
     args = ap.parse_args()
 
-    data = bench_json.load_release_bench(args.bench_json)
+    data = checklib.load_release_bench(args.bench_json)
     scalar, batch = best_throughputs(data["benchmarks"])
     if scalar <= 0.0 or not batch:
         print("error: no BM_PlantScalarStep / BM_PlantBatchStep rows in "

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Fail when an otem.campaign.v1 summary is malformed or inconsistent.
+
+Validates the summary document a campaign run writes (otem_cli
+campaign summary_out=... or sweep_fleet summary_out=...): the schema
+stamp, the embedded grid block, and — per group, per result dimension
+— the full {count, mean, stddev, min, max, sum, p50, p95, p99}
+statistics block. Cross-checks that the per-group scenario counts sum
+to the grid's scenario total (a campaign that silently dropped runs
+cannot pass), that every dimension's count matches its group's count,
+and that min <= p50 <= p95 <= p99 <= max and min <= mean <= max.
+
+Usage: check_campaign.py SUMMARY.json [--scenarios N] [--groups a,b]
+
+--scenarios pins the expected scenario total; --groups pins the exact
+comma-separated group (methodology) set. CI uses both so a summary
+from the wrong grid can't satisfy the gate. Exit code 1 on any
+violation.
+"""
+
+import argparse
+import math
+import sys
+
+import checklib
+
+DIMS = (
+    "qloss_percent",
+    "average_power_w",
+    "max_t_battery_k",
+    "thermal_violation_s",
+    "unserved_energy_j",
+    "energy_cooling_j",
+)
+STATS = ("count", "mean", "stddev", "min", "max", "sum", "p50", "p95", "p99")
+
+
+def check_metric(group, dim, m, group_count):
+    """Validate one per-dimension stats block; return error count."""
+    errors = 0
+    for stat in STATS:
+        v = m.get(stat)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                or not math.isfinite(v):
+            errors += checklib.fail(
+                f"group '{group}' {dim}.{stat} is missing or not a finite "
+                f"number (got {v!r})")
+    if errors:
+        return errors
+    if m["count"] != group_count:
+        errors += checklib.fail(
+            f"group '{group}' {dim}.count is {m['count']}, expected the "
+            f"group's scenario count {group_count}")
+    if m["stddev"] < 0.0:
+        errors += checklib.fail(f"group '{group}' {dim}.stddev is negative")
+    lo, hi = m["min"], m["max"]
+    if not lo <= m["mean"] <= hi:
+        errors += checklib.fail(
+            f"group '{group}' {dim}: mean {m['mean']} outside "
+            f"[min, max] = [{lo}, {hi}]")
+    quantiles = (lo, m["p50"], m["p95"], m["p99"], hi)
+    if any(a > b for a, b in zip(quantiles, quantiles[1:])):
+        errors += checklib.fail(
+            f"group '{group}' {dim}: quantiles not ordered "
+            f"min <= p50 <= p95 <= p99 <= max (got {quantiles})")
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("summary_json")
+    ap.add_argument("--scenarios", type=int, default=None,
+                    help="expected total scenario count")
+    ap.add_argument("--groups", default=None,
+                    help="expected comma-separated group names (exact set)")
+    args = ap.parse_args()
+
+    doc = checklib.load_json(args.summary_json)
+    checklib.require_schema(doc, "otem.campaign.v1", args.summary_json)
+
+    grid = doc.get("grid")
+    if not isinstance(grid, dict) or not isinstance(
+            grid.get("fingerprint"), str):
+        return checklib.fail(
+            f"{args.summary_json} has no grid block with a fingerprint")
+    total = doc.get("scenarios")
+    if total != grid.get("scenarios"):
+        return checklib.fail(
+            f"top-level scenarios ({total}) disagrees with "
+            f"grid.scenarios ({grid.get('scenarios')})")
+    if args.scenarios is not None and total != args.scenarios:
+        return checklib.fail(
+            f"summary covers {total} scenarios, expected {args.scenarios}")
+
+    groups = doc.get("groups")
+    if not isinstance(groups, dict) or not groups:
+        return checklib.fail(f"{args.summary_json} has no groups block")
+    if args.groups is not None:
+        expected = set(filter(None, args.groups.split(",")))
+        if set(groups) != expected:
+            return checklib.fail(
+                f"groups are {sorted(groups)}, expected {sorted(expected)}")
+
+    errors = 0
+    committed = 0
+    for name in sorted(groups):
+        g = groups[name]
+        count = g.get("scenarios")
+        if not isinstance(count, (int, float)) or count <= 0:
+            errors += checklib.fail(
+                f"group '{name}' has no positive scenario count")
+            continue
+        committed += count
+        metrics = g.get("metrics")
+        if not isinstance(metrics, dict):
+            errors += checklib.fail(f"group '{name}' has no metrics block")
+            continue
+        if set(metrics) != set(DIMS):
+            errors += checklib.fail(
+                f"group '{name}' metrics cover {sorted(metrics)}, expected "
+                f"{sorted(DIMS)}")
+            continue
+        for dim in DIMS:
+            errors += check_metric(name, dim, metrics[dim], count)
+
+    if committed != total:
+        errors += checklib.fail(
+            f"per-group scenario counts sum to {committed}, but the grid "
+            f"declares {total} scenarios — runs were dropped")
+
+    if errors:
+        return 1
+    print(f"{args.summary_json}: {int(total)} scenarios across "
+          f"{len(groups)} groups, all statistics blocks consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

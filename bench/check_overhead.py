@@ -22,14 +22,14 @@ real_time per benchmark is used: the min is the least noisy statistic
 for "how fast can this go", which is what an overhead ratio needs.
 Exit code 1 when any thread count blows the budget, or when the JSON
 was not produced from a Release build of this repo
-(context.repo_build_type — see bench_json.load_release_bench).
+(context.repo_build_type — see checklib.load_release_bench).
 """
 
 import argparse
 import re
 import sys
 
-import bench_json
+import checklib
 
 NAME_RE = re.compile(r"^(BM_FleetEvaluate(?:Metrics|Traced)?)/(\d+)")
 NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -43,9 +43,7 @@ VARIANTS = [
 def best_times(benchmarks):
     """name -> {threads -> min real_time in ns} over iteration runs."""
     best = {}
-    for b in benchmarks:
-        if b.get("run_type", "iteration") != "iteration":
-            continue  # skip mean/median/stddev aggregate rows
+    for b in checklib.iteration_rows(benchmarks):
         m = NAME_RE.match(b["name"])
         if not m:
             continue
@@ -62,7 +60,7 @@ def main():
     ap.add_argument("--max-percent", type=float, default=5.0)
     args = ap.parse_args()
 
-    data = bench_json.load_release_bench(args.bench_json)
+    data = checklib.load_release_bench(args.bench_json)
     best = best_times(data["benchmarks"])
 
     base = best.get("BM_FleetEvaluate", {})

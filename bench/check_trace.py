@@ -22,16 +22,13 @@ Exit code 1 on any violation, with a reason on stderr.
 """
 
 import argparse
-import json
 import math
 import sys
 
+import checklib
+from checklib import fail
+
 REQUIRED_EVENT_FIELDS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
-
-
-def fail(msg):
-    print(f"error: {msg}", file=sys.stderr)
-    return 1
 
 
 def main():
@@ -42,17 +39,8 @@ def main():
                     help="span name that must appear at least once")
     args = ap.parse_args()
 
-    try:
-        with open(args.trace_json) as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        return fail(f"cannot load {args.trace_json}: {e}")
-
-    if not isinstance(doc, dict):
-        return fail("top level is not an object")
-    if doc.get("schema") != "otem.trace.v1":
-        return fail(f"schema is {doc.get('schema')!r}, "
-                    "expected 'otem.trace.v1'")
+    doc = checklib.load_json(args.trace_json)
+    checklib.require_schema(doc, "otem.trace.v1", args.trace_json)
     events = doc.get("traceEvents")
     if not isinstance(events, list) or not events:
         return fail("traceEvents is missing or empty")

@@ -17,6 +17,8 @@ import argparse
 import re
 import sys
 
+from checklib import fail
+
 # Translation units holding the batched step_lanes()/power_lanes()
 # kernels (see docs/ARCHITECTURE.md, "Batched plant layer").
 DEFAULT_REQUIRED = [
@@ -53,9 +55,8 @@ def main():
                 vectorized.add(m.group("file"))
 
     if not vectorized:
-        print("no 'loop vectorized' remarks found at all - was the build "
-              "run with -fopt-info-vec?")
-        return 1
+        return fail("no 'loop vectorized' remarks found at all - was the "
+                    "build run with -fopt-info-vec?")
 
     failed = []
     for req in required:
@@ -66,9 +67,8 @@ def main():
             failed.append(req)
 
     if failed:
-        print(f"\n{len(failed)} lane-kernel TU(s) lost vectorization: "
-              + ", ".join(failed))
-        return 1
+        return fail(f"{len(failed)} lane-kernel TU(s) lost vectorization: "
+                    + ", ".join(failed))
     print(f"\nall {len(required)} lane-kernel TUs report vectorized loops")
     return 0
 

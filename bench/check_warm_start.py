@@ -17,14 +17,14 @@ Usage: check_warm_start.py BENCH_solver.json [--min-percent 25.0]
 Exit code 1 when any horizon misses the bar, when the pairs are absent
 (so a renamed benchmark can't silently disable the gate), or when the
 JSON was not produced from a Release build of this repo
-(context.repo_build_type — see bench_json.load_release_bench).
+(context.repo_build_type — see checklib.load_release_bench).
 """
 
 import argparse
 import re
 import sys
 
-import bench_json
+import checklib
 
 NAME_RE = re.compile(r"^BM_LtvControlStep/(\d+)/([01])\b")
 
@@ -32,9 +32,7 @@ NAME_RE = re.compile(r"^BM_LtvControlStep/(\d+)/([01])\b")
 def collect(benchmarks):
     """horizon -> {0|1 -> {"mean": ..., "median": ...}}."""
     out = {}
-    for b in benchmarks:
-        if b.get("run_type", "iteration") != "iteration":
-            continue  # skip aggregate rows
+    for b in checklib.iteration_rows(benchmarks):
         m = NAME_RE.match(b["name"])
         if not m:
             continue
@@ -54,7 +52,7 @@ def main():
     ap.add_argument("--min-percent", type=float, default=25.0)
     args = ap.parse_args()
 
-    data = bench_json.load_release_bench(args.bench_json)
+    data = checklib.load_release_bench(args.bench_json)
     rows = collect(data["benchmarks"])
     pairs = {h: v for h, v in rows.items() if 0 in v and 1 in v}
     if not pairs:

@@ -1,0 +1,68 @@
+"""Shared helpers for the bench/check_*.py CI gates.
+
+Lives next to the check scripts; `python3 bench/check_foo.py` puts this
+directory on sys.path, so the scripts just `import checklib`. Every
+gate funnels its error reporting, JSON loading, schema pinning and
+google-benchmark row filtering through here so the policies (Release
+stamps, aggregate-row skipping, error formatting) exist exactly once.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    """Print a gate failure and return 1, so `return fail(...)` works."""
+    print(f"error: {msg}", file=sys.stderr)
+    return 1
+
+
+def load_json(path):
+    """Load a JSON document, exiting 1 with a reason when it can't be."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(fail(f"cannot load {path}: {e}"))
+
+
+def require_schema(doc, schema, path):
+    """Exit 1 unless doc carries the exact top-level schema string."""
+    if not isinstance(doc, dict) or doc.get("schema") != schema:
+        raise SystemExit(fail(
+            f"{path} does not carry schema '{schema}' "
+            f"(got {doc.get('schema') if isinstance(doc, dict) else type(doc).__name__!r})"))
+
+
+def iteration_rows(benchmarks):
+    """Yield real iteration rows, skipping mean/median/stddev aggregates
+    produced by --benchmark_repetitions."""
+    for b in benchmarks:
+        if b.get("run_type", "iteration") == "iteration":
+            yield b
+
+
+def load_release_bench(path):
+    """Load a google-benchmark JSON file, refusing non-Release builds.
+
+    perf_solver / perf_fleet stamp context.repo_build_type with how the
+    repo's own code was compiled ("release" iff NDEBUG). The stock
+    context.library_build_type key only reports how the google-benchmark
+    LIBRARY was built (debug on many distros), which is why a debug
+    artifact once slipped into the committed baselines. Any JSON without
+    a "release" stamp — including pre-stamp artifacts — is rejected, so
+    a stale or unoptimised file can never pass a perf gate again.
+    """
+    with open(path) as f:
+        data = json.load(f)
+    build = data.get("context", {}).get("repo_build_type")
+    if build != "release":
+        print(
+            f"error: {path} was measured from a "
+            f"'{build or 'unknown (pre-stamp artifact)'}' build of this "
+            "repo, not 'release'.\nRegenerate it from a Release tree "
+            "(bench/run_benchmarks.sh enforces this).",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+    return data

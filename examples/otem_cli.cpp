@@ -21,6 +21,8 @@
 
 #include <memory>
 
+#include "campaign/grid.h"
+#include "campaign/runner.h"
 #include "common/error.h"
 #include "common/logging.h"
 #include "core/methodology_registry.h"
@@ -185,15 +187,20 @@ int cmd_request(const std::string& socket, const Config& cfg) {
   req.deadline_ms = cfg.get_double("deadline_ms", 0.0);
   req.cache_bypass = cfg.get_string("cache", "use") == "bypass";
   const double timeout_s = cfg.get_double("timeout_s", 300.0);
+  serve::RetryOptions retry;
+  retry.max_attempts = static_cast<size_t>(cfg.get_long(
+      "retries", static_cast<long>(retry.max_attempts)));
   for (const std::string& key : cfg.keys()) {
     if (key == "rpc" || key == "id" || key == "deadline_ms" ||
-        key == "cache" || key == "timeout_s")
+        key == "cache" || key == "timeout_s" || key == "retries")
       continue;
     req.overrides.emplace_back(key, cfg.get_string(key, ""));
   }
 
-  const std::string response =
-      serve::request_once(socket, serve::build_request(req), timeout_s);
+  // An overloaded daemon answers in-protocol and expects the client to
+  // back off and retry; only a still-overloaded final answer surfaces.
+  const std::string response = serve::request_with_retry(
+      socket, serve::build_request(req), timeout_s, retry);
   const Json doc = Json::parse(response);
   const Json* ok = doc.find("ok");
   if (ok != nullptr && ok->is_bool() && ok->as_bool()) {
@@ -217,6 +224,87 @@ int cmd_request(const std::string& socket, const Config& cfg) {
                    ? message->as_string().c_str()
                    : response.c_str());
   return 2;
+}
+
+/// The campaign verb: expand a campaign.* grid, stream it through the
+/// runner (locally or across a serve fabric), print the per-group
+/// headline table. All non-verb keys ride through to the methodology
+/// factories (locally) or as request overrides (fabric mode).
+int cmd_campaign(const Config& cfg) {
+  const campaign::Grid grid = campaign::Grid::from_config(cfg);
+  grid.validate();
+  const core::SystemSpec spec = core::SystemSpec::from_config(cfg);
+
+  campaign::CampaignOptions opts;
+  opts.threads = static_cast<size_t>(cfg.get_long("threads", 0));
+  opts.summary_out = cfg.get_string("summary_out", "");
+  opts.checkpoint_path = cfg.get_string("checkpoint", "");
+  opts.checkpoint_every =
+      static_cast<size_t>(cfg.get_long("checkpoint_every", 1000));
+  opts.resume_from = cfg.get_string("resume", "");
+  opts.request_timeout_s = cfg.get_double("timeout_s", 120.0);
+  opts.retry.max_attempts = static_cast<size_t>(cfg.get_long(
+      "retries", static_cast<long>(opts.retry.max_attempts)));
+  opts.halt_after_commits =
+      static_cast<std::uint64_t>(cfg.get_long("halt_after", 0));
+  opts.telemetry_csv_prefix = cfg.get_string("telemetry_csv_prefix", "");
+  const std::string sockets = cfg.get_string("serve_sockets", "");
+  for (size_t pos = 0; pos < sockets.size();) {
+    const size_t comma = sockets.find(',', pos);
+    const size_t end = comma == std::string::npos ? sockets.size() : comma;
+    if (end > pos) opts.serve_sockets.push_back(sockets.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  const std::string metrics_out = cfg.get_string("metrics_out", "");
+  obs::MetricsRegistry registry;
+  if (!metrics_out.empty()) opts.metrics = &registry;
+  opts.local_only_keys = {"threads",    "summary_out", "checkpoint",
+                          "checkpoint_every", "resume", "timeout_s",
+                          "retries",    "serve_sockets", "metrics_out",
+                          "halt_after", "telemetry_csv_prefix"};
+
+  std::printf("campaign: %zu scenarios (%zu routes x %zu ambients x %zu UC "
+              "sizes x %zu methods), fingerprint %s\n",
+              grid.size(), grid.routes(), grid.ambient_slots(),
+              grid.uc_scales.size(), grid.methodologies.size(),
+              grid.fingerprint().c_str());
+
+  const campaign::CampaignOutcome outcome =
+      campaign::run_campaign(grid, spec, cfg, opts);
+
+  if (!metrics_out.empty()) {
+    obs::write_metrics_json(metrics_out, registry);
+    std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
+  }
+  if (outcome.halted) {
+    std::printf("campaign halted after %llu of %llu scenarios",
+                static_cast<unsigned long long>(outcome.scenarios_restored +
+                                                outcome.scenarios_run),
+                static_cast<unsigned long long>(outcome.scenarios_total));
+    if (!opts.checkpoint_path.empty())
+      std::printf("; continue with resume=%s", opts.checkpoint_path.c_str());
+    std::printf("\n");
+    return 3;
+  }
+
+  const Json* groups = outcome.summary.find("groups");
+  std::printf("%-16s %9s %12s %12s %12s %12s\n", "group", "runs",
+              "qloss_mean%", "qloss_p95%", "avg_kW", "viol_s_mean");
+  for (const auto& [name, group] : groups->members()) {
+    const Json* qloss = group.find("metrics")->find("qloss_percent");
+    const Json* power = group.find("metrics")->find("average_power_w");
+    const Json* viol = group.find("metrics")->find("thermal_violation_s");
+    std::printf("%-16s %9.0f %12.5f %12.5f %12.2f %12.1f\n", name.c_str(),
+                group.find("scenarios")->as_number(),
+                qloss->find("mean")->as_number(),
+                qloss->find("p95")->as_number(),
+                power->find("mean")->as_number() / 1000.0,
+                viol->find("mean")->as_number());
+  }
+  if (!opts.summary_out.empty())
+    std::printf("summary written to %s (otem.campaign.v1)\n",
+                opts.summary_out.c_str());
+  return 0;
 }
 
 void warn_unused(const Config& cfg) {
@@ -251,7 +339,14 @@ int main(int argc, char** argv) {
           "[trace_out=path] [key=value...]\n"
           "       otem_cli request <socket> "
           "[rpc=run|ping|metrics|stats|methods] "
-          "[id=...] [deadline_ms=N] [cache=bypass] [key=value...]\n");
+          "[id=...] [deadline_ms=N] [cache=bypass] [retries=N] "
+          "[key=value...]\n"
+          "       otem_cli campaign [campaign.methods=a,b] "
+          "[campaign.cycles=...] [campaign.synthetic_routes=N] "
+          "[campaign.ambients_c=lo:hi:n] [campaign.uc_scales=...] "
+          "[campaign.seed=N] [threads=N] [summary_out=path] "
+          "[checkpoint=path] [checkpoint_every=N] [resume=path] "
+          "[serve_sockets=s1,s2] [metrics_out=path] [key=value...]\n");
       return 1;
     }
     const std::string& cmd = positional[0];
@@ -268,6 +363,8 @@ int main(int argc, char** argv) {
       rc = cmd_serve(positional[1], cfg);
     } else if (cmd == "request" && positional.size() >= 2) {
       rc = cmd_request(positional[1], cfg);
+    } else if (cmd == "campaign") {
+      rc = cmd_campaign(cfg);
     } else {
       std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
       return 1;

@@ -1,0 +1,141 @@
+#include "campaign/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <vector>
+
+#include "common/error.h"
+
+namespace otem::campaign {
+
+namespace {
+
+/// LSB-first hex bitmap of the completed indices in [watermark,
+/// watermark + window): bit j set == scenario (watermark + j) is in the
+/// pending set. Empty when nothing is pending.
+std::string completion_bitmap(const Checkpoint& ck) {
+  if (ck.pending.empty()) return "";
+  const std::uint64_t last = ck.pending.rbegin()->first;
+  OTEM_ENSURE(last >= ck.watermark,
+              "checkpoint pending entry below the watermark");
+  const std::uint64_t window = last - ck.watermark + 1;
+  std::string bits((window + 3) / 4, '0');
+  static const char* digits = "0123456789abcdef";
+  std::vector<unsigned> nibbles(bits.size(), 0);
+  for (const auto& [index, result] : ck.pending) {
+    (void)result;
+    const std::uint64_t j = index - ck.watermark;
+    nibbles[j / 4] |= 1u << (j % 4);
+  }
+  for (size_t i = 0; i < bits.size(); ++i) bits[i] = digits[nibbles[i]];
+  return bits;
+}
+
+bool bitmap_bit(const std::string& bitmap, std::uint64_t j) {
+  const size_t nibble = j / 4;
+  if (nibble >= bitmap.size()) return false;
+  const char c = bitmap[nibble];
+  const unsigned v = c <= '9' ? static_cast<unsigned>(c - '0')
+                              : static_cast<unsigned>(c - 'a' + 10);
+  return (v >> (j % 4)) & 1u;
+}
+
+}  // namespace
+
+Json Checkpoint::to_json() const {
+  Json doc = Json::object();
+  doc.set("schema", kCheckpointSchema);
+  doc.set("grid_fingerprint", grid_fingerprint);
+  Json completed = Json::object();
+  completed.set("watermark", static_cast<double>(watermark));
+  completed.set("window_bitmap", completion_bitmap(*this));
+  doc.set("completed", std::move(completed));
+  Json pend = Json::array();
+  for (const auto& [index, result] : pending) {
+    Json entry = Json::object();
+    entry.set("index", static_cast<double>(index));
+    entry.set("result", result.to_json());
+    pend.push(std::move(entry));
+  }
+  doc.set("pending", std::move(pend));
+  doc.set("accumulator", accumulator);
+  return doc;
+}
+
+Checkpoint Checkpoint::from_json(const Json& doc) {
+  const Json* schema = doc.find("schema");
+  OTEM_REQUIRE(schema != nullptr && schema->is_string() &&
+                   schema->as_string() == kCheckpointSchema,
+               "checkpoint: wrong or missing schema");
+  Checkpoint ck;
+  const Json* fingerprint = doc.find("grid_fingerprint");
+  OTEM_REQUIRE(fingerprint != nullptr && fingerprint->is_string(),
+               "checkpoint: missing grid_fingerprint");
+  ck.grid_fingerprint = fingerprint->as_string();
+  const Json* completed = doc.find("completed");
+  OTEM_REQUIRE(completed != nullptr && completed->is_object(),
+               "checkpoint: missing completed block");
+  const Json* watermark = completed->find("watermark");
+  OTEM_REQUIRE(watermark != nullptr && watermark->is_number(),
+               "checkpoint: missing watermark");
+  ck.watermark = static_cast<std::uint64_t>(watermark->as_number());
+  const Json* pending = doc.find("pending");
+  OTEM_REQUIRE(pending != nullptr && pending->is_array(),
+               "checkpoint: missing pending array");
+  for (const Json& entry : pending->items()) {
+    const Json* index = entry.find("index");
+    const Json* result = entry.find("result");
+    OTEM_REQUIRE(index != nullptr && index->is_number() && result != nullptr,
+                 "checkpoint: malformed pending entry");
+    const std::uint64_t i = static_cast<std::uint64_t>(index->as_number());
+    OTEM_REQUIRE(i >= ck.watermark,
+                 "checkpoint: pending entry below the watermark");
+    ck.pending.emplace(i, ScenarioResult::from_json(*result));
+  }
+  // Cross-validate the bitmap against the records it indexes: a
+  // hand-edited or truncated file fails here, not as a silent skew.
+  const Json* bitmap = completed->find("window_bitmap");
+  OTEM_REQUIRE(bitmap != nullptr && bitmap->is_string(),
+               "checkpoint: missing window_bitmap");
+  const std::string& bits = bitmap->as_string();
+  const std::uint64_t window = static_cast<std::uint64_t>(bits.size()) * 4;
+  for (std::uint64_t j = 0; j < window; ++j)
+    OTEM_REQUIRE(bitmap_bit(bits, j) ==
+                     (ck.pending.count(ck.watermark + j) != 0),
+                 "checkpoint: window_bitmap disagrees with pending records");
+  const Json* accumulator = doc.find("accumulator");
+  OTEM_REQUIRE(accumulator != nullptr,
+               "checkpoint: missing accumulator state");
+  ck.accumulator = *accumulator;
+  // Restoring proves the accumulator block parses before the campaign
+  // commits to it.
+  const CampaignAccumulator restored =
+      CampaignAccumulator::from_json(ck.accumulator);
+  OTEM_REQUIRE(restored.committed() == ck.watermark,
+               "checkpoint: accumulator committed count != watermark");
+  return ck;
+}
+
+void write_checkpoint_file(const std::string& path, const Checkpoint& ck) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp);
+    OTEM_REQUIRE(f.good(), "cannot open checkpoint temp file: " + tmp);
+    f << ck.to_json().dump() << '\n';
+    f.flush();
+    OTEM_REQUIRE(f.good(), "short write to checkpoint temp file: " + tmp);
+  }
+  OTEM_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+               "cannot rename checkpoint into place: " + path);
+}
+
+Checkpoint read_checkpoint_file(const std::string& path) {
+  std::ifstream f(path);
+  OTEM_REQUIRE(f.good(), "cannot open checkpoint file: " + path);
+  std::string text((std::istreambuf_iterator<char>(f)),
+                   std::istreambuf_iterator<char>());
+  return Checkpoint::from_json(Json::parse(text));
+}
+
+}  // namespace otem::campaign

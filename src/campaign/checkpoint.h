@@ -1,0 +1,55 @@
+// checkpoint.h — crash-safe campaign state (otem.campaign.ckpt.v1).
+//
+// A checkpoint captures everything a killed campaign needs to continue
+// bit-exactly:
+//
+//   * the grid fingerprint — resume against a different grid fails
+//     loudly instead of merging incompatible streams;
+//   * the commit watermark K — scenarios [0, K) are folded into the
+//     accumulator in index order;
+//   * the completed-ID window beyond the watermark: results that
+//     finished out of order (bounded by the worker count) are retained
+//     verbatim, encoded both as per-index records and as a compact
+//     bitmap over [K, K+window) that the loader cross-validates;
+//   * the accumulator state — Welford moments and full KLL sketch
+//     levels, doubles as IEEE-754 hex so restore is bit-identical.
+//
+// Files are written atomically: serialize to "<path>.tmp", flush, then
+// rename(2) over the destination — a kill -9 mid-write leaves either
+// the previous checkpoint or the new one, never a torn file.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "campaign/accumulator.h"
+#include "common/json.h"
+
+namespace otem::campaign {
+
+inline constexpr const char* kCheckpointSchema = "otem.campaign.ckpt.v1";
+
+struct Checkpoint {
+  std::string grid_fingerprint;
+  /// Scenarios [0, watermark) are committed into `accumulator`.
+  std::uint64_t watermark = 0;
+  /// Completed-but-uncommitted results beyond the watermark (the
+  /// out-of-order window; bounded by the worker count).
+  std::map<std::uint64_t, ScenarioResult> pending;
+  /// CampaignAccumulator::to_json() state.
+  Json accumulator;
+
+  Json to_json() const;
+  static Checkpoint from_json(const Json& doc);
+};
+
+/// Serialize + atomic write-rename; throws otem::SimError on I/O
+/// failure.
+void write_checkpoint_file(const std::string& path, const Checkpoint& ck);
+
+/// Load + validate schema and bitmap consistency; throws on anything
+/// malformed.
+Checkpoint read_checkpoint_file(const std::string& path);
+
+}  // namespace otem::campaign

@@ -1,0 +1,137 @@
+// grid.h — the campaign generator grammar.
+//
+// A Grid declares a scenario space as axes — routes (named dynamometer
+// cycles and/or seeded synthetic missions) × ambient temperatures ×
+// ultracapacitor sizes × methodologies — and expands it into a
+// deterministic, stably-ordered scenario stream. Nothing is
+// materialised: size() is a product of axis lengths and at(i) derives
+// scenario i in O(1) from the grid alone, so a million-scenario
+// campaign costs the same memory as a ten-scenario one and any shard
+// [lo, hi) can be regenerated in isolation by any worker.
+//
+// Determinism contract:
+//   * The stream order is fixed: route outermost, then ambient slot,
+//     then UC scale, then methodology innermost — every methodology
+//     sees the same mission back to back, so comparisons stay paired.
+//   * All stochastic per-route conditions (synthetic route seed, drawn
+//     ambient, duration, initial charge) are derived from the grid seed
+//     and the route index alone — pre-drawn in the PR-1 sense, just
+//     computed lazily — so results are independent of execution order,
+//     thread count and sharding.
+//   * Every scenario carries a content-addressed id: the FNV-1a hash of
+//     its canonical key (all resolved values at full precision). Two
+//     campaigns that generate the same physical scenario agree on its
+//     id; checkpoint/resume and result caches key on it.
+//
+// Config grammar (Grid::from_config, all keys optional, prefix
+// "campaign." so they never collide with scenario/spec overrides):
+//   campaign.methods=parallel,dual,otem     methodology axis
+//   campaign.cycles=UDDS,US06               named-cycle routes
+//   campaign.synthetic_routes=N             seeded synthetic routes
+//   campaign.min_duration_s= / campaign.max_duration_s=
+//   campaign.max_speed_mps=                 synthetic route envelope
+//   campaign.ambients_k=283:313:7           axis: list "a,b,c" or
+//   campaign.ambients_c=10,25,40              linspace "lo:hi:n"
+//   campaign.ambient_min_c= / campaign.ambient_max_c=
+//                                           per-route draw range used
+//                                           when no ambient axis given
+//   campaign.uc_scales=0.5,1,2              UC size multipliers
+//   campaign.soe0_min= / campaign.soe0_max= initial bank charge draw
+//   campaign.seed=N                         campaign seed
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/config.h"
+#include "common/json.h"
+
+namespace otem::campaign {
+
+/// FNV-1a 64-bit over a byte string (content addressing).
+std::uint64_t fnv1a64(std::string_view s);
+
+/// SplitMix64 finalizer (seed derivation).
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// One expanded scenario: everything a worker needs to reproduce the
+/// run in isolation, plus its identity in the stream.
+struct ScenarioSpec {
+  size_t index = 0;     ///< position in the stable stream order
+  std::string id;       ///< 16-hex content hash of canonical_key()
+  std::uint64_t seed = 0;  ///< content-addressed scenario seed
+
+  std::string methodology;
+  std::string route;              ///< cycle name, or "synthetic"
+  std::uint64_t route_seed = 0;   ///< synthetic routes only (63-bit)
+  double duration_s = 0.0;        ///< synthetic routes only
+  double max_speed_mps = 32.0;    ///< synthetic routes only
+  double ambient_k = 298.15;      ///< pack soaks to this before start
+  double uc_scale = 1.0;          ///< multiplier on spec capacitance
+  double soe0 = 100.0;            ///< initial bank charge [%]
+
+  bool synthetic() const { return route == "synthetic"; }
+
+  /// All resolved values at full precision, in a fixed field order —
+  /// what the content id hashes.
+  std::string canonical_key() const;
+};
+
+struct Grid {
+  std::vector<std::string> methodologies{"parallel", "active_cooling",
+                                         "dual", "otem"};
+  /// Route axis: the named cycles first, then `synthetic_routes` seeded
+  /// synthetic missions.
+  std::vector<std::string> cycles;
+  size_t synthetic_routes = 16;
+
+  /// Synthetic route envelope (duration drawn per route).
+  double min_duration_s = 600.0;
+  double max_duration_s = 1500.0;
+  double max_speed_mps = 32.0;
+
+  /// Ambient axis [K]; when empty, each route draws one ambient
+  /// uniformly from [ambient_min_k, ambient_max_k] instead (the
+  /// Monte-Carlo fleet behaviour).
+  std::vector<double> ambients_k;
+  double ambient_min_k = 283.15;
+  double ambient_max_k = 313.15;
+
+  std::vector<double> uc_scales{1.0};
+
+  /// Initial bank charge draw range [%] (equal bounds = fixed).
+  double soe0_min = 100.0;
+  double soe0_max = 100.0;
+
+  std::uint64_t seed = 2026;
+
+  static Grid from_config(const Config& cfg);
+
+  size_t routes() const { return cycles.size() + synthetic_routes; }
+  size_t ambient_slots() const {
+    return ambients_k.empty() ? 1 : ambients_k.size();
+  }
+  size_t size() const {
+    return routes() * ambient_slots() * uc_scales.size() *
+           methodologies.size();
+  }
+
+  /// Expand scenario `index` (O(1); throws when out of range).
+  ScenarioSpec at(size_t index) const;
+
+  /// Content hash of the whole grid definition; checkpoints carry it so
+  /// a resume against a different grid fails loudly instead of merging
+  /// incompatible streams.
+  std::string fingerprint() const;
+
+  /// Grid description block embedded in otem.campaign.v1 summaries.
+  Json to_json() const;
+
+  /// Validate axis sanity (non-empty, ordered ranges); throws
+  /// otem::SimError with a message naming the offending axis.
+  void validate() const;
+};
+
+}  // namespace otem::campaign

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <charconv>
 #include <cstdio>
+#include <cstring>
 
 #include "common/error.h"
 
@@ -75,6 +76,48 @@ std::string format_double(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
+}
+
+std::string hex_u64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t parse_hex_u64(std::string_view s) {
+  OTEM_REQUIRE(s.size() == 16, "hex_u64 wants exactly 16 digits, got '" +
+                                   std::string(s) + "'");
+  std::uint64_t v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9')
+      v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F')
+      v |= static_cast<std::uint64_t>(c - 'A' + 10);
+    else
+      OTEM_REQUIRE(false, "bad hex digit in '" + std::string(s) + "'");
+  }
+  return v;
+}
+
+std::string hex_double(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return hex_u64(bits);
+}
+
+double parse_hex_double(std::string_view s) {
+  const std::uint64_t bits = parse_hex_u64(s);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
 }
 
 }  // namespace otem::strings

@@ -1,6 +1,7 @@
 // strings.h — small string utilities (trim/split/parse/format helpers).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -32,5 +33,18 @@ std::string join(const std::vector<std::string>& parts,
 
 /// printf-style helper returning std::string ("%.3f" etc.).
 std::string format_double(double v, int precision);
+
+/// 16 lower-case hex digits of `v` (fixed width, no prefix).
+std::string hex_u64(std::uint64_t v);
+
+/// Parse exactly 16 hex digits back to the value hex_u64 encoded;
+/// throws otem::SimError on any other input.
+std::uint64_t parse_hex_u64(std::string_view s);
+
+/// Bit-exact double round-trip for checkpoint files: the IEEE-754 bit
+/// pattern as 16 hex digits. JSON numbers print with %.12g, which drops
+/// low-order bits — resumable state must never pass through that.
+std::string hex_double(double v);
+double parse_hex_double(std::string_view s);
 
 }  // namespace otem::strings

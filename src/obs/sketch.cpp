@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/strings.h"
 #include "obs/metrics.h"
 
 namespace otem::obs {
@@ -86,6 +87,59 @@ void QuantileSketch::merge(const QuantileSketch& other) {
 
 double QuantileSketch::min() const { return n_ ? min_ : 0.0; }
 double QuantileSketch::max() const { return n_ ? max_ : 0.0; }
+
+Json QuantileSketch::to_json() const {
+  Json doc = Json::object();
+  doc.set("k", k_);
+  doc.set("n", static_cast<double>(n_));
+  doc.set("sum", strings::hex_double(sum_));
+  doc.set("min", strings::hex_double(min_));
+  doc.set("max", strings::hex_double(max_));
+  Json parity = Json::array();
+  for (std::uint8_t p : parity_) parity.push(static_cast<int>(p));
+  doc.set("parity", std::move(parity));
+  Json levels = Json::array();
+  for (const std::vector<double>& level : levels_) {
+    Json row = Json::array();
+    for (double v : level) row.push(strings::hex_double(v));
+    levels.push(std::move(row));
+  }
+  doc.set("levels", std::move(levels));
+  return doc;
+}
+
+QuantileSketch QuantileSketch::from_json(const Json& doc) {
+  const Json* k = doc.find("k");
+  OTEM_REQUIRE(k != nullptr && k->is_number(), "sketch json: missing k");
+  QuantileSketch out(static_cast<size_t>(k->as_number()));
+  const Json* n = doc.find("n");
+  OTEM_REQUIRE(n != nullptr && n->is_number(), "sketch json: missing n");
+  out.n_ = static_cast<std::uint64_t>(n->as_number());
+  const Json* sum = doc.find("sum");
+  const Json* min = doc.find("min");
+  const Json* max = doc.find("max");
+  OTEM_REQUIRE(sum != nullptr && min != nullptr && max != nullptr,
+               "sketch json: missing moments");
+  out.sum_ = strings::parse_hex_double(sum->as_string());
+  out.min_ = strings::parse_hex_double(min->as_string());
+  out.max_ = strings::parse_hex_double(max->as_string());
+  const Json* parity = doc.find("parity");
+  const Json* levels = doc.find("levels");
+  OTEM_REQUIRE(parity != nullptr && parity->is_array() &&
+                   levels != nullptr && levels->is_array() &&
+                   parity->size() == levels->size(),
+               "sketch json: parity/levels mismatch");
+  for (size_t l = 0; l < levels->size(); ++l) {
+    out.levels_.emplace_back();
+    out.parity_.push_back(
+        static_cast<std::uint8_t>(parity->at(l).as_number()));
+    std::vector<double>& row = out.levels_.back();
+    row.reserve(out.k_);
+    for (const Json& v : levels->at(l).items())
+      row.push_back(strings::parse_hex_double(v.as_string()));
+  }
+  return out;
+}
 
 double QuantileSketch::quantile(double q) const {
   if (n_ == 0) return 0.0;

@@ -25,6 +25,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/json.h"
+
 namespace otem::obs {
 
 /// Default compactor width. 256 keeps worst-case rank error well under
@@ -57,6 +59,14 @@ class QuantileSketch {
   /// Estimated q-quantile for q in [0, 1]; exact min/max at the
   /// endpoints, 0 when the sketch is empty.
   double quantile(double q) const;
+
+  /// Serialize the COMPLETE internal state (levels, parity, running
+  /// moments) for checkpoint files. Doubles are encoded as IEEE-754 bit
+  /// patterns in hex, so from_json(to_json(s)) is bit-identical to s:
+  /// feeding or merging the same stream into either afterwards yields
+  /// byte-equal sketches — the property campaign resume rests on.
+  Json to_json() const;
+  static QuantileSketch from_json(const Json& doc);
 
  private:
   void compact_level(size_t level);

@@ -2,14 +2,18 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <thread>
 
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "common/error.h"
+#include "common/json.h"
 #include "serve/codec.h"
+#include "serve/protocol.h"
 
 namespace otem::serve {
 
@@ -55,6 +59,56 @@ std::string request_once(const std::string& socket_path,
                  "client: timed out waiting for a response from " +
                      socket_path);
   }
+}
+
+double retry_backoff_s(const RetryOptions& options, size_t retry) {
+  const double raw = options.initial_backoff_s *
+                     std::pow(options.multiplier, static_cast<double>(retry));
+  return std::min(raw, options.max_backoff_s);
+}
+
+bool is_overloaded_response(const std::string& response_line) {
+  Json doc;
+  try {
+    doc = Json::parse(response_line);
+  } catch (const SimError&) {
+    return false;
+  }
+  if (!doc.is_object()) return false;
+  const Json* error = doc.find("error");
+  return error != nullptr && error->is_string() &&
+         error->as_string() == to_string(ErrorCode::kOverloaded);
+}
+
+std::string request_with_retry(
+    const std::function<std::string(const std::string&)>& transport,
+    const std::string& request_line, const RetryOptions& options,
+    obs::MetricsRegistry* metrics, const std::function<void(double)>& sleep_s) {
+  const size_t attempts = options.max_attempts > 0 ? options.max_attempts : 1;
+  std::string response;
+  for (size_t attempt = 0;; ++attempt) {
+    response = transport(request_line);
+    if (!is_overloaded_response(response) || attempt + 1 >= attempts)
+      return response;
+    if (metrics != nullptr) metrics->counter("serve.client_retries").add(1);
+    const double delay = retry_backoff_s(options, attempt);
+    if (sleep_s) {
+      sleep_s(delay);
+    } else {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+  }
+}
+
+std::string request_with_retry(const std::string& socket_path,
+                               const std::string& request_line,
+                               double timeout_s, const RetryOptions& options,
+                               obs::MetricsRegistry* metrics) {
+  return request_with_retry(
+      [&](const std::string& line) {
+        return request_once(socket_path, line, timeout_s);
+      },
+      request_line, options, metrics);
 }
 
 }  // namespace otem::serve

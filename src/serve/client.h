@@ -5,9 +5,19 @@
 // is strictly one-response-per-request in order, so no correlation
 // machinery is needed). This is what `otem_cli request` wraps; it is
 // also handy for integration tests and scripting.
+//
+// The daemon sheds load by answering {"error":"overloaded"} instead of
+// queueing unbounded work — a refusal the client is EXPECTED to absorb.
+// request_with_retry() does exactly that: capped exponential backoff on
+// overload refusals, every retry counted under "serve.client_retries"
+// in the caller's otem.metrics.v1 registry. The campaign runner's
+// serve-fabric dispatch and `otem_cli request` both route through it.
 #pragma once
 
+#include <functional>
 #include <string>
+
+#include "obs/metrics.h"
 
 namespace otem::serve {
 
@@ -18,5 +28,43 @@ namespace otem::serve {
 std::string request_once(const std::string& socket_path,
                          const std::string& request_line,
                          double timeout_s = 30.0);
+
+/// Backoff policy for overload refusals.
+struct RetryOptions {
+  /// Total attempts (first try included); 1 disables retrying.
+  size_t max_attempts = 6;
+  double initial_backoff_s = 0.05;
+  /// Delay multiplier per retry, capped at max_backoff_s.
+  double multiplier = 2.0;
+  double max_backoff_s = 2.0;
+};
+
+/// The delay before retry number `retry` (0-based): initial * mult^retry,
+/// capped. Exposed for tests.
+double retry_backoff_s(const RetryOptions& options, size_t retry);
+
+/// True when `response_line` is a well-formed otem.serve.v1 error frame
+/// with code "overloaded" — the only refusal worth retrying (draining
+/// and bad requests will not get better). Exposed for tests.
+bool is_overloaded_response(const std::string& response_line);
+
+/// request_once + retry on {"error":"overloaded"} with capped
+/// exponential backoff. Other responses (success or error) return
+/// as-is; transport failures still throw. When `metrics` is non-null
+/// every retry increments its "serve.client_retries" counter.
+std::string request_with_retry(const std::string& socket_path,
+                               const std::string& request_line,
+                               double timeout_s = 30.0,
+                               const RetryOptions& options = {},
+                               obs::MetricsRegistry* metrics = nullptr);
+
+/// Transport-free core of request_with_retry, for tests and custom
+/// transports: `transport` maps one request line to one response line;
+/// `sleep_s` replaces the real clock when provided.
+std::string request_with_retry(
+    const std::function<std::string(const std::string&)>& transport,
+    const std::string& request_line, const RetryOptions& options,
+    obs::MetricsRegistry* metrics = nullptr,
+    const std::function<void(double)>& sleep_s = {});
 
 }  // namespace otem::serve

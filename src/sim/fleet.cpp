@@ -20,31 +20,43 @@ namespace {
 // One-pass Welford mean/variance: numerically stable against the
 // catastrophic cancellation a naive sum-of-squares suffers when the
 // spread is small relative to the mean (qloss values cluster tightly),
-// and a single sweep over the data.
-FleetStats stats_of(const std::vector<double>& values) {
-  OTEM_ENSURE(!values.empty(), "fleet stats over empty sample");
-  FleetStats s;
-  s.min = values.front();
-  s.max = values.front();
-  double mean = 0.0;
-  double m2 = 0.0;
-  size_t count = 0;
-  for (double v : values) {
-    ++count;
-    const double delta = v - mean;
-    mean += delta / static_cast<double>(count);
-    m2 += delta * (v - mean);
-    s.min = std::min(s.min, v);
-    s.max = std::max(s.max, v);
+// and constant memory — values stream through, nothing is retained.
+class StreamingStats {
+ public:
+  void add(double v) {
+    if (count_ == 0) {
+      min_ = v;
+      max_ = v;
+    } else {
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+    }
+    ++count_;
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (v - mean_);
   }
-  s.mean = mean;
-  // Population stddev, matching the previous two-pass definition; a
-  // single sample has zero spread by construction.
-  s.stddev = count > 1
-                 ? std::sqrt(m2 / static_cast<double>(count))
-                 : 0.0;
-  return s;
-}
+
+  FleetStats stats() const {
+    OTEM_ENSURE(count_ > 0, "fleet stats over empty sample");
+    FleetStats s;
+    s.mean = mean_;
+    // Population stddev, matching the previous two-pass definition; a
+    // single sample has zero spread by construction.
+    s.stddev =
+        count_ > 1 ? std::sqrt(m2_ / static_cast<double>(count_)) : 0.0;
+    s.min = min_;
+    s.max = max_;
+    return s;
+  }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
 
 /// Per-mission conditions, drawn serially before dispatch so the draw
 /// sequence (and therefore every result) is independent of the
@@ -75,22 +87,20 @@ std::vector<MissionDraw> draw_missions(const FleetOptions& options) {
 
 // Serial, mission-order reduction shared by the scalar and batched
 // paths, so accumulation is bit-identical regardless of which thread
-// (or lane) finished first.
-void reduce_fleet(FleetResult& out, const FleetOptions& options) {
-  std::vector<double> qloss, power, tb;
-  qloss.reserve(options.missions);
-  power.reserve(options.missions);
-  tb.reserve(options.missions);
+// (or lane) finished first. Streams in one pass — no per-metric
+// staging vectors.
+void reduce_fleet(FleetResult& out) {
+  StreamingStats qloss, power, tb;
   for (const MissionOutcome& mission : out.missions) {
-    qloss.push_back(mission.result.qloss_percent);
-    power.push_back(mission.result.average_power_w);
-    tb.push_back(mission.result.max_t_battery_k);
+    qloss.add(mission.result.qloss_percent);
+    power.add(mission.result.average_power_w);
+    tb.add(mission.result.max_t_battery_k);
     out.total_violation_s += mission.result.thermal_violation_s;
     out.total_unserved_j += mission.result.unserved_energy_j;
   }
-  out.qloss_percent = stats_of(qloss);
-  out.average_power_w = stats_of(power);
-  out.max_t_battery_k = stats_of(tb);
+  out.qloss_percent = qloss.stats();
+  out.average_power_w = power.stats();
+  out.max_t_battery_k = tb.stats();
 }
 }  // namespace
 
@@ -176,7 +186,7 @@ FleetResult evaluate_fleet(
       },
       options.threads);
 
-  reduce_fleet(out, options);
+  reduce_fleet(out);
   return out;
 }
 
@@ -300,7 +310,7 @@ FleetResult evaluate_fleet_batched(
         .add(total.batch_steps);
   }
 
-  reduce_fleet(out, options);
+  reduce_fleet(out);
   return out;
 }
 

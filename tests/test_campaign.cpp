@@ -1,0 +1,344 @@
+// Tests for the campaign subsystem: the generator grammar (stable
+// order, O(1) expansion, content-addressed IDs), bit-exact sketch and
+// accumulator serialization, and the determinism contract the whole
+// design exists for — the otem.campaign.v1 summary is BYTE-IDENTICAL
+// at any thread count, and a campaign halted after K commits and
+// resumed from its checkpoint (at a different thread count) produces
+// the same bytes as one that was never interrupted.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "campaign/checkpoint.h"
+#include "campaign/grid.h"
+#include "campaign/runner.h"
+#include "common/config.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/system_spec.h"
+#include "obs/sketch.h"
+
+namespace otem {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "otem_test_campaign_" + name;
+}
+
+/// A deliberately tiny grid so determinism tests run many full
+/// campaigns quickly: 3 synthetic routes x 2 UC sizes x 2 methods = 12
+/// scenarios of ~2 simulated minutes each.
+campaign::Grid small_grid() {
+  campaign::Grid grid;
+  grid.methodologies = {"parallel", "dual"};
+  grid.cycles.clear();
+  grid.synthetic_routes = 3;
+  grid.min_duration_s = 90.0;
+  grid.max_duration_s = 150.0;
+  grid.uc_scales = {0.5, 1.0};
+  grid.seed = 7;
+  return grid;
+}
+
+// --- hex encoding -------------------------------------------------------
+
+TEST(CampaignHex, DoubleRoundTripIsBitExact) {
+  const double values[] = {0.0,    -0.0,       1.0 / 3.0, 1e-308,
+                           2.5e17, -123.4567,  1e308};
+  for (double v : values) {
+    const std::string hex = strings::hex_double(v);
+    EXPECT_EQ(hex.size(), 16u);
+    const double back = strings::parse_hex_double(hex);
+    EXPECT_EQ(strings::hex_double(back), hex) << v;
+  }
+  EXPECT_THROW(strings::parse_hex_u64("123"), SimError);
+  EXPECT_THROW(strings::parse_hex_u64("123456789abcdefg"), SimError);
+}
+
+// --- generator grammar --------------------------------------------------
+
+TEST(CampaignGrid, SizeIsAxisProductAndExpansionIsStable) {
+  const campaign::Grid grid = small_grid();
+  ASSERT_EQ(grid.size(), 3u * 2u * 2u);
+  // Methodology is the innermost axis: consecutive scenarios differ
+  // only in methodology, so comparisons stay paired per mission.
+  const campaign::ScenarioSpec a = grid.at(0);
+  const campaign::ScenarioSpec b = grid.at(1);
+  EXPECT_EQ(a.methodology, "parallel");
+  EXPECT_EQ(b.methodology, "dual");
+  EXPECT_EQ(a.route_seed, b.route_seed);
+  EXPECT_EQ(a.duration_s, b.duration_s);
+  EXPECT_EQ(a.ambient_k, b.ambient_k);
+  EXPECT_EQ(a.uc_scale, b.uc_scale);
+  // Expansion is a pure function of (grid, index).
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const campaign::ScenarioSpec once = grid.at(i);
+    const campaign::ScenarioSpec twice = grid.at(i);
+    EXPECT_EQ(once.id, twice.id);
+    EXPECT_EQ(once.seed, twice.seed);
+    EXPECT_EQ(once.canonical_key(), twice.canonical_key());
+  }
+}
+
+TEST(CampaignGrid, IdsAreContentAddressedAndUnique) {
+  const campaign::Grid grid = small_grid();
+  std::set<std::string> ids;
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const campaign::ScenarioSpec s = grid.at(i);
+    EXPECT_EQ(s.id.size(), 16u);
+    EXPECT_EQ(s.id, strings::hex_u64(campaign::fnv1a64(s.canonical_key())));
+    ids.insert(s.id);
+  }
+  EXPECT_EQ(ids.size(), grid.size());
+  // Same physical content in a different grid object = same id.
+  campaign::Grid other = small_grid();
+  EXPECT_EQ(other.at(3).id, grid.at(3).id);
+  // A different campaign seed changes the drawn conditions, hence ids.
+  other.seed = 8;
+  EXPECT_NE(other.at(3).id, grid.at(3).id);
+  EXPECT_NE(other.fingerprint(), grid.fingerprint());
+}
+
+TEST(CampaignGrid, FromConfigParsesAxesAndValidates) {
+  Config cfg;
+  cfg.set("campaign.methods", "otem,dual");
+  cfg.set("campaign.cycles", "UDDS,US06");
+  cfg.set("campaign.synthetic_routes", "1");
+  cfg.set("campaign.ambients_c", "10:40:4");
+  cfg.set("campaign.uc_scales", "0.5,1,2");
+  cfg.set("campaign.seed", "99");
+  const campaign::Grid grid = campaign::Grid::from_config(cfg);
+  EXPECT_EQ(grid.methodologies.size(), 2u);
+  EXPECT_EQ(grid.routes(), 3u);  // two cycles + one synthetic
+  ASSERT_EQ(grid.ambients_k.size(), 4u);
+  EXPECT_NEAR(grid.ambients_k.front(), 283.15, 1e-9);
+  EXPECT_NEAR(grid.ambients_k.back(), 313.15, 1e-9);
+  EXPECT_EQ(grid.size(), 3u * 4u * 3u * 2u);
+  grid.validate();
+
+  Config bad;
+  bad.set("campaign.cycles", "NOT_A_CYCLE");
+  bad.set("campaign.synthetic_routes", "0");
+  EXPECT_THROW(campaign::Grid::from_config(bad).validate(), SimError);
+}
+
+// --- sketch serialization -----------------------------------------------
+
+TEST(CampaignSketch, JsonRoundTripContinuesBitIdentically) {
+  Rng rng(42);
+  obs::QuantileSketch original(64);
+  // Enough samples to force several compaction levels.
+  for (int i = 0; i < 5000; ++i) original.add(rng.uniform(-50.0, 1000.0));
+
+  obs::QuantileSketch restored =
+      obs::QuantileSketch::from_json(original.to_json());
+  EXPECT_EQ(restored.to_json().dump(), original.to_json().dump());
+  for (double q : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0})
+    EXPECT_EQ(restored.quantile(q), original.quantile(q));
+
+  // The restored sketch must CONTINUE identically, not just report
+  // identically: same inputs after the round-trip, same state after.
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.uniform(-50.0, 1000.0);
+    original.add(v);
+    restored.add(v);
+  }
+  EXPECT_EQ(restored.to_json().dump(), original.to_json().dump());
+}
+
+// --- accumulator --------------------------------------------------------
+
+TEST(CampaignAccumulator, CheckpointRoundTripContinuesBitIdentically) {
+  Rng rng(1);
+  campaign::CampaignAccumulator acc;
+  auto random_result = [&]() {
+    campaign::ScenarioResult r;
+    for (size_t d = 0; d < campaign::ScenarioResult::kDims; ++d)
+      r.set_dim(d, rng.uniform(0.0, 1e6));
+    return r;
+  };
+  for (int i = 0; i < 500; ++i)
+    acc.commit(i % 2 ? "otem" : "dual", random_result());
+
+  campaign::CampaignAccumulator restored =
+      campaign::CampaignAccumulator::from_json(acc.to_json());
+  EXPECT_EQ(restored.committed(), acc.committed());
+  EXPECT_EQ(restored.groups_json().dump(), acc.groups_json().dump());
+
+  for (int i = 0; i < 500; ++i) {
+    const campaign::ScenarioResult r = random_result();
+    acc.commit(i % 2 ? "otem" : "dual", r);
+    restored.commit(i % 2 ? "otem" : "dual", r);
+  }
+  EXPECT_EQ(restored.to_json().dump(), acc.to_json().dump());
+  EXPECT_EQ(restored.groups_json().dump(), acc.groups_json().dump());
+}
+
+TEST(CampaignCheckpoint, FileRoundTripAndValidation) {
+  campaign::Checkpoint ck;
+  ck.grid_fingerprint = "deadbeefdeadbeef";
+  ck.watermark = 7;
+  campaign::CampaignAccumulator acc;
+  for (int i = 0; i < 7; ++i) {
+    campaign::ScenarioResult r;
+    r.qloss_percent = 0.1 * i;
+    acc.commit("otem", r);
+  }
+  ck.accumulator = acc.to_json();
+  campaign::ScenarioResult out_of_order;
+  out_of_order.qloss_percent = 1.25;
+  ck.pending.emplace(9, out_of_order);
+
+  const std::string path = temp_path("roundtrip.ckpt");
+  campaign::write_checkpoint_file(path, ck);
+  const campaign::Checkpoint back = campaign::read_checkpoint_file(path);
+  EXPECT_EQ(back.grid_fingerprint, ck.grid_fingerprint);
+  EXPECT_EQ(back.watermark, ck.watermark);
+  ASSERT_EQ(back.pending.size(), 1u);
+  EXPECT_EQ(back.pending.at(9).qloss_percent, 1.25);
+  EXPECT_EQ(back.to_json().dump(), ck.to_json().dump());
+  std::remove(path.c_str());
+
+  // A watermark that disagrees with the accumulator is rejected.
+  campaign::Checkpoint torn = ck;
+  torn.watermark = 6;
+  EXPECT_THROW(campaign::Checkpoint::from_json(torn.to_json()), SimError);
+}
+
+// --- end-to-end determinism ---------------------------------------------
+
+TEST(CampaignRunner, SummaryBytesAreThreadCountInvariant) {
+  const campaign::Grid grid = small_grid();
+  const Config cfg;
+  const core::SystemSpec spec = core::SystemSpec::from_config(cfg);
+
+  campaign::CampaignOptions one;
+  one.threads = 1;
+  const campaign::CampaignOutcome serial =
+      campaign::run_campaign(grid, spec, cfg, one);
+  ASSERT_FALSE(serial.halted);
+  ASSERT_EQ(serial.scenarios_run, grid.size());
+  ASSERT_FALSE(serial.summary_text.empty());
+
+  for (size_t threads : {2u, 5u}) {
+    campaign::CampaignOptions opt;
+    opt.threads = threads;
+    const campaign::CampaignOutcome parallel =
+        campaign::run_campaign(grid, spec, cfg, opt);
+    EXPECT_EQ(parallel.summary_text, serial.summary_text)
+        << "threads=" << threads;
+  }
+}
+
+TEST(CampaignRunner, HaltAndResumeReproduceUninterruptedBytes) {
+  const campaign::Grid grid = small_grid();
+  const Config cfg;
+  const core::SystemSpec spec = core::SystemSpec::from_config(cfg);
+
+  campaign::CampaignOptions reference;
+  reference.threads = 3;
+  const campaign::CampaignOutcome uninterrupted =
+      campaign::run_campaign(grid, spec, cfg, reference);
+  ASSERT_FALSE(uninterrupted.summary_text.empty());
+
+  // Halt after K commits at one thread count, resume at another — the
+  // interruption must be invisible in the summary bytes.
+  for (const std::uint64_t K : {1u, 5u, 11u}) {
+    const std::string ckpt =
+        temp_path("resume_" + std::to_string(K) + ".ckpt");
+
+    campaign::CampaignOptions first;
+    first.threads = 4;
+    first.checkpoint_path = ckpt;
+    first.checkpoint_every = 2;
+    first.halt_after_commits = K;
+    const campaign::CampaignOutcome halted =
+        campaign::run_campaign(grid, spec, cfg, first);
+    EXPECT_TRUE(halted.halted) << "K=" << K;
+    EXPECT_TRUE(halted.summary_text.empty()) << "K=" << K;
+
+    campaign::CampaignOptions second;
+    second.threads = 2;
+    second.resume_from = ckpt;
+    const campaign::CampaignOutcome resumed =
+        campaign::run_campaign(grid, spec, cfg, second);
+    EXPECT_FALSE(resumed.halted) << "K=" << K;
+    EXPECT_GE(resumed.scenarios_restored, K) << "K=" << K;
+    EXPECT_EQ(resumed.scenarios_restored + resumed.scenarios_run,
+              grid.size())
+        << "K=" << K;
+    EXPECT_EQ(resumed.summary_text, uninterrupted.summary_text)
+        << "K=" << K;
+    std::remove(ckpt.c_str());
+  }
+}
+
+TEST(CampaignRunner, ResumeRejectsMismatchedGrid) {
+  const campaign::Grid grid = small_grid();
+  const Config cfg;
+  const core::SystemSpec spec = core::SystemSpec::from_config(cfg);
+
+  const std::string ckpt = temp_path("mismatch.ckpt");
+  campaign::CampaignOptions first;
+  first.threads = 2;
+  first.checkpoint_path = ckpt;
+  first.halt_after_commits = 3;
+  (void)campaign::run_campaign(grid, spec, cfg, first);
+
+  campaign::Grid other = small_grid();
+  other.seed = 1234;
+  campaign::CampaignOptions second;
+  second.resume_from = ckpt;
+  EXPECT_THROW(campaign::run_campaign(other, spec, cfg, second), SimError);
+  std::remove(ckpt.c_str());
+}
+
+TEST(CampaignRunner, SummaryDocumentShape) {
+  const campaign::Grid grid = small_grid();
+  const Config cfg;
+  const core::SystemSpec spec = core::SystemSpec::from_config(cfg);
+  campaign::CampaignOptions opt;
+  opt.threads = 2;
+  const std::string out = temp_path("summary.json");
+  opt.summary_out = out;
+  const campaign::CampaignOutcome outcome =
+      campaign::run_campaign(grid, spec, cfg, opt);
+
+  const Json& summary = outcome.summary;
+  ASSERT_TRUE(summary.is_object());
+  EXPECT_EQ(summary.find("schema")->as_string(), "otem.campaign.v1");
+  EXPECT_EQ(summary.find("scenarios")->as_number(),
+            static_cast<double>(grid.size()));
+  const Json* groups = summary.find("groups");
+  ASSERT_TRUE(groups != nullptr && groups->is_object());
+  for (const std::string method : {"parallel", "dual"}) {
+    const Json* group = groups->find(method);
+    ASSERT_TRUE(group != nullptr) << method;
+    EXPECT_EQ(group->find("scenarios")->as_number(),
+              static_cast<double>(grid.size() / 2));
+    const Json* metrics = group->find("metrics");
+    ASSERT_TRUE(metrics != nullptr);
+    const Json* qloss = metrics->find("qloss_percent");
+    ASSERT_TRUE(qloss != nullptr);
+    for (const char* stat :
+         {"count", "mean", "stddev", "min", "max", "sum", "p50", "p95",
+          "p99"})
+      EXPECT_TRUE(qloss->find(stat) != nullptr) << stat;
+    EXPECT_GT(qloss->find("mean")->as_number(), 0.0);
+  }
+
+  // summary_out received exactly summary_text's bytes.
+  std::ifstream f(out);
+  std::string file_text((std::istreambuf_iterator<char>(f)),
+                        std::istreambuf_iterator<char>());
+  EXPECT_EQ(file_text, outcome.summary_text);
+  std::remove(out.c_str());
+}
+
+}  // namespace
+}  // namespace otem

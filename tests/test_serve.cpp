@@ -18,8 +18,10 @@
 
 #include "common/config.h"
 #include "common/json.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/cache.h"
+#include "serve/client.h"
 #include "serve/codec.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
@@ -319,6 +321,81 @@ TEST(ServeRun, UnknownMethodologyIsABadRequestNotACrash) {
       "\"overrides\":{\"method\":\"no_such_strategy\"}}");
   EXPECT_NE(resp.find("\"ok\":false"), std::string::npos) << resp;
   EXPECT_EQ(server.active_requests(), 0u);
+}
+
+// --- client retry -----------------------------------------------------------
+
+std::string overloaded_line() {
+  return build_error_response(Json(), ErrorCode::kOverloaded, "queue full");
+}
+
+TEST(ServeClientRetry, BackoffScheduleIsCappedExponential) {
+  RetryOptions opt;
+  opt.initial_backoff_s = 0.05;
+  opt.multiplier = 2.0;
+  opt.max_backoff_s = 0.3;
+  EXPECT_DOUBLE_EQ(retry_backoff_s(opt, 0), 0.05);
+  EXPECT_DOUBLE_EQ(retry_backoff_s(opt, 1), 0.1);
+  EXPECT_DOUBLE_EQ(retry_backoff_s(opt, 2), 0.2);
+  EXPECT_DOUBLE_EQ(retry_backoff_s(opt, 3), 0.3);  // capped
+  EXPECT_DOUBLE_EQ(retry_backoff_s(opt, 9), 0.3);
+}
+
+TEST(ServeClientRetry, OnlyOverloadedFramesAreRetryable) {
+  EXPECT_TRUE(is_overloaded_response(overloaded_line()));
+  EXPECT_FALSE(is_overloaded_response(
+      build_error_response(Json(), ErrorCode::kDraining, "going away")));
+  EXPECT_FALSE(is_overloaded_response("{\"ok\":true}"));
+  EXPECT_FALSE(is_overloaded_response("not json at all"));
+}
+
+TEST(ServeClientRetry, RetriesOverloadThenReturnsAndCounts) {
+  obs::MetricsRegistry registry;
+  std::vector<double> slept;
+  int calls = 0;
+  const std::string response = request_with_retry(
+      [&](const std::string& line) {
+        EXPECT_EQ(line, "req");
+        return ++calls <= 2 ? overloaded_line() : std::string("{\"ok\":true}");
+      },
+      "req", RetryOptions{}, &registry,
+      [&](double s) { slept.push_back(s); });
+  EXPECT_EQ(response, "{\"ok\":true}");
+  EXPECT_EQ(calls, 3);
+  // One backoff per refusal, following the schedule.
+  ASSERT_EQ(slept.size(), 2u);
+  EXPECT_DOUBLE_EQ(slept[0], 0.05);
+  EXPECT_DOUBLE_EQ(slept[1], 0.1);
+  // Every retry is visible in the metrics snapshot.
+  EXPECT_EQ(registry.counter("serve.client_retries").value(), 2u);
+}
+
+TEST(ServeClientRetry, GivesUpAfterMaxAttemptsWithTheLastResponse) {
+  RetryOptions opt;
+  opt.max_attempts = 3;
+  int calls = 0;
+  const std::string response = request_with_retry(
+      [&](const std::string&) {
+        ++calls;
+        return overloaded_line();
+      },
+      "req", opt, nullptr, [](double) {});
+  EXPECT_EQ(calls, 3);
+  EXPECT_TRUE(is_overloaded_response(response));
+}
+
+TEST(ServeClientRetry, NonRetryableErrorsPassStraightThrough) {
+  int calls = 0;
+  const std::string bad =
+      build_error_response(Json(), ErrorCode::kBadRequest, "nope");
+  const std::string response = request_with_retry(
+      [&](const std::string&) {
+        ++calls;
+        return bad;
+      },
+      "req", RetryOptions{}, nullptr, [](double) { FAIL() << "no backoff"; });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(response, bad);
 }
 
 // --- backpressure + drain ---------------------------------------------------
