@@ -65,4 +65,17 @@ def load_release_bench(path):
             file=sys.stderr,
         )
         raise SystemExit(1)
+    lib_build = data.get("context", {}).get("library_build_type")
+    if lib_build is not None and lib_build != "release":
+        # Advisory only: the timed code is the repo's (gated above); a
+        # debug benchmark LIBRARY mostly inflates harness overhead. Fix
+        # by configuring with -DOTEM_BENCHMARK_SOURCE_DIR=<checkout>,
+        # which vendors a Release build of google/benchmark.
+        print(
+            f"warning: {path} links a '{lib_build}' build of the "
+            "google-benchmark library (repo code itself is release). "
+            "Configure with -DOTEM_BENCHMARK_SOURCE_DIR=<benchmark "
+            "checkout> for a Release harness.",
+            file=sys.stderr,
+        )
     return data

@@ -9,14 +9,22 @@
 //   otem_cli run UDDS method=dual ambient_k=308.15
 //   otem_cli compare LA92 repeats=2
 //   otem_cli serve /tmp/otem.sock queue_depth=32 cache_mb=128
+//   otem_cli serve 127.0.0.1:7600 workers=4 session_limit=256
 //   otem_cli request /tmp/otem.sock cycle=UDDS method=otem repeats=2
+//   otem_cli loadtest clients=8 steps=300 method=otem-ltv
 //
 // Any "key=value" pair is forwarded to the Config (battery.*, otem.*,
 // thermal.*, ...) plus the scenario keys documented in sim/scenario.h.
 // Overrides nothing consumed are reported at exit (typos fail loudly).
-// `serve`/`request` speak the otem.serve.v1 protocol (docs/SERVING.md).
+// `serve`/`request`/`loadtest` speak the otem.serve.v1 protocol
+// (docs/SERVING.md); a serve/request/loadtest target containing
+// "host:port" is TCP, anything else a Unix socket path.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <memory>
@@ -153,10 +161,12 @@ int cmd_compare(const std::string& cycle, const Config& cfg) {
 bool is_serve_option(const std::string& key) {
   return key == "queue_depth" || key == "threads" || key == "cache_mb" ||
          key == "drain_timeout_s" || key == "max_frame_kb" ||
-         key == "metrics_out" || key == "trace_out";
+         key == "workers" || key == "session_limit" ||
+         key == "session_ttl_s" || key == "metrics_out" ||
+         key == "trace_out";
 }
 
-int cmd_serve(const std::string& target, const Config& cfg) {
+serve::ServerOptions serve_options_from_config(const Config& cfg) {
   serve::ServerOptions opts;
   const long queue_depth = cfg.get_long("queue_depth", 16);
   OTEM_REQUIRE(queue_depth >= 1, "queue_depth must be >= 1");
@@ -167,15 +177,27 @@ int cmd_serve(const std::string& target, const Config& cfg) {
   opts.drain_timeout_s = cfg.get_double("drain_timeout_s", 5.0);
   opts.max_frame_bytes = static_cast<size_t>(
       cfg.get_double("max_frame_kb", 1024.0) * 1024.0);
+  const long workers = cfg.get_long("workers", 1);
+  OTEM_REQUIRE(workers >= 1, "workers must be >= 1");
+  opts.workers = static_cast<size_t>(workers);
+  opts.session_limit =
+      static_cast<size_t>(cfg.get_long("session_limit", 64));
+  opts.session_ttl_s = cfg.get_double("session_ttl_s", 300.0);
   opts.metrics_out = cfg.get_string("metrics_out", "");
   opts.trace_out = cfg.get_string("trace_out", "");
   for (const std::string& key : cfg.keys()) {
     if (!is_serve_option(key)) opts.base.set(key, cfg.get_string(key, ""));
   }
+  return opts;
+}
+
+int cmd_serve(const std::string& target, const Config& cfg) {
+  const serve::ServerOptions opts = serve_options_from_config(cfg);
   // A daemon should narrate its lifecycle (listening / drain / flush).
   if (log::level() > log::Level::kInfo) log::set_level(log::Level::kInfo);
   serve::Server server(opts);
   if (target == "--stdio") return server.serve_stdio();
+  if (serve::is_tcp_endpoint(target)) return server.serve_tcp(target);
   return server.serve_unix(target);
 }
 
@@ -224,6 +246,309 @@ int cmd_request(const std::string& socket, const Config& cfg) {
                    ? message->as_string().c_str()
                    : response.c_str());
   return 2;
+}
+
+/// Nearest-rank percentile over an already-sorted sample vector.
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size());
+  size_t idx = static_cast<size_t>(rank);
+  if (static_cast<double>(idx) < rank) ++idx;  // ceil
+  if (idx > 0) --idx;                          // 1-based -> 0-based
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+/// Per-client loadtest tally, merged after the threads join.
+struct LoadClientStats {
+  std::vector<double> rtt_us;
+  double cold_iters = 0.0;  ///< QP iterations on step k=0 (cold solve)
+  size_t cold_n = 0;
+  double warm_iters = 0.0;  ///< QP iterations on steps k>=1 (warm-started)
+  size_t warm_n = 0;
+  size_t steps_done = 0;
+  size_t route_steps = 0;  ///< full mission length from session.open
+  std::string error;       ///< non-empty = the client aborted
+};
+
+/// The serve-layer load harness behind docs/PERFORMANCE.md's serve tier
+/// and CI's serve-load-smoke job: N concurrent clients each open one
+/// mission session over TCP (or a Unix socket), stream M session.step
+/// frames back to back, and close. Reports client-side RTT percentiles,
+/// the daemon's own serve.session.step_us sketch, and the cold-vs-warm
+/// QP iteration split (step k=0 pays the cold solve; k>=1 rides the
+/// warm start) against a one-shot `run` of the same mission. With no
+/// endpoint argument it hosts an in-process daemon on 127.0.0.1:<
+/// ephemeral>, so the benchmark is a real localhost TCP roundtrip but
+/// needs no second process. bench_json= stamps the whole result
+/// document (otem.bench_serve.v1) for bench/check_serve.py to gate.
+int cmd_loadtest(const std::string& endpoint_arg, const Config& cfg) {
+  const long clients = cfg.get_long("clients", 4);
+  const long steps = cfg.get_long("steps", 200);
+  OTEM_REQUIRE(clients >= 1 && steps >= 1,
+               "loadtest: clients and steps must be >= 1");
+  const long workers = cfg.get_long("workers", 2);
+  OTEM_REQUIRE(workers >= 1, "workers must be >= 1");
+  const double timeout_s = cfg.get_double("timeout_s", 30.0);
+  const std::string bench_json = cfg.get_string("bench_json", "");
+  const bool oneshot = cfg.get_bool("oneshot", true);
+
+  // Everything else rides to session.open (method=, cycle=, ltv.*, ...).
+  auto is_loadtest_key = [](const std::string& key) {
+    return key == "clients" || key == "steps" || key == "workers" ||
+           key == "timeout_s" || key == "bench_json" || key == "oneshot";
+  };
+  std::vector<std::pair<std::string, std::string>> overrides;
+  for (const std::string& key : cfg.keys()) {
+    if (!is_loadtest_key(key))
+      overrides.emplace_back(key, cfg.get_string(key, ""));
+  }
+
+  // Host the daemon in-process unless pointed at an external one; port
+  // 0 picks an ephemeral port read back via bound_port().
+  std::unique_ptr<serve::Server> server;
+  std::thread server_thread;
+  std::string endpoint = endpoint_arg;
+  if (endpoint.empty()) {
+    serve::ServerOptions opts;
+    opts.workers = static_cast<size_t>(workers);
+    opts.session_limit = static_cast<size_t>(clients) + 8;
+    opts.cache_bytes = 8u << 20;
+    server = std::make_unique<serve::Server>(opts);
+    server_thread = std::thread([&server] {
+      (void)server->serve_tcp("127.0.0.1:0");
+    });
+    while (server->bound_port() == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    endpoint = "127.0.0.1:" + std::to_string(server->bound_port());
+  }
+
+  const auto field = [](const Json* obj, const char* key) -> const Json* {
+    return obj == nullptr ? nullptr : obj->find(key);
+  };
+  const auto num = [&field](const Json* obj, const char* key,
+                            double fallback) {
+    const Json* v = field(obj, key);
+    return v != nullptr && v->is_number() ? v->as_number() : fallback;
+  };
+
+  std::printf("loadtest: %ld clients x %ld steps against %s\n", clients,
+              steps, endpoint.c_str());
+
+  std::vector<LoadClientStats> stats(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(stats.size());
+  for (size_t c = 0; c < stats.size(); ++c) {
+    threads.emplace_back([&, c] {
+      LoadClientStats& st = stats[c];
+      try {
+        serve::Connection conn(endpoint);
+        serve::Request open;
+        open.method = "session.open";
+        open.overrides = overrides;
+        const Json od =
+            Json::parse(conn.roundtrip(serve::build_request(open), timeout_s));
+        const Json* ok = od.find("ok");
+        OTEM_REQUIRE(ok != nullptr && ok->is_bool() && ok->as_bool(),
+                     "session.open refused: " + od.dump(0));
+        const Json* oresult = od.find("result");
+        const Json* sid = field(oresult, "session");
+        OTEM_REQUIRE(sid != nullptr && sid->is_string(),
+                     "session.open reply missing session id");
+        const size_t route_steps =
+            static_cast<size_t>(num(oresult, "route_steps", 0.0));
+        st.route_steps = route_steps;
+        const size_t todo =
+            std::min(static_cast<size_t>(steps),
+                     route_steps > 0 ? route_steps
+                                     : static_cast<size_t>(steps));
+
+        serve::Request step;
+        step.method = "session.step";
+        step.session = sid->as_string();
+        const std::string step_line = serve::build_request(step);
+        st.rtt_us.reserve(todo);
+        for (size_t m = 0; m < todo; ++m) {
+          const auto t0 = std::chrono::steady_clock::now();
+          const std::string reply = conn.roundtrip(step_line, timeout_s);
+          const auto t1 = std::chrono::steady_clock::now();
+          st.rtt_us.push_back(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+          const Json sd = Json::parse(reply);
+          const Json* sok = sd.find("ok");
+          OTEM_REQUIRE(sok != nullptr && sok->is_bool() && sok->as_bool(),
+                       "session.step refused: " + sd.dump(0));
+          const Json* sresult = sd.find("result");
+          const double k = num(sresult, "k", -1.0);
+          const double iters =
+              num(field(sresult, "solve"), "qp_iterations", 0.0);
+          if (k == 0.0) {
+            st.cold_iters += iters;
+            ++st.cold_n;
+          } else if (k > 0.0) {
+            st.warm_iters += iters;
+            ++st.warm_n;
+          }
+          ++st.steps_done;
+        }
+
+        serve::Request close;
+        close.method = "session.close";
+        close.session = sid->as_string();
+        const Json cd = Json::parse(
+            conn.roundtrip(serve::build_request(close), timeout_s));
+        const Json* cok = cd.find("ok");
+        OTEM_REQUIRE(cok != nullptr && cok->is_bool() && cok->as_bool(),
+                     "session.close refused: " + cd.dump(0));
+      } catch (const std::exception& e) {
+        st.error = e.what();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (size_t c = 0; c < stats.size(); ++c) {
+    if (!stats[c].error.empty()) {
+      std::fprintf(stderr, "loadtest: client %zu failed: %s\n", c,
+                   stats[c].error.c_str());
+      if (server) {
+        server->request_stop();
+        server_thread.join();
+      }
+      return 2;
+    }
+  }
+
+  // Merge client tallies.
+  std::vector<double> rtt;
+  double cold_iters = 0.0, warm_iters = 0.0;
+  size_t cold_n = 0, warm_n = 0, total_steps = 0;
+  for (const LoadClientStats& st : stats) {
+    rtt.insert(rtt.end(), st.rtt_us.begin(), st.rtt_us.end());
+    cold_iters += st.cold_iters;
+    cold_n += st.cold_n;
+    warm_iters += st.warm_iters;
+    warm_n += st.warm_n;
+    total_steps += st.steps_done;
+  }
+  std::sort(rtt.begin(), rtt.end());
+  const double rtt_mean =
+      rtt.empty() ? 0.0
+                  : std::accumulate(rtt.begin(), rtt.end(), 0.0) /
+                        static_cast<double>(rtt.size());
+  const double cold_mean =
+      cold_n > 0 ? cold_iters / static_cast<double>(cold_n) : 0.0;
+  const double warm_mean =
+      warm_n > 0 ? warm_iters / static_cast<double>(warm_n) : 0.0;
+
+  // The daemon's own view: server-side step handling time and the
+  // deterministically merged per-worker request sketches.
+  serve::Connection probe(endpoint);
+  serve::Request streq;
+  streq.method = "stats";
+  const Json stats_doc =
+      Json::parse(probe.roundtrip(serve::build_request(streq), timeout_s));
+  const Json* server_stats = stats_doc.find("result");
+  serve::Request mreq;
+  mreq.method = "metrics";
+  const Json metrics_doc =
+      Json::parse(probe.roundtrip(serve::build_request(mreq), timeout_s));
+  const Json* counters = field(metrics_doc.find("result"), "counters");
+
+  // One-shot contrast: the same mission as a single `run` request
+  // (cache bypassed), amortized per step. Sessions beat this because
+  // the client sees a decision after ONE step's work, not the whole
+  // mission's, and warm starts persist between frames either way.
+  double oneshot_wall_us = 0.0;
+  double oneshot_route_steps = 0.0;
+  if (oneshot) {
+    serve::Request run;
+    run.method = "run";
+    run.cache_bypass = true;
+    run.overrides = overrides;
+    const auto t0 = std::chrono::steady_clock::now();
+    const Json rd = Json::parse(probe.roundtrip(
+        serve::build_request(run), std::max(timeout_s, 300.0)));
+    const auto t1 = std::chrono::steady_clock::now();
+    const Json* rok = rd.find("ok");
+    OTEM_REQUIRE(rok != nullptr && rok->is_bool() && rok->as_bool(),
+                 "loadtest: one-shot run refused: " + rd.dump(0));
+    oneshot_wall_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    oneshot_route_steps = static_cast<double>(stats.front().route_steps);
+  }
+
+  if (server) {
+    server->request_stop();
+    server_thread.join();
+  }
+
+  const double p50 = percentile_sorted(rtt, 0.50);
+  const double p95 = percentile_sorted(rtt, 0.95);
+  const double p99 = percentile_sorted(rtt, 0.99);
+  std::printf("session.step RTT over %zu steps: mean %.0f us  p50 %.0f us  "
+              "p95 %.0f us  p99 %.0f us  max %.0f us\n",
+              total_steps, rtt_mean, p50, p95, p99,
+              rtt.empty() ? 0.0 : rtt.back());
+  std::printf("QP iterations per step: cold (k=0) %.1f  warm (k>=1) %.1f\n",
+              cold_mean, warm_mean);
+  if (oneshot && oneshot_route_steps > 0.0)
+    std::printf("one-shot run: %.0f us wall for %.0f steps (%.0f us/step "
+                "amortized, full-mission latency before the first "
+                "decision)\n",
+                oneshot_wall_us, oneshot_route_steps,
+                oneshot_wall_us / oneshot_route_steps);
+
+  if (!bench_json.empty()) {
+    Json doc = Json::object();
+    doc.set("schema", "otem.bench_serve.v1");
+    Json ctx = Json::object();
+#ifdef NDEBUG
+    ctx.set("repo_build_type", "release");
+#else
+    ctx.set("repo_build_type", "debug");
+#endif
+    ctx.set("endpoint", endpoint);
+    ctx.set("in_process_server", server != nullptr);
+    ctx.set("workers", static_cast<double>(workers));
+    ctx.set("clients", static_cast<double>(clients));
+    ctx.set("steps_per_client", static_cast<double>(steps));
+    Json ov = Json::object();
+    for (const auto& [key, value] : overrides) ov.set(key, value);
+    ctx.set("overrides", std::move(ov));
+    doc.set("context", std::move(ctx));
+
+    Json sess = Json::object();
+    Json rj = Json::object();
+    rj.set("count", static_cast<double>(rtt.size()));
+    rj.set("mean", rtt_mean);
+    rj.set("p50", p50);
+    rj.set("p95", p95);
+    rj.set("p99", p99);
+    rj.set("max", rtt.empty() ? 0.0 : rtt.back());
+    sess.set("rtt_us", std::move(rj));
+    sess.set("cold_qp_iterations_mean", cold_mean);
+    sess.set("warm_qp_iterations_mean", warm_mean);
+    sess.set("cold_steps", static_cast<double>(cold_n));
+    sess.set("warm_steps", static_cast<double>(warm_n));
+    doc.set("session_step", std::move(sess));
+
+    if (oneshot) {
+      Json oj = Json::object();
+      oj.set("wall_us", oneshot_wall_us);
+      oj.set("route_steps", oneshot_route_steps);
+      oj.set("per_step_us", oneshot_route_steps > 0.0
+                                ? oneshot_wall_us / oneshot_route_steps
+                                : 0.0);
+      doc.set("oneshot_run", std::move(oj));
+    }
+    if (server_stats != nullptr) doc.set("server_stats", *server_stats);
+    if (counters != nullptr) doc.set("counters", *counters);
+    write_json_file(bench_json, doc);
+    std::printf("bench document written to %s (otem.bench_serve.v1)\n",
+                bench_json.c_str());
+  }
+  return 0;
 }
 
 /// The campaign verb: expand a campaign.* grid, stream it through the
@@ -334,12 +659,16 @@ int main(int argc, char** argv) {
           "[events_jsonl=path] [trace_out=path] [key=value...]\n"
           "       otem_cli compare <cycle> [repeats=N] [metrics_out=path] "
           "[key=value...]\n"
-          "       otem_cli serve <socket|--stdio> [queue_depth=N] "
-          "[threads=N] [cache_mb=N] [drain_timeout_s=S] [metrics_out=path] "
+          "       otem_cli serve <socket|host:port|--stdio> [queue_depth=N] "
+          "[threads=N] [workers=N] [cache_mb=N] [session_limit=N] "
+          "[session_ttl_s=S] [drain_timeout_s=S] [metrics_out=path] "
           "[trace_out=path] [key=value...]\n"
-          "       otem_cli request <socket> "
+          "       otem_cli request <socket|host:port> "
           "[rpc=run|ping|metrics|stats|methods] "
           "[id=...] [deadline_ms=N] [cache=bypass] [retries=N] "
+          "[key=value...]\n"
+          "       otem_cli loadtest [socket|host:port] [clients=N] "
+          "[steps=M] [workers=N] [bench_json=path] [oneshot=false] "
           "[key=value...]\n"
           "       otem_cli campaign [campaign.methods=a,b] "
           "[campaign.cycles=...] [campaign.synthetic_routes=N] "
@@ -363,6 +692,8 @@ int main(int argc, char** argv) {
       rc = cmd_serve(positional[1], cfg);
     } else if (cmd == "request" && positional.size() >= 2) {
       rc = cmd_request(positional[1], cfg);
+    } else if (cmd == "loadtest") {
+      rc = cmd_loadtest(positional.size() >= 2 ? positional[1] : "", cfg);
     } else if (cmd == "campaign") {
       rc = cmd_campaign(cfg);
     } else {

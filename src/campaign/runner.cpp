@@ -15,6 +15,7 @@
 
 #include "campaign/checkpoint.h"
 #include "common/error.h"
+#include "common/strings.h"
 #include "serve/protocol.h"
 #include "sim/scenario.h"
 
@@ -228,6 +229,10 @@ std::string build_run_request(
   serve::Request req;
   req.method = "run";
   req.id = Json(s.id);
+  // Bit-exact report doubles: the daemon's %.12g JSON numbers lose the
+  // low mantissa bits, which would make fabric and local campaign
+  // summaries drift. report_hex carries IEEE-754 bit patterns instead.
+  req.hex_doubles = true;
   for (const auto& [key, value] : base_pairs) {
     // campaign.* is the grid's vocabulary, not the daemons'.
     if (key.rfind("campaign.", 0) == 0) continue;
@@ -273,6 +278,25 @@ ScenarioResult parse_run_response(const std::string& line,
   }
   const Json* result = doc.find("result");
   OTEM_REQUIRE(result != nullptr, "campaign: fabric response missing result");
+  // Prefer the bit-exact hex report (we ask for it with hex_doubles);
+  // fall back to the numeric report for older daemons, accepting %.12g
+  // rounding there.
+  const Json* hex = result->find("report_hex");
+  if (hex != nullptr && hex->is_object()) {
+    ScenarioResult out;
+    for (size_t d = 0; d < ScenarioResult::kDims; ++d) {
+      const Json* v = hex->find(ScenarioResult::dim_name(d));
+      if (v != nullptr && v->is_number()) {
+        out.set_dim(d, v->as_number());  // e.g. infeasible_steps
+        continue;
+      }
+      OTEM_REQUIRE(v != nullptr && v->is_string(),
+                   std::string("campaign: fabric hex report missing ") +
+                       ScenarioResult::dim_name(d));
+      out.set_dim(d, strings::parse_hex_double(v->as_string()));
+    }
+    return out;
+  }
   const Json* report = result->find("report");
   OTEM_REQUIRE(report != nullptr && report->is_object(),
                "campaign: fabric response missing report");

@@ -120,6 +120,27 @@ void register_otem_methodologies(MethodologyRegistry& registry) {
     // A/B switch for the receding-horizon QP warm start (on by
     // default); docs/PERFORMANCE.md shows the comparison workflow.
     ltv.warm_start = cfg.get_bool("ltv.warm_start", true);
+    // Linearise-solve-apply rounds per control step. 1 is the
+    // real-time-iteration (RTI) setting the serve sessions run at: with
+    // the receding-horizon warm start the incumbent plan is already
+    // near-optimal, so a single relinearisation tracks the optimum at a
+    // third of the per-step cost.
+    const long rounds = cfg.get_long(
+        "ltv.sqp_iterations", static_cast<long>(ltv.sqp_iterations));
+    OTEM_REQUIRE(rounds >= 1, "ltv.sqp_iterations must be >= 1");
+    ltv.sqp_iterations = static_cast<size_t>(rounds);
+    // ADMM tolerance. The polish pass makes the accepted iterate
+    // active-set-exact regardless, so eps only has to identify the
+    // active set — loosening it is the latency knob the sub-millisecond
+    // serve sessions turn (docs/PERFORMANCE.md shows the trade).
+    const double eps = cfg.get_double("ltv.qp.eps", ltv.qp.eps_abs);
+    OTEM_REQUIRE(eps > 0.0, "ltv.qp.eps must be positive");
+    ltv.qp.eps_abs = eps;
+    ltv.qp.eps_rel = eps;
+    const long qp_iters = cfg.get_long(
+        "ltv.qp.max_iterations", static_cast<long>(ltv.qp.max_iterations));
+    OTEM_REQUIRE(qp_iters >= 1, "ltv.qp.max_iterations must be >= 1");
+    ltv.qp.max_iterations = static_cast<size_t>(qp_iters);
     // KKT backend: "banded" (stage-structured O(H) solve, default) or
     // "dense" (condensed oracle path).
     const std::string kkt = cfg.get_string("ltv.kkt", "banded");

@@ -1,64 +1,199 @@
 #include "serve/client.h"
 
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
+#include <utility>
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "common/error.h"
 #include "common/json.h"
-#include "serve/codec.h"
 #include "serve/protocol.h"
 
 namespace otem::serve {
 
-std::string request_once(const std::string& socket_path,
-                         const std::string& request_line, double timeout_s) {
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  OTEM_REQUIRE(fd >= 0, "client: cannot create socket");
+namespace {
 
-  struct FdCloser {
-    int fd;
-    ~FdCloser() { ::close(fd); }
-  } closer{fd};
+std::string errno_text() { return std::strerror(errno); }
+
+/// Bounded connect: non-blocking connect + poll(POLLOUT) + SO_ERROR,
+/// so an unreachable TCP host fails in connect_timeout_s instead of
+/// the kernel's multi-minute SYN retry budget. The fd is returned in
+/// BLOCKING mode (write_frame does not speak EAGAIN).
+void connect_bounded(int fd, const sockaddr* addr, socklen_t addr_len,
+                     const std::string& endpoint, double connect_timeout_s) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  OTEM_REQUIRE(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+               "client: cannot set " + endpoint +
+                   " non-blocking: " + errno_text());
+  if (::connect(fd, addr, addr_len) != 0) {
+    OTEM_REQUIRE(errno == EINPROGRESS || errno == EAGAIN,
+                 "client: cannot connect to " + endpoint + ": " +
+                     errno_text());
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    const int timeout_ms =
+        connect_timeout_s > 0
+            ? static_cast<int>(std::ceil(connect_timeout_s * 1000.0))
+            : -1;
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    OTEM_REQUIRE(pr > 0, pr == 0
+                             ? "client: connect to " + endpoint +
+                                   " timed out after " +
+                                   std::to_string(connect_timeout_s) + " s"
+                             : "client: connect poll on " + endpoint +
+                                   " failed: " + errno_text());
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    OTEM_REQUIRE(
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) == 0,
+        "client: getsockopt on " + endpoint + " failed: " + errno_text());
+    OTEM_REQUIRE(so_error == 0, "client: cannot connect to " + endpoint +
+                                    ": " + std::strerror(so_error));
+  }
+  OTEM_REQUIRE(::fcntl(fd, F_SETFL, flags) == 0,
+               "client: cannot restore blocking mode on " + endpoint + ": " +
+                   errno_text());
+}
+
+/// Create + connect a socket for `endpoint` (Unix path or TCP
+/// host:port). Throws otem::SimError with strerror detail; the caller
+/// owns the returned fd.
+int connect_endpoint(const std::string& endpoint, double connect_timeout_s) {
+  if (is_tcp_endpoint(endpoint)) {
+    const size_t colon = endpoint.rfind(':');
+    std::string host = endpoint.substr(0, colon);
+    const long port = std::strtol(endpoint.c_str() + colon + 1, nullptr, 10);
+    OTEM_REQUIRE(port > 0 && port <= 65535,
+                 "client: bad TCP port in endpoint: " + endpoint);
+    if (host.empty() || host == "localhost") host = "127.0.0.1";
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    OTEM_REQUIRE(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                 "client: bad IPv4 host in endpoint: " + endpoint);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    OTEM_REQUIRE(fd >= 0, "client: cannot create socket: " + errno_text());
+    try {
+      connect_bounded(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr),
+                      endpoint, connect_timeout_s);
+      // Session steps are one-line frames; never Nagle-delay them.
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    } catch (...) {
+      ::close(fd);
+      throw;
+    }
+    return fd;
+  }
 
   struct sockaddr_un addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sun_family = AF_UNIX;
-  OTEM_REQUIRE(socket_path.size() < sizeof(addr.sun_path),
-               "client: socket path too long: " + socket_path);
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-  OTEM_REQUIRE(
-      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
-      "client: cannot connect to " + socket_path + ": " +
-          std::strerror(errno));
+  OTEM_REQUIRE(endpoint.size() < sizeof(addr.sun_path),
+               "client: socket path too long: " + endpoint);
+  std::memcpy(addr.sun_path, endpoint.c_str(), endpoint.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  OTEM_REQUIRE(fd >= 0, "client: cannot create socket: " + errno_text());
+  try {
+    connect_bounded(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr),
+                    endpoint, connect_timeout_s);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  return fd;
+}
 
-  OTEM_REQUIRE(write_frame(fd, request_line),
-               "client: send failed on " + socket_path);
+}  // namespace
+
+bool is_tcp_endpoint(const std::string& endpoint) {
+  if (endpoint.find('/') != std::string::npos) return false;
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= endpoint.size()) return false;
+  for (size_t i = colon + 1; i < endpoint.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(endpoint[i])) == 0)
+      return false;
+  }
+  return true;
+}
+
+Connection::Connection(const std::string& endpoint, double connect_timeout_s)
+    : endpoint_(endpoint),
+      fd_(connect_endpoint(endpoint, connect_timeout_s)),
+      reader_(fd_, 64u << 20) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Connection::Connection(Connection&& other) noexcept
+    : endpoint_(std::move(other.endpoint_)),
+      fd_(other.fd_),
+      reader_(std::move(other.reader_)) {
+  other.fd_ = -1;
+}
+
+Connection& Connection::operator=(Connection&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    endpoint_ = std::move(other.endpoint_);
+    fd_ = other.fd_;
+    reader_ = std::move(other.reader_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+std::string Connection::roundtrip(const std::string& request_line,
+                                  double timeout_s) {
+  OTEM_REQUIRE(fd_ >= 0, "client: connection to " + endpoint_ +
+                             " is closed (moved-from?)");
+  OTEM_REQUIRE(write_frame(fd_, request_line),
+               "client: send failed on " + endpoint_ + ": " + errno_text());
 
   // Responses can take as long as the mission being simulated; poll in
   // short slices against the caller's overall budget.
-  FrameReader reader(fd, 64u << 20);
   std::string line;
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(timeout_s));
   for (;;) {
-    const FrameReader::Status status = reader.next(line, 200);
+    const FrameReader::Status status = reader_.next(line, 200);
     if (status == FrameReader::Status::kFrame) return line;
+    OTEM_REQUIRE(status != FrameReader::Status::kOversized,
+                 "client: oversized response frame from " + endpoint_);
     OTEM_REQUIRE(status != FrameReader::Status::kEof &&
                      status != FrameReader::Status::kError,
-                 "client: connection closed before a response arrived");
-    OTEM_REQUIRE(std::chrono::steady_clock::now() < deadline,
-                 "client: timed out waiting for a response from " +
-                     socket_path);
+                 "client: connection to " + endpoint_ +
+                     " closed before a response arrived");
+    OTEM_REQUIRE(
+        std::chrono::steady_clock::now() < deadline,
+        "client: timed out waiting for a response from " + endpoint_);
   }
+}
+
+std::string request_once(const std::string& endpoint,
+                         const std::string& request_line, double timeout_s,
+                         double connect_timeout_s) {
+  Connection connection(endpoint, connect_timeout_s);
+  return connection.roundtrip(request_line, timeout_s);
 }
 
 double retry_backoff_s(const RetryOptions& options, size_t retry) {
@@ -100,13 +235,14 @@ std::string request_with_retry(
   }
 }
 
-std::string request_with_retry(const std::string& socket_path,
+std::string request_with_retry(const std::string& endpoint,
                                const std::string& request_line,
                                double timeout_s, const RetryOptions& options,
-                               obs::MetricsRegistry* metrics) {
+                               obs::MetricsRegistry* metrics,
+                               double connect_timeout_s) {
   return request_with_retry(
       [&](const std::string& line) {
-        return request_once(socket_path, line, timeout_s);
+        return request_once(endpoint, line, timeout_s, connect_timeout_s);
       },
       request_line, options, metrics);
 }

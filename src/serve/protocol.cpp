@@ -16,6 +16,8 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kDraining: return "draining";
     case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
     case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kUnknownSession: return "unknown_session";
+    case ErrorCode::kSessionLimit: return "session_limit";
     case ErrorCode::kInternal: return "internal";
   }
   return "internal";
@@ -90,6 +92,23 @@ Request parse_request(const std::string& line) {
     req.cache_bypass = cache->as_string() == "bypass";
   }
 
+  if (const Json* hex = doc.find("hex_doubles")) {
+    if (!hex->is_bool()) throw SimError("'hex_doubles' must be a boolean");
+    req.hex_doubles = hex->as_bool();
+  }
+
+  if (const Json* session = doc.find("session")) {
+    if (!session->is_string() || session->as_string().empty())
+      throw SimError("'session' must be a non-empty string");
+    req.session = session->as_string();
+  }
+
+  if (const Json* p = doc.find("p_request_w")) {
+    if (!p->is_number()) throw SimError("'p_request_w' must be a number");
+    req.p_request_w = p->as_number();
+    req.has_p_request = true;
+  }
+
   if (const Json* overrides = doc.find("overrides")) {
     if (!overrides->is_object())
       throw SimError("'overrides' must be a JSON object");
@@ -108,6 +127,9 @@ std::string build_request(const Request& request) {
   if (!request.id.is_null()) doc.set("id", request.id);
   if (request.deadline_ms > 0.0) doc.set("deadline_ms", request.deadline_ms);
   if (request.cache_bypass) doc.set("cache", "bypass");
+  if (request.hex_doubles) doc.set("hex_doubles", true);
+  if (!request.session.empty()) doc.set("session", request.session);
+  if (request.has_p_request) doc.set("p_request_w", request.p_request_w);
   if (!request.overrides.empty()) {
     Json overrides = Json::object();
     for (const auto& [key, value] : request.overrides)

@@ -3,16 +3,24 @@
 // One JSON object per line, both directions. Requests:
 //
 //   {"schema": "otem.serve.v1",
-//    "method": "run" | "ping" | "metrics" | "stats" | "methods",
+//    "method": "run" | "ping" | "metrics" | "stats" | "methods"
+//            | "session.open" | "session.step" | "session.close",
 //    "id": <any JSON value, echoed back verbatim>,        (optional)
 //    "deadline_ms": <number>,                             (optional)
 //    "cache": "use" | "bypass",                           (optional)
+//    "hex_doubles": bool,                                 (optional)
+//    "session": "<session id>",        (session.step / session.close)
+//    "p_request_w": <number>,          (session.step, optional)
 //    "overrides": {"key": "value" | number | bool, ...}}  (optional)
 //
 // `overrides` carries the same key=value vocabulary as the otem_cli
 // command line (scenario keys from sim/scenario.h plus any spec
 // parameter); numbers and booleans are coerced to their config string
-// forms. Responses:
+// forms. `hex_doubles` asks run/session.close replies to carry a
+// "report_hex" twin of the report whose doubles are IEEE-754 bit
+// patterns (strings::hex_double) — the opt-in that makes remote
+// summaries bit-exact. The session.* methods drive a resident
+// controller one protocol step at a time (serve/session.h). Responses:
 //
 //   {"schema": "otem.serve.v1", "id": ..., "ok": true,
 //    "cached": bool, "result": {...}}                       (success)
@@ -46,6 +54,9 @@ enum class ErrorCode {
   kDraining,          ///< server is shutting down, not accepting work
   kDeadlineExceeded,  ///< request deadline expired before completion
   kCancelled,         ///< work abandoned (drain cancelled in-flight run)
+  kUnknownSession,    ///< session id not resident (never opened, closed,
+                      ///< or evicted by the LRU/TTL policy)
+  kSessionLimit,      ///< session table full and nothing evictable
   kInternal,          ///< unexpected server-side failure
 };
 
@@ -57,6 +68,15 @@ struct Request {
   Json id;  ///< echoed verbatim in the response; kNull when absent
   double deadline_ms = 0.0;  ///< 0 = no deadline
   bool cache_bypass = false;
+  /// Opt-in bit-exact reports: run / session.close results gain a
+  /// "report_hex" twin with hex-encoded doubles.
+  bool hex_doubles = false;
+  /// Target session id (session.step / session.close).
+  std::string session;
+  /// session.step: the power request for this step [W]. When absent the
+  /// session serves the next value of its own route trace.
+  double p_request_w = 0.0;
+  bool has_p_request = false;
   /// Scenario/spec overrides in document order, values already coerced
   /// to config string form.
   std::vector<std::pair<std::string, std::string>> overrides;

@@ -1,11 +1,18 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 
 #include <fcntl.h>
 #include <poll.h>
@@ -92,7 +99,10 @@ Json sketch_stats_json(const obs::Sketch::Snapshot& s) {
 
 Server::Server(const ServerOptions& options)
     : options_(options),
-      cache_(options.cache_bytes, registry_),
+      cache_(options.cache_bytes, std::max<size_t>(options.workers, 1),
+             registry_),
+      sessions_(SessionLimits{options.session_limit, options.session_ttl_s},
+                registry_),
       run_instruments_(registry_),
       pool_(std::make_unique<exec::ThreadPool>(options.threads)),
       latency_us_(registry_.histogram("serve.request.latency_us",
@@ -101,7 +111,14 @@ Server::Server(const ServerOptions& options)
                                          obs::latency_buckets_us())),
       latency_sketch_(registry_.sketch("serve.request.latency_us")),
       queue_wait_sketch_(registry_.sketch("serve.queue.wait_us")),
+      session_step_sketch_(registry_.sketch("serve.session.step_us")),
       queue_depth_(registry_.gauge("serve.queue.depth")) {
+  options_.workers = std::max<size_t>(options_.workers, 1);
+  worker_latency_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    worker_latency_.push_back(&registry_.sketch(
+        "serve.worker" + std::to_string(i) + ".request_latency_us"));
+  }
   for (const std::string& key : options_.base.keys())
     base_pairs_.emplace_back(key, options_.base.get_string(key, ""));
   if (!options_.trace_out.empty()) obs::set_trace_enabled(true);
@@ -170,9 +187,10 @@ std::string Server::oversized_response() {
           " bytes");
 }
 
-std::string Server::handle_line(const std::string& line) {
+std::string Server::handle_line(const std::string& line, size_t worker) {
   const obs::TraceSpan request_span("serve.request");
   const double t0 = obs::now_us();
+  if (worker >= worker_latency_.size()) worker = 0;
   Request req;
   try {
     const obs::TraceSpan parse_span("serve.parse");
@@ -203,6 +221,23 @@ std::string Server::handle_line(const std::string& line) {
       result.set("latency_us", sketch_stats_json(latency_sketch_.snapshot()));
       result.set("queue_wait_us",
                  sketch_stats_json(queue_wait_sketch_.snapshot()));
+      result.set("session_step_us",
+                 sketch_stats_json(session_step_sketch_.snapshot()));
+      result.set("sessions_active", sessions_.active());
+      // Per-worker latency sketches folded IN WORKER ORDER — the same
+      // deterministic KLL merge the campaign fabric relies on, so the
+      // merged quantiles are identical on every stats call over the
+      // same traffic regardless of which worker answers it.
+      {
+        Json workers = Json::object();
+        workers.set("count", worker_latency_.size());
+        obs::QuantileSketch merged(worker_latency_.front()->k());
+        for (const obs::Sketch* ws : worker_latency_)
+          merged.merge(ws->collect());
+        workers.set("request_latency_us",
+                    sketch_stats_json(obs::summarize(merged)));
+        result.set("workers", std::move(workers));
+      }
       Json spans = Json::object();
       for (const obs::TraceCollector::SpanSummary& s :
            obs::TraceCollector().summaries()) {
@@ -232,6 +267,24 @@ std::string Server::handle_line(const std::string& line) {
       const double latency = obs::now_us() - t0;
       latency_us_.record(latency);
       latency_sketch_.record(latency);
+      worker_latency_[worker]->record(latency);
+      return response;
+    }
+    if (req.method == "session.open") {
+      const std::string response = handle_session_open(req);
+      worker_latency_[worker]->record(obs::now_us() - t0);
+      return response;
+    }
+    if (req.method == "session.step") {
+      const std::string response = handle_session_step(req);
+      const double latency = obs::now_us() - t0;
+      session_step_sketch_.record(latency);
+      worker_latency_[worker]->record(latency);
+      return response;
+    }
+    if (req.method == "session.close") {
+      const std::string response = handle_session_close(req);
+      worker_latency_[worker]->record(obs::now_us() - t0);
       return response;
     }
   } catch (const std::exception& e) {
@@ -271,7 +324,11 @@ std::string Server::handle_run(const Request& req) {
   scenario.metrics_out.clear();
   scenario.events_jsonl.clear();
 
-  const std::string cache_key = canonical_scenario_key(scenario, merged);
+  std::string cache_key = canonical_scenario_key(scenario, merged);
+  // hex_doubles changes the result BYTES (the report_hex block), so it
+  // must partition the cache — a plain request must never replay a hex
+  // result or vice versa.
+  if (req.hex_doubles) cache_key += "hex_doubles=true\n";
 
   bool claimed = false;
   if (!req.cache_bypass) {
@@ -324,6 +381,8 @@ std::string Server::handle_run(const Request& req) {
     result.set("steps", outcome.power.size());
     result.set("distance_m", outcome.distance_m);
     result.set("report", sim::run_result_to_json(outcome.result));
+    if (req.hex_doubles)
+      result.set("report_hex", sim::run_result_to_hex_json(outcome.result));
     result_json = result.dump(0);
   });
 
@@ -351,7 +410,143 @@ std::string Server::handle_run(const Request& req) {
   return response;
 }
 
-void Server::session_loop(int in_fd, int out_fd) {
+namespace {
+
+Json solve_to_json(const core::SolveDiagnostics& s) {
+  Json j = Json::object();
+  j.set("present", s.present);
+  j.set("converged", s.converged);
+  j.set("fallback", s.fallback);
+  j.set("iterations", s.iterations);
+  j.set("sqp_rounds", s.sqp_rounds);
+  j.set("qp_iterations", s.qp_iterations);
+  j.set("qp_warm_hits", s.qp_warm_hits);
+  j.set("kkt_refactorizations", s.kkt_refactorizations);
+  j.set("qp_polish_hits", s.qp_polish_hits);
+  j.set("solve_time_us", s.solve_time_us);
+  return j;
+}
+
+}  // namespace
+
+std::string Server::handle_session_open(const Request& req) {
+  if (stopping()) {
+    return error_response(req.id, ErrorCode::kDraining,
+                          "server is draining, not accepting new sessions");
+  }
+  Config merged;
+  for (const auto& [key, value] : base_pairs_) merged.set(key, value);
+  for (const auto& [key, value] : req.overrides) {
+    if (is_output_override(key)) {
+      return error_response(req.id, ErrorCode::kBadRequest,
+                            "override '" + key +
+                                "' is not allowed in serve mode (results "
+                                "are returned in the response)");
+    }
+    merged.set(key, value);
+  }
+
+  sim::Scenario scenario;
+  try {
+    scenario = sim::Scenario::from_config(merged);
+  } catch (const SimError& e) {
+    return error_response(req.id, ErrorCode::kBadRequest, e.what());
+  }
+  scenario.record_trace = false;
+  scenario.trace_csv.clear();
+  scenario.metrics_out.clear();
+  scenario.events_jsonl.clear();
+
+  const std::string sid = sessions_.next_id();
+  std::shared_ptr<Session> session;
+  try {
+    const obs::TraceSpan open_span("serve.session.open");
+    session = std::make_shared<Session>(sid, scenario, merged);
+  } catch (const SimError& e) {
+    return error_response(req.id, ErrorCode::kBadRequest, e.what());
+  }
+  if (!sessions_.insert(session)) {
+    return error_response(req.id, ErrorCode::kSessionLimit,
+                          "sessions are disabled (session_limit=0)");
+  }
+
+  Json result = Json::object();
+  result.set("session", sid);
+  result.set("methodology", session->methodology());
+  result.set("dt_s", session->dt());
+  result.set("route_steps", session->route_steps());
+  return build_ok_response(req.id, false, result.dump(0));
+}
+
+std::string Server::handle_session_step(const Request& req) {
+  if (req.session.empty()) {
+    return error_response(req.id, ErrorCode::kBadRequest,
+                          "session.step requires 'session'");
+  }
+  if (stopping()) {
+    return error_response(req.id, ErrorCode::kDraining,
+                          "server is draining, session is being torn down");
+  }
+  const std::shared_ptr<Session> session = sessions_.find(req.session);
+  if (session == nullptr) {
+    return error_response(req.id, ErrorCode::kUnknownSession,
+                          "session '" + req.session +
+                              "' is not resident (closed or evicted)");
+  }
+  try {
+    const obs::TraceSpan step_span("serve.session.step");
+    const Session::StepOutcome out =
+        session->step(req.has_p_request, req.p_request_w);
+    const core::StepRecord& rec = out.rec;
+
+    Json result = Json::object();
+    result.set("session", req.session);
+    result.set("k", out.k);
+    result.set("p_request_w", out.p_request_w);
+    Json decision = Json::object();
+    decision.set("p_cooler_w", rec.p_cooler_w);
+    decision.set("t_inlet_k", rec.t_inlet_k);
+    decision.set("p_cap_w", rec.e_cap_j / session->dt());
+    decision.set("i_bat_a", rec.i_bat_a);
+    decision.set("i_cap_a", rec.i_cap_a);
+    result.set("decision", std::move(decision));
+    Json state = Json::object();
+    state.set("t_battery_k", rec.state_after.t_battery_k);
+    state.set("t_coolant_k", rec.state_after.t_coolant_k);
+    state.set("soc_percent", rec.state_after.soc_percent);
+    state.set("soe_percent", rec.state_after.soe_percent);
+    result.set("state", std::move(state));
+    result.set("feasible", rec.feasible);
+    result.set("unmet_w", rec.unmet_w);
+    result.set("solve", solve_to_json(rec.solve));
+    return build_ok_response(req.id, false, result.dump(0));
+  } catch (const SimError& e) {
+    return error_response(req.id, ErrorCode::kBadRequest, e.what());
+  }
+}
+
+std::string Server::handle_session_close(const Request& req) {
+  if (req.session.empty()) {
+    return error_response(req.id, ErrorCode::kBadRequest,
+                          "session.close requires 'session'");
+  }
+  const std::shared_ptr<Session> session = sessions_.remove(req.session);
+  if (session == nullptr) {
+    return error_response(req.id, ErrorCode::kUnknownSession,
+                          "session '" + req.session +
+                              "' is not resident (closed or evicted)");
+  }
+  const sim::RunResult result = session->close();
+  Json doc = Json::object();
+  doc.set("session", req.session);
+  doc.set("steps", session->steps_done());
+  doc.set("report", sim::run_result_to_json(result));
+  if (req.hex_doubles)
+    doc.set("report_hex", sim::run_result_to_hex_json(result));
+  return build_ok_response(req.id, false, doc.dump(0));
+}
+
+void Server::session_loop(int in_fd, int out_fd, size_t worker) {
   FrameReader reader(in_fd, options_.max_frame_bytes);
   std::string line;
   for (;;) {
@@ -365,7 +560,7 @@ void Server::session_loop(int in_fd, int out_fd) {
     }
     const std::string response = status == FrameReader::Status::kOversized
                                      ? oversized_response()
-                                     : handle_line(line);
+                                     : handle_line(line, worker);
     if (!write_frame(out_fd, response)) return;
   }
 }
@@ -395,6 +590,14 @@ void Server::drain() {
               " in-flight request(s)");
   while (active_requests() > 0)
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  // Tear down resident sessions: stopping() already refuses new steps,
+  // a step in flight finishes safely on its shared_ptr, and everything
+  // after this answers kUnknownSession.
+  const size_t resident = sessions_.active();
+  if (resident > 0)
+    log::info("serve: drain dropped ", resident, " resident session(s)");
+  sessions_.clear();
 }
 
 void Server::shutdown_flush() {
@@ -428,23 +631,95 @@ void Server::shutdown_flush() {
 
 int Server::serve_stdio(int in_fd, int out_fd) {
   SignalGuard signals;
-  session_loop(in_fd, out_fd);
+  session_loop(in_fd, out_fd, 0);
   request_stop();
   drain();
   shutdown_flush();
   return 0;
 }
 
-int Server::serve_unix(const std::string& socket_path) {
+void Server::accept_loop(int listen_fd, bool tcp, size_t worker) {
+  obs::Counter& connections = registry_.counter("serve.connections");
+  while (!stopping()) {
+    struct pollfd pfds[2];
+    pfds[0] = {listen_fd, POLLIN, 0};
+    pfds[1] = {wake_read_fd_, POLLIN, 0};
+    const int pr = ::poll(pfds, 2, 500);
+    if (pr <= 0) continue;  // timeout or EINTR: re-check stopping()
+    if (pfds[1].revents != 0) continue;  // woken for shutdown
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+    // The listening socket is non-blocking: every worker polls it, so a
+    // wakeup may find another acceptor already took the connection
+    // (EAGAIN) — just go around.
+    const int client_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (client_fd < 0) continue;
+    if (tcp) {
+      // One-line control frames must never sit in Nagle's buffer — a
+      // session.step round trip IS the latency budget.
+      const int one = 1;
+      ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    connections.add();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      ++open_connections_;
+    }
+    std::thread([this, client_fd, worker] {
+      session_loop(client_fd, client_fd, worker);
+      ::close(client_fd);
+      {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        --open_connections_;
+      }
+      connections_done_.notify_all();
+    }).detach();
+  }
+}
+
+int Server::serve_listener(int listen_fd, bool tcp) {
   SignalGuard signals;
 
   int wake[2] = {-1, -1};
   OTEM_REQUIRE(::pipe(wake) == 0, "serve: cannot create wake pipe");
   ::fcntl(wake[0], F_SETFL, O_NONBLOCK);
   ::fcntl(wake[1], F_SETFL, O_NONBLOCK);
+  wake_read_fd_ = wake[0];
   wake_write_fd_ = wake[1];
   g_wake_fd.store(wake[1], std::memory_order_relaxed);
+  // Non-blocking accept: all workers poll the same listening socket and
+  // the kernel wakes whoever it pleases; losers of the accept race must
+  // not block.
+  ::fcntl(listen_fd, F_SETFL, O_NONBLOCK);
 
+  // Workers 1..N-1 on their own threads, worker 0 on this one. The
+  // wake byte is deliberately never read: once written, every poller
+  // sees POLLIN forever, so ALL workers wake and observe stopping().
+  std::vector<std::thread> acceptors;
+  for (size_t w = 1; w < options_.workers; ++w)
+    acceptors.emplace_back([this, listen_fd, tcp, w] {
+      accept_loop(listen_fd, tcp, w);
+    });
+  accept_loop(listen_fd, tcp, 0);
+  for (std::thread& t : acceptors) t.join();
+
+  ::close(listen_fd);
+  request_stop();  // make stopping() true for sessions even on signal path
+  drain();
+  {
+    // Connection threads exit within one poll interval of stopping();
+    // in-flight work was finished or cancelled by drain() above.
+    std::unique_lock<std::mutex> lock(connections_mutex_);
+    connections_done_.wait(lock, [&] { return open_connections_ == 0; });
+  }
+  wake_write_fd_ = -1;
+  wake_read_fd_ = -1;
+  ::close(wake[0]);
+  ::close(wake[1]);
+  shutdown_flush();
+  return 0;
+}
+
+int Server::serve_unix(const std::string& socket_path) {
   const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   OTEM_REQUIRE(listen_fd >= 0, "serve: cannot create socket");
 
@@ -465,52 +740,62 @@ int Server::serve_unix(const std::string& socket_path) {
   OTEM_REQUIRE(::listen(listen_fd, 64) == 0,
                "serve: cannot listen on " + socket_path);
 
-  log::info("serve: listening on ", socket_path, " (threads=",
-            pool_->thread_count(), " queue_depth=", options_.queue_depth,
+  log::info("serve: listening on ", socket_path, " (workers=",
+            options_.workers, " threads=", pool_->thread_count(),
+            " queue_depth=", options_.queue_depth,
             " cache_bytes=", options_.cache_bytes, ")");
 
-  obs::Counter& connections = registry_.counter("serve.connections");
-  while (!stopping()) {
-    struct pollfd pfds[2];
-    pfds[0] = {listen_fd, POLLIN, 0};
-    pfds[1] = {wake[0], POLLIN, 0};
-    const int pr = ::poll(pfds, 2, 500);
-    if (pr <= 0) continue;  // timeout or EINTR: re-check stopping()
-    if (pfds[1].revents != 0) continue;  // woken for shutdown
-    if ((pfds[0].revents & POLLIN) == 0) continue;
-    const int client_fd = ::accept(listen_fd, nullptr, nullptr);
-    if (client_fd < 0) continue;
-    connections.add();
-    {
-      std::lock_guard<std::mutex> lock(sessions_mutex_);
-      ++open_sessions_;
-    }
-    std::thread([this, client_fd] {
-      session_loop(client_fd, client_fd);
-      ::close(client_fd);
-      {
-        std::lock_guard<std::mutex> lock(sessions_mutex_);
-        --open_sessions_;
-      }
-      sessions_done_.notify_all();
-    }).detach();
-  }
-
-  ::close(listen_fd);
+  const int rc = serve_listener(listen_fd, /*tcp=*/false);
   ::unlink(socket_path.c_str());
-  request_stop();  // make stopping() true for sessions even on signal path
-  drain();
-  {
-    // Sessions exit within one poll interval of stopping(); in-flight
-    // work was finished or cancelled by drain() above.
-    std::unique_lock<std::mutex> lock(sessions_mutex_);
-    sessions_done_.wait(lock, [&] { return open_sessions_ == 0; });
-  }
-  wake_write_fd_ = -1;
-  ::close(wake[0]);
-  ::close(wake[1]);
-  shutdown_flush();
-  return 0;
+  return rc;
+}
+
+int Server::serve_tcp(const std::string& host_port) {
+  const size_t colon = host_port.rfind(':');
+  OTEM_REQUIRE(colon != std::string::npos,
+               "serve: tcp endpoint must be host:port, got '" + host_port +
+                   "'");
+  std::string host = host_port.substr(0, colon);
+  const std::string port_str = host_port.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  OTEM_REQUIRE(end != nullptr && *end == '\0' && port >= 0 && port <= 65535,
+               "serve: invalid tcp port '" + port_str + "'");
+  if (host.empty() || host == "localhost") host = "127.0.0.1";
+  if (host == "*") host = "0.0.0.0";
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  OTEM_REQUIRE(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+               "serve: invalid tcp host '" + host +
+                   "' (IPv4 literal or 'localhost')");
+
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  OTEM_REQUIRE(listen_fd >= 0, "serve: cannot create tcp socket");
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  OTEM_REQUIRE(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) == 0,
+               "serve: cannot bind " + host_port + ": " +
+                   std::strerror(errno));
+  OTEM_REQUIRE(::listen(listen_fd, 128) == 0,
+               "serve: cannot listen on " + host_port);
+
+  // Report the kernel-assigned port for port-0 binds (tests, loadtest).
+  struct sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0)
+    bound_port_.store(ntohs(bound.sin_port), std::memory_order_release);
+
+  log::info("serve: listening on ", host, ":", bound_port(), " (workers=",
+            options_.workers, " threads=", pool_->thread_count(),
+            " queue_depth=", options_.queue_depth,
+            " cache_bytes=", options_.cache_bytes, ")");
+
+  return serve_listener(listen_fd, /*tcp=*/true);
 }
 
 }  // namespace otem::serve

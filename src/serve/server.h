@@ -24,11 +24,29 @@
 //       stragglers through their stop tokens, flushes a final metrics
 //       snapshot and returns 0.
 //
-// Transports: a Unix-domain socket (serve_unix, one detached session
-// thread per connection) and a stdio mode (serve_stdio) for tests and
+// Transports: a Unix-domain socket (serve_unix), a TCP listener
+// (serve_tcp, TCP_NODELAY on every accepted connection so one-line
+// control frames are never Nagle-delayed) — both with one detached
+// connection thread per client and per-connection read buffers reused
+// across frames — and a stdio mode (serve_stdio) for tests and
 // pipelines. handle_line() is the transport-free core — one request
 // line in, one response line out — which is what the protocol tests
 // drive directly.
+//
+// Multi-worker mode (workers=N) runs N acceptor loops over the shared
+// listening socket; the result cache is consistently sharded N ways
+// (serve/cache.h ShardedResultCache — single-flight and byte-identical
+// replay guarantees hold per shard), and each worker keeps its own
+// request-latency sketch, merged deterministically in worker order by
+// the `stats` method (the same KLL merge the campaign fabric uses).
+//
+// Mission sessions (serve/session.h): session.open resolves a scenario
+// and pins a resident controller + plant state; session.step executes
+// ONE control step on the connection thread — no pool dispatch, no
+// admission queue, warm starts carried across frames — and returns the
+// decision; session.close returns the accumulated report. Idle
+// sessions are evicted LRU-with-TTL; drain drops the whole table after
+// cancelling in-flight work.
 //
 // Observability (registry(), all under serve.*): queue depth gauge,
 // request latency and queue-wait histograms AND quantile sketches
@@ -49,6 +67,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/config.h"
 #include "exec/stop_token.h"
@@ -56,6 +75,7 @@
 #include "obs/metrics.h"
 #include "serve/cache.h"
 #include "serve/protocol.h"
+#include "serve/session.h"
 #include "sim/obs_sink.h"
 
 namespace otem::serve {
@@ -72,6 +92,15 @@ struct ServerOptions {
   double drain_timeout_s = 5.0;
   /// Frames longer than this are refused (connection survives).
   size_t max_frame_bytes = 1u << 20;
+  /// Acceptor workers over the shared listening socket; also the result
+  /// cache's shard count. 1 = the single-worker daemon.
+  size_t workers = 1;
+  /// Resident mission-session ceiling; opening past it evicts the LRU
+  /// session. 0 disables the session API (session.open refuses).
+  size_t session_limit = 64;
+  /// Idle time after which a session is evictable [s]; 0 disables the
+  /// TTL sweep.
+  double session_ttl_s = 300.0;
   /// When non-empty, the final metrics snapshot is written here on
   /// shutdown (schema otem.metrics.v1).
   std::string metrics_out;
@@ -94,7 +123,10 @@ class Server {
   /// The transport-free core: one request frame in, one response frame
   /// out (no trailing newline). Never throws — every failure becomes a
   /// structured error response. Safe to call from many threads.
-  std::string handle_line(const std::string& line);
+  /// `worker` attributes the request to one worker's latency sketch
+  /// (clamped to the worker count; transports pass their acceptor's
+  /// index).
+  std::string handle_line(const std::string& line, size_t worker = 0);
 
   /// The response for a frame the codec refused as oversized.
   std::string oversized_response();
@@ -107,6 +139,19 @@ class Server {
   /// until SIGINT/SIGTERM or request_stop(); drains, flushes, removes
   /// the socket file. Returns the process exit code (0).
   int serve_unix(const std::string& socket_path);
+
+  /// Bind "host:port" (IPv4; "localhost" accepted, port 0 picks an
+  /// ephemeral port — read it back via bound_port()) and accept TCP
+  /// connections with TCP_NODELAY until a stop. Returns the process
+  /// exit code (0).
+  int serve_tcp(const std::string& host_port);
+
+  /// The TCP port actually bound (after serve_tcp enters its accept
+  /// loop); 0 until then. Lets tests bind port 0 and discover the
+  /// ephemeral port.
+  int bound_port() const {
+    return bound_port_.load(std::memory_order_acquire);
+  }
 
   /// Programmatic stop (what the signal handlers trigger): stop
   /// admitting runs and wake the accept loop. Idempotent, thread-safe.
@@ -124,9 +169,16 @@ class Server {
 
  private:
   std::string handle_run(const Request& request);
+  std::string handle_session_open(const Request& request);
+  std::string handle_session_step(const Request& request);
+  std::string handle_session_close(const Request& request);
   std::string error_response(const Json& id, ErrorCode code,
                              const std::string& message);
-  void session_loop(int in_fd, int out_fd);
+  void session_loop(int in_fd, int out_fd, size_t worker);
+  /// Shared serving loop behind serve_unix/serve_tcp: runs
+  /// options_.workers acceptor loops over `listen_fd`, then drains.
+  int serve_listener(int listen_fd, bool tcp);
+  void accept_loop(int listen_fd, bool tcp, size_t worker);
   void shutdown_flush();
 
   bool try_admit();
@@ -142,7 +194,8 @@ class Server {
   std::vector<std::pair<std::string, std::string>> base_pairs_;
 
   obs::MetricsRegistry registry_;
-  ResultCache cache_;
+  ShardedResultCache cache_;
+  SessionManager sessions_;
   /// One pre-resolved sim/solver instrument bundle shared by every run
   /// request (sharded instruments make concurrent runs safe), so the
   /// metrics method surfaces solver.qp_warm_hits & co fleet-wide.
@@ -156,11 +209,13 @@ class Server {
   std::map<std::uint64_t, exec::StopSource> inflight_;
   std::uint64_t next_inflight_id_ = 0;
 
-  std::mutex sessions_mutex_;
-  std::condition_variable sessions_done_;
-  size_t open_sessions_ = 0;
+  std::mutex connections_mutex_;
+  std::condition_variable connections_done_;
+  size_t open_connections_ = 0;
 
   int wake_write_fd_ = -1;  ///< self-pipe: signal handler -> accept loop
+  int wake_read_fd_ = -1;   ///< polled by every acceptor worker
+  std::atomic<int> bound_port_{0};
 
   obs::Histogram& latency_us_;
   obs::Histogram& queue_wait_us_;
@@ -168,6 +223,11 @@ class Server {
   /// for the `stats` method and the otem.metrics.v1 "sketches" section.
   obs::Sketch& latency_sketch_;
   obs::Sketch& queue_wait_sketch_;
+  /// session.step handling time (the headline sub-millisecond tier).
+  obs::Sketch& session_step_sketch_;
+  /// Per-acceptor-worker request latency, merged in worker order by the
+  /// `stats` method.
+  std::vector<obs::Sketch*> worker_latency_;
   obs::Gauge& queue_depth_;
 };
 

@@ -1,5 +1,7 @@
 #include "sim/report.h"
 
+#include "common/strings.h"
+
 namespace otem::sim {
 
 Json run_result_to_json(const RunResult& r) {
@@ -21,6 +23,30 @@ Json run_result_to_json(const RunResult& r) {
   final_state.set("t_coolant_k", r.final_state.t_coolant_k);
   final_state.set("soc_percent", r.final_state.soc_percent);
   final_state.set("soe_percent", r.final_state.soe_percent);
+  j.set("final_state", std::move(final_state));
+  return j;
+}
+
+Json run_result_to_hex_json(const RunResult& r) {
+  const auto hex = [](double v) { return strings::hex_double(v); };
+  Json j = Json::object();
+  j.set("duration_s", hex(r.duration_s));
+  j.set("qloss_percent", hex(r.qloss_percent));
+  j.set("energy_hees_j", hex(r.energy_hees_j));
+  j.set("energy_battery_j", hex(r.energy_battery_j));
+  j.set("energy_cap_j", hex(r.energy_cap_j));
+  j.set("energy_cooling_j", hex(r.energy_cooling_j));
+  j.set("energy_loss_j", hex(r.energy_loss_j));
+  j.set("average_power_w", hex(r.average_power_w));
+  j.set("max_t_battery_k", hex(r.max_t_battery_k));
+  j.set("thermal_violation_s", hex(r.thermal_violation_s));
+  j.set("infeasible_steps", r.infeasible_steps);
+  j.set("unserved_energy_j", hex(r.unserved_energy_j));
+  Json final_state = Json::object();
+  final_state.set("t_battery_k", hex(r.final_state.t_battery_k));
+  final_state.set("t_coolant_k", hex(r.final_state.t_coolant_k));
+  final_state.set("soc_percent", hex(r.final_state.soc_percent));
+  final_state.set("soe_percent", hex(r.final_state.soe_percent));
   j.set("final_state", std::move(final_state));
   return j;
 }

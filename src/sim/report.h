@@ -18,6 +18,13 @@ namespace otem::sim {
 /// safety, reliability and final state.
 Json run_result_to_json(const RunResult& result);
 
+/// The same summary with every double encoded as its IEEE-754 bit
+/// pattern (strings::hex_double, 16 hex digits). JSON numbers print
+/// with %.12g and drop low-order bits; consumers that must reproduce a
+/// local result byte-for-byte — the campaign serve fabric — read this
+/// shape instead (serve requests opt in with "hex_doubles": true).
+Json run_result_to_hex_json(const RunResult& result);
+
 /// Full report: summary plus every recorded trace series (large).
 Json run_result_to_json_with_trace(const RunResult& result);
 

@@ -64,6 +64,13 @@ TimeSeries scenario_speed(const Scenario& sc) {
 }
 }  // namespace
 
+TimeSeries scenario_power_trace(const Scenario& scenario,
+                                const core::SystemSpec& spec) {
+  return vehicle::Powertrain(spec.vehicle)
+      .power_trace(scenario_speed(scenario))
+      .repeated(scenario.repeats);
+}
+
 ScenarioOutcome run_scenario(const Scenario& scenario, const Config& cfg) {
   return run_scenario(scenario, core::SystemSpec::from_config(cfg), cfg);
 }

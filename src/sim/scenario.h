@@ -89,6 +89,13 @@ struct ScenarioOutcome {
   double distance_m = 0.0; ///< route distance including repeats
 };
 
+/// The resolved route power-request trace P_hat_e for `scenario` under
+/// `spec` (route source resolved, repeats applied) — exactly what
+/// run_scenario drives through the methodology, exposed so a serve
+/// session can stream the same mission one protocol step at a time.
+TimeSeries scenario_power_trace(const Scenario& scenario,
+                                const core::SystemSpec& spec);
+
 /// Run `scenario` against the spec built from `cfg`
 /// (core::SystemSpec::from_config).
 ScenarioOutcome run_scenario(const Scenario& scenario, const Config& cfg);

@@ -9,7 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <cmath>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,7 +20,9 @@
 #include <unistd.h>
 
 #include "common/config.h"
+#include "common/error.h"
 #include "common/json.h"
+#include "common/strings.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/cache.h"
@@ -763,6 +768,184 @@ TEST(ServeStdio, AnswersFramesUntilEofThenExitsZero) {
   ASSERT_EQ(reader.next(line, 1000), FrameReader::Status::kFrame);
   EXPECT_NE(line.find("\"ok\":true"), std::string::npos) << line;
   EXPECT_NE(line.find("\"report\":"), std::string::npos) << line;
+}
+
+// --- sharded result cache ---------------------------------------------------
+
+TEST(ShardedResultCacheTest, RoutingIsConsistentAndStable) {
+  obs::MetricsRegistry registry;
+  ShardedResultCache cache(1u << 20, 4, registry);
+  EXPECT_EQ(cache.shards(), 4u);
+  // Consistent: the same key always lands on the same shard.
+  for (const std::string key : {"a", "mission-1", "mission-2", ""})
+    EXPECT_EQ(cache.shard_of(key), cache.shard_of(std::string(key)));
+  // Stable across processes and platforms: FNV-1a 64 of "abc" is
+  // 0xe71fa2190541574b -> % 4 == 3. A changed hash silently reshuffles
+  // every deployed multi-worker cache, so pin it.
+  EXPECT_EQ(cache.shard_of("abc"), 3u);
+}
+
+TEST(ShardedResultCacheTest, SingleShardKeepsTheBareCacheGaugeNames) {
+  obs::MetricsRegistry registry;
+  ShardedResultCache cache(1u << 20, 1, registry);
+  EXPECT_EQ(cache.lookup_or_begin("k"), std::nullopt);
+  cache.fill("k", "v");
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_GT(snap.gauges.at("serve.cache.bytes"), 0.0);
+  EXPECT_EQ(snap.gauges.at("serve.cache.entries"), 1.0);
+  EXPECT_EQ(snap.gauges.count("serve.cache.bytes.shard0"), 0u);
+}
+
+TEST(ShardedResultCacheTest, MultiShardMaintainsAggregateAndPerShardGauges) {
+  obs::MetricsRegistry registry;
+  ShardedResultCache cache(1u << 20, 2, registry);
+  // Find keys that land on different shards.
+  std::string k0 = "key-a", k1 = "key-b";
+  for (int i = 0; cache.shard_of(k1) == cache.shard_of(k0) && i < 64; ++i)
+    k1 = "key-b" + std::to_string(i);
+  ASSERT_NE(cache.shard_of(k0), cache.shard_of(k1));
+  EXPECT_EQ(cache.lookup_or_begin(k0), std::nullopt);
+  EXPECT_EQ(cache.lookup_or_begin(k1), std::nullopt);
+  cache.fill(k0, "v0");
+  cache.fill(k1, "v1");
+  EXPECT_EQ(cache.entries(), 2u);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.gauges.at("serve.cache.entries"), 2.0);
+  EXPECT_EQ(snap.gauges.at("serve.cache.entries.shard0") +
+                snap.gauges.at("serve.cache.entries.shard1"),
+            2.0);
+  // Counters aggregate by name across shards.
+  EXPECT_EQ(registry.counter("serve.cache.misses").value(), 2u);
+}
+
+TEST(ShardedResultCacheTest, SingleFlightHoldsUnderCrossShardContention) {
+  obs::MetricsRegistry registry;
+  ShardedResultCache cache(1u << 20, 4, registry);
+  constexpr size_t kThreads = 8;
+  std::atomic<size_t> computed{0};
+  std::vector<std::string> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      if (std::optional<std::string> hit = cache.lookup_or_begin("hot")) {
+        results[t] = *hit;
+        return;
+      }
+      computed.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      cache.fill("hot", "the-bytes");
+      results[t] = "the-bytes";
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(computed.load(), 1u);
+  for (const std::string& r : results) EXPECT_EQ(r, "the-bytes");
+}
+
+// --- hex_doubles ------------------------------------------------------------
+
+TEST(ServeHexDoubles, RunReplyCarriesABitExactHexReport) {
+  Server server(test_options());
+  const std::string reply = server.handle_line(
+      "{\"schema\":\"otem.serve.v1\",\"method\":\"run\","
+      "\"hex_doubles\":true,\"overrides\":{\"method\":\"parallel\","
+      "\"synthetic\":true,\"synthetic_duration_s\":30}}");
+  const Json doc = Json::parse(reply);
+  const Json* result = doc.find("result");
+  ASSERT_NE(result, nullptr);
+  const Json* report = result->find("report");
+  const Json* hex = result->find("report_hex");
+  ASSERT_NE(report, nullptr);
+  ASSERT_NE(hex, nullptr);
+  // Hex values decode to doubles the %.12g numeric report only
+  // approximates; they must agree to printing precision.
+  for (const char* field : {"duration_s", "qloss_percent", "energy_hees_j",
+                            "average_power_w", "max_t_battery_k"}) {
+    const Json* numeric = report->find(field);
+    const Json* bits = hex->find(field);
+    ASSERT_NE(numeric, nullptr) << field;
+    ASSERT_NE(bits, nullptr) << field;
+    ASSERT_TRUE(bits->is_string()) << field;
+    const double exact = strings::parse_hex_double(bits->as_string());
+    EXPECT_NEAR(exact, numeric->as_number(),
+                1e-9 * std::max(1.0, std::abs(exact)))
+        << field;
+  }
+}
+
+TEST(ServeHexDoubles, HexRepliesReplayByteIdenticallyFromTheCache) {
+  Server server(test_options());
+  const std::string request =
+      "{\"schema\":\"otem.serve.v1\",\"method\":\"run\","
+      "\"hex_doubles\":true,\"overrides\":{\"method\":\"parallel\","
+      "\"synthetic\":true,\"synthetic_duration_s\":30}}";
+  const std::string first = server.handle_line(request);
+  const std::string second = server.handle_line(request);
+  EXPECT_NE(first.find("\"report_hex\""), std::string::npos);
+  EXPECT_NE(second.find("\"cached\":true"), std::string::npos);
+  // cached:false vs cached:true differ by flag; result bytes must not.
+  const size_t ra = first.find("\"result\":");
+  const size_t rb = second.find("\"result\":");
+  ASSERT_NE(ra, std::string::npos);
+  ASSERT_NE(rb, std::string::npos);
+  EXPECT_EQ(first.substr(ra), second.substr(rb));
+}
+
+TEST(ServeHexDoubles, HexAndPlainRequestsOccupyDistinctCacheEntries) {
+  // The hex reply has different result bytes, so it must not alias the
+  // plain entry (byte-identical replay would otherwise break one side).
+  Server server(test_options());
+  const std::string plain = server.handle_line(short_run_request());
+  const std::string hexed = server.handle_line(
+      "{\"schema\":\"otem.serve.v1\",\"method\":\"run\","
+      "\"hex_doubles\":true,\"overrides\":{\"method\":\"parallel\","
+      "\"synthetic\":true,\"synthetic_duration_s\":30}}");
+  EXPECT_EQ(plain.find("\"report_hex\""), std::string::npos);
+  EXPECT_NE(hexed.find("\"report_hex\""), std::string::npos);
+  EXPECT_EQ(hexed.find("\"cached\":true"), std::string::npos)
+      << "hex request aliased the plain request's cache entry";
+}
+
+// --- client endpoints -------------------------------------------------------
+
+TEST(ServeClientEndpoint, TcpAndUnixEndpointsAreDistinguished) {
+  EXPECT_TRUE(is_tcp_endpoint("127.0.0.1:7600"));
+  EXPECT_TRUE(is_tcp_endpoint("localhost:0"));
+  EXPECT_TRUE(is_tcp_endpoint(":7600"));
+  EXPECT_FALSE(is_tcp_endpoint("/tmp/otem.sock"));
+  EXPECT_FALSE(is_tcp_endpoint("./sock:1"));
+  EXPECT_FALSE(is_tcp_endpoint("relative/path"));
+  EXPECT_FALSE(is_tcp_endpoint("host:"));
+  EXPECT_FALSE(is_tcp_endpoint("host:70a"));
+  EXPECT_FALSE(is_tcp_endpoint("plainname"));
+}
+
+TEST(ServeClientEndpoint, ConnectFailuresCarryErrnoText) {
+  try {
+    request_once("/nonexistent/otem-test.sock", "{}", 1.0, 0.5);
+    FAIL() << "connect to a missing socket path should throw";
+  } catch (const SimError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("/nonexistent/otem-test.sock"), std::string::npos)
+        << what;
+    // The point of the satellite: the errno text, not just "failed".
+    EXPECT_NE(what.find(std::strerror(ENOENT)), std::string::npos) << what;
+  }
+}
+
+TEST(ServeClientEndpoint, TcpConnectionRefusedCarriesErrnoText) {
+  // Port 1 on localhost: privileged and unbound, so connect fails fast
+  // with ECONNREFUSED rather than timing out.
+  try {
+    request_once("127.0.0.1:1", "{}", 1.0, 2.0);
+    FAIL() << "connect to an unbound port should throw";
+  } catch (const SimError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("127.0.0.1:1"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::strerror(ECONNREFUSED)), std::string::npos)
+        << what;
+  }
 }
 
 }  // namespace

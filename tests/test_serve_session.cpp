@@ -1,0 +1,436 @@
+// Tests for the sessionful serving layer (serve/session.h) and the
+// scale-out transports: session.open/step/close lifecycle and
+// determinism, warm-start carryover across protocol frames, TTL and
+// capacity eviction, drain semantics, the TCP transport (ephemeral
+// port + bound_port discovery), multi-worker sharded-cache contention
+// and the deterministic per-worker stats merge.
+//
+// Most tests drive Server::handle_line (the transport-free core); the
+// TCP tests bind 127.0.0.1:0 and run real localhost sockets.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/session.h"
+
+namespace otem::serve {
+namespace {
+
+ServerOptions session_test_options() {
+  ServerOptions opts;
+  opts.threads = 2;
+  opts.queue_depth = 4;
+  opts.cache_bytes = 1u << 20;
+  opts.drain_timeout_s = 0.0;
+  return opts;
+}
+
+/// session.open for a mission small enough to finish in milliseconds.
+std::string open_request(const std::string& extra = "") {
+  return std::string(
+             "{\"schema\":\"otem.serve.v1\",\"method\":\"session.open\","
+             "\"overrides\":{\"method\":\"parallel\",\"synthetic\":true,"
+             "\"synthetic_duration_s\":30") +
+         extra + "}}";
+}
+
+std::string step_request(const std::string& sid,
+                         const std::string& extra = "") {
+  return "{\"schema\":\"otem.serve.v1\",\"method\":\"session.step\","
+         "\"session\":\"" +
+         sid + "\"" + extra + "}";
+}
+
+std::string close_request(const std::string& sid) {
+  return "{\"schema\":\"otem.serve.v1\",\"method\":\"session.close\","
+         "\"session\":\"" +
+         sid + "\"}";
+}
+
+/// Parse a reply, assert ok:true, and return the result object.
+Json ok_result(const std::string& line) {
+  const Json doc = Json::parse(line);
+  const Json* ok = doc.find("ok");
+  EXPECT_TRUE(ok != nullptr && ok->is_bool() && ok->as_bool())
+      << "not an ok reply: " << line;
+  const Json* result = doc.find("result");
+  EXPECT_NE(result, nullptr);
+  return result != nullptr ? *result : Json();
+}
+
+std::string error_code_of(const std::string& line) {
+  const Json doc = Json::parse(line);
+  const Json* error = doc.find("error");
+  return error != nullptr && error->is_string() ? error->as_string() : "";
+}
+
+std::string session_id_of(const Json& result) {
+  const Json* sid = result.find("session");
+  EXPECT_TRUE(sid != nullptr && sid->is_string());
+  return sid != nullptr && sid->is_string() ? sid->as_string() : "";
+}
+
+// --- lifecycle --------------------------------------------------------------
+
+TEST(ServeSession, OpenStepCloseLifecycle) {
+  Server server(session_test_options());
+  const Json open = ok_result(server.handle_line(open_request()));
+  const std::string sid = session_id_of(open);
+  EXPECT_EQ(sid, "s1");
+  EXPECT_EQ(open.find("methodology")->as_string(), "parallel");
+  EXPECT_GT(open.find("route_steps")->as_number(), 0.0);
+  EXPECT_GT(open.find("dt_s")->as_number(), 0.0);
+
+  for (int k = 0; k < 5; ++k) {
+    const Json step = ok_result(server.handle_line(step_request(sid)));
+    EXPECT_EQ(step.find("k")->as_number(), static_cast<double>(k));
+    EXPECT_NE(step.find("decision"), nullptr);
+    const Json* state = step.find("state");
+    ASSERT_NE(state, nullptr);
+    EXPECT_GT(state->find("t_battery_k")->as_number(), 250.0);
+  }
+
+  const Json closed = ok_result(server.handle_line(close_request(sid)));
+  EXPECT_EQ(closed.find("steps")->as_number(), 5.0);
+  const Json* report = closed.find("report");
+  ASSERT_NE(report, nullptr);
+  // 5 steps of the route accumulated, not the whole mission.
+  EXPECT_NEAR(report->find("duration_s")->as_number(),
+              5.0 * open.find("dt_s")->as_number(), 1e-9);
+
+  // A closed id stops resolving.
+  EXPECT_EQ(error_code_of(server.handle_line(step_request(sid))),
+            "unknown_session");
+  EXPECT_EQ(error_code_of(server.handle_line(close_request(sid))),
+            "unknown_session");
+}
+
+TEST(ServeSession, TwoIdenticalSessionsStreamIdenticalDecisions) {
+  // Determinism across resident sessions: the same mission streamed
+  // twice yields byte-identical step replies once the session ids are
+  // factored out (the replies embed the id).
+  Server server(session_test_options());
+  const std::string a = session_id_of(ok_result(
+      server.handle_line(open_request())));
+  const std::string b = session_id_of(ok_result(
+      server.handle_line(open_request())));
+  ASSERT_NE(a, b);
+  for (int k = 0; k < 10; ++k) {
+    std::string ra = server.handle_line(step_request(a));
+    std::string rb = server.handle_line(step_request(b));
+    // Splice out the session ids, then demand byte equality.
+    const size_t pa = ra.find(a);
+    const size_t pb = rb.find(b);
+    ASSERT_NE(pa, std::string::npos);
+    ASSERT_NE(pb, std::string::npos);
+    ra.erase(pa, a.size());
+    rb.erase(pb, b.size());
+    EXPECT_EQ(ra, rb) << "diverged at step " << k;
+  }
+}
+
+TEST(ServeSession, ExplicitPowerRequestOverridesTheRouteForecast) {
+  Server server(session_test_options());
+  const std::string sid = session_id_of(ok_result(
+      server.handle_line(open_request())));
+  const Json step = ok_result(server.handle_line(
+      step_request(sid, ",\"p_request_w\":12345.5")));
+  EXPECT_EQ(step.find("p_request_w")->as_number(), 12345.5);
+}
+
+TEST(ServeSession, SteppingPastTheRouteWithoutARequestIsABadRequest) {
+  Server server(session_test_options());
+  const Json open = ok_result(
+      server.handle_line(open_request(",\"synthetic_duration_s\":3")));
+  const std::string sid = session_id_of(open);
+  const auto route = static_cast<size_t>(
+      open.find("route_steps")->as_number());
+  for (size_t k = 0; k < route; ++k)
+    ok_result(server.handle_line(step_request(sid)));
+  EXPECT_EQ(error_code_of(server.handle_line(step_request(sid))),
+            "bad_request");
+  // An explicit power request keeps the mission going past its route.
+  const Json step = ok_result(server.handle_line(
+      step_request(sid, ",\"p_request_w\":5000")));
+  EXPECT_EQ(step.find("k")->as_number(), static_cast<double>(route));
+}
+
+TEST(ServeSession, UnknownAndMissingSessionIdsAreStructuredErrors) {
+  Server server(session_test_options());
+  EXPECT_EQ(error_code_of(server.handle_line(step_request("s999"))),
+            "unknown_session");
+  EXPECT_EQ(error_code_of(server.handle_line(
+                "{\"schema\":\"otem.serve.v1\",\"method\":"
+                "\"session.step\"}")),
+            "bad_request");
+}
+
+// --- warm-start carryover ---------------------------------------------------
+
+TEST(ServeSession, WarmStepsNeverExceedTheColdSolvesIterations) {
+  // The point of resident sessions: the QP warm start and KKT
+  // factorisation carried inside the controller survive across
+  // protocol frames, so step N+1 never takes more ADMM iterations
+  // than the cold k=0 solve.
+  ServerOptions opts = session_test_options();
+  Server server(opts);
+  const Json open = ok_result(server.handle_line(
+      "{\"schema\":\"otem.serve.v1\",\"method\":\"session.open\","
+      "\"overrides\":{\"method\":\"otem-ltv\",\"synthetic\":true,"
+      "\"synthetic_duration_s\":12,\"ltv.sqp_iterations\":1}}"));
+  const std::string sid = session_id_of(open);
+
+  double cold_iters = -1.0;
+  for (int k = 0; k < 12; ++k) {
+    const Json step = ok_result(server.handle_line(step_request(sid)));
+    const Json* solve = step.find("solve");
+    ASSERT_NE(solve, nullptr);
+    const double iters = solve->find("qp_iterations")->as_number();
+    if (k == 0) {
+      cold_iters = iters;
+      EXPECT_GT(cold_iters, 0.0);
+    } else {
+      EXPECT_LE(iters, cold_iters)
+          << "warm step " << k << " took more QP iterations than the "
+          << "cold solve — the warm start is not carrying across frames";
+    }
+  }
+}
+
+// --- eviction ---------------------------------------------------------------
+
+TEST(ServeSession, IdleSessionsAreEvictedAfterTheirTtl) {
+  ServerOptions opts = session_test_options();
+  opts.session_ttl_s = 0.05;
+  Server server(opts);
+  const std::string sid = session_id_of(ok_result(
+      server.handle_line(open_request())));
+  ok_result(server.handle_line(step_request(sid)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_EQ(error_code_of(server.handle_line(step_request(sid))),
+            "unknown_session");
+  const obs::MetricsSnapshot snap = server.registry().snapshot();
+  EXPECT_EQ(snap.counters.at("serve.sessions_evicted"), 1u);
+  EXPECT_EQ(snap.gauges.at("serve.sessions_active"), 0.0);
+}
+
+TEST(ServeSession, CapacityEvictionDropsTheLeastRecentlyUsed) {
+  ServerOptions opts = session_test_options();
+  opts.session_limit = 2;
+  Server server(opts);
+  const std::string s1 = session_id_of(ok_result(
+      server.handle_line(open_request())));
+  const std::string s2 = session_id_of(ok_result(
+      server.handle_line(open_request())));
+  // Touch s1 so s2 is the LRU when the third session arrives.
+  ok_result(server.handle_line(step_request(s1)));
+  const std::string s3 = session_id_of(ok_result(
+      server.handle_line(open_request())));
+  EXPECT_EQ(error_code_of(server.handle_line(step_request(s2))),
+            "unknown_session");
+  ok_result(server.handle_line(step_request(s1)));
+  ok_result(server.handle_line(step_request(s3)));
+}
+
+TEST(ServeSession, SessionLimitZeroDisablesTheSessionApi) {
+  ServerOptions opts = session_test_options();
+  opts.session_limit = 0;
+  Server server(opts);
+  EXPECT_EQ(error_code_of(server.handle_line(open_request())),
+            "session_limit");
+}
+
+// --- drain ------------------------------------------------------------------
+
+TEST(ServeSession, DrainDropsResidentSessionsAndRefusesNewWork) {
+  Server server(session_test_options());
+  const std::string sid = session_id_of(ok_result(
+      server.handle_line(open_request())));
+  ok_result(server.handle_line(step_request(sid)));
+
+  server.request_stop();
+  server.drain();
+
+  EXPECT_EQ(error_code_of(server.handle_line(step_request(sid))),
+            "draining");
+  EXPECT_EQ(error_code_of(server.handle_line(open_request())), "draining");
+  const obs::MetricsSnapshot snap = server.registry().snapshot();
+  EXPECT_EQ(snap.gauges.at("serve.sessions_active"), 0.0);
+}
+
+// --- SessionManager unit behavior -------------------------------------------
+
+TEST(ServeSessionManager, IdsStayUniqueAcrossFailedInserts) {
+  obs::MetricsRegistry registry;
+  SessionManager manager(SessionLimits{0, 0.0}, registry);
+  const std::string a = manager.next_id();
+  const std::string b = manager.next_id();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(manager.active(), 0u);
+  EXPECT_EQ(manager.find(a), nullptr);
+}
+
+// --- TCP transport ----------------------------------------------------------
+
+/// Serve on an ephemeral localhost port in a background thread and
+/// return once bound_port() is known.
+struct TcpServerFixture {
+  explicit TcpServerFixture(const ServerOptions& opts) : server(opts) {
+    thread = std::thread([this] { (void)server.serve_tcp("127.0.0.1:0"); });
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (server.bound_port() == 0) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        ADD_FAILURE() << "server never bound its TCP port";
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    endpoint = "127.0.0.1:" + std::to_string(server.bound_port());
+  }
+  ~TcpServerFixture() {
+    server.request_stop();
+    thread.join();
+  }
+  Server server;
+  std::thread thread;
+  std::string endpoint;
+};
+
+TEST(ServeTcp, PingOverARealLocalhostSocket) {
+  TcpServerFixture fx(session_test_options());
+  const std::string reply = request_once(
+      fx.endpoint,
+      "{\"schema\":\"otem.serve.v1\",\"method\":\"ping\",\"id\":\"t\"}");
+  EXPECT_EQ(reply,
+            "{\"schema\":\"otem.serve.v1\",\"id\":\"t\",\"ok\":true,"
+            "\"cached\":false,\"result\":{\"pong\":true}}");
+}
+
+TEST(ServeTcp, SessionLifecycleOverOnePersistentConnection) {
+  TcpServerFixture fx(session_test_options());
+  Connection conn(fx.endpoint);
+  const Json open = ok_result(conn.roundtrip(open_request()));
+  const std::string sid = session_id_of(open);
+  for (int k = 0; k < 3; ++k) {
+    const Json step = ok_result(conn.roundtrip(step_request(sid)));
+    EXPECT_EQ(step.find("k")->as_number(), static_cast<double>(k));
+  }
+  const Json closed = ok_result(conn.roundtrip(close_request(sid)));
+  EXPECT_EQ(closed.find("steps")->as_number(), 3.0);
+}
+
+TEST(ServeTcp, MultiWorkerCachedRepliesAreByteIdenticalUnderContention) {
+  // The sharded-cache guarantee end to end: many concurrent clients
+  // asking for the SAME mission over TCP against a multi-worker daemon
+  // must all receive byte-identical response documents (modulo the id
+  // they chose), with the computation done once per shard claim.
+  ServerOptions opts = session_test_options();
+  opts.workers = 4;
+  TcpServerFixture fx(opts);
+
+  const std::string request =
+      "{\"schema\":\"otem.serve.v1\",\"method\":\"run\",\"overrides\":"
+      "{\"method\":\"parallel\",\"synthetic\":true,"
+      "\"synthetic_duration_s\":30}}";
+  constexpr size_t kClients = 8;
+  std::vector<std::string> replies(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      replies[c] = request_once(fx.endpoint, request, 60.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // The cached flag tells computed and replayed answers apart; the
+  // RESULT bytes must be spliced verbatim from the same cache entry.
+  const size_t r0 = replies[0].find("\"result\":");
+  ASSERT_NE(r0, std::string::npos) << replies[0];
+  for (size_t c = 1; c < kClients; ++c) {
+    const size_t rc = replies[c].find("\"result\":");
+    ASSERT_NE(rc, std::string::npos) << replies[c];
+    EXPECT_EQ(replies[c].substr(rc), replies[0].substr(r0));
+  }
+
+  const obs::MetricsSnapshot snap = fx.server.registry().snapshot();
+  // Every request was answered through the cache: ONE miss computed,
+  // the rest were hits or coalesced waiters (coalesced counts wait-loop
+  // wakeups, so it can exceed the waiter count — only its floor is
+  // meaningful).
+  EXPECT_EQ(snap.counters.at("serve.cache.misses"), 1u);
+  EXPECT_GE(snap.counters.at("serve.cache.hits") +
+                snap.counters.at("serve.cache.coalesced") + 1,
+            kClients);
+}
+
+TEST(ServeTcp, ConcurrentSessionsSurviveAMultiWorkerDaemon) {
+  ServerOptions opts = session_test_options();
+  opts.workers = 2;
+  TcpServerFixture fx(opts);
+  constexpr size_t kClients = 4;
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      try {
+        Connection conn(fx.endpoint);
+        const Json open = Json::parse(conn.roundtrip(open_request()));
+        const Json* result = open.find("result");
+        const std::string sid = result->find("session")->as_string();
+        for (int k = 0; k < 5; ++k)
+          (void)conn.roundtrip(step_request(sid));
+        (void)conn.roundtrip(close_request(sid));
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+  const obs::MetricsSnapshot snap = fx.server.registry().snapshot();
+  EXPECT_EQ(snap.counters.at("serve.sessions_opened"), kClients);
+  EXPECT_EQ(snap.counters.at("serve.sessions_closed"), kClients);
+}
+
+TEST(ServeTcp, StatsMergesWorkerSketchesDeterministically) {
+  ServerOptions opts = session_test_options();
+  opts.workers = 3;
+  Server server(opts);
+  // Attribute traffic to distinct workers through the transport-free
+  // core, exactly as the acceptor loops do.
+  for (size_t w = 0; w < 3; ++w) {
+    for (int i = 0; i < 4; ++i)
+      (void)server.handle_line(
+          "{\"schema\":\"otem.serve.v1\",\"method\":\"run\",\"overrides\":"
+          "{\"method\":\"parallel\",\"synthetic\":true,"
+          "\"synthetic_duration_s\":30}}",
+          w);
+  }
+  const std::string stats_request =
+      "{\"schema\":\"otem.serve.v1\",\"method\":\"stats\"}";
+  const Json first = ok_result(server.handle_line(stats_request));
+  const Json second = ok_result(server.handle_line(stats_request, 2));
+  const Json* wa = first.find("workers");
+  const Json* wb = second.find("workers");
+  ASSERT_NE(wa, nullptr);
+  ASSERT_NE(wb, nullptr);
+  EXPECT_EQ(wa->find("count")->as_number(), 3.0);
+  // The per-worker KLL sketches merge in worker order: the merged
+  // quantiles must be identical on every stats call over the same
+  // traffic, whichever worker answers.
+  EXPECT_EQ(wa->find("request_latency_us")->dump(0),
+            wb->find("request_latency_us")->dump(0));
+}
+
+}  // namespace
+}  // namespace otem::serve
